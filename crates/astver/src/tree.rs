@@ -1,0 +1,684 @@
+//! Symbolic execution trees for the AST proof system (paper §6.1, App. E).
+//!
+//! The body of a first-order fixpoint `μφ x. M` is executed symbolically under
+//! call-by-value with
+//!
+//! * the actual argument replaced by the unknown value `⊛`,
+//! * every `sample` replaced by a fresh sample variable `αᵢ`,
+//! * every recursive call `φ V` recorded as a `μ`-node whose outcome is the
+//!   unknown value `★`.
+//!
+//! Conditionals whose guard mentions only sample variables and constants
+//! become *probabilistic* branch nodes (annotated with the guard); guards that
+//! mention `⊛`/`★` become *Environment* branch nodes, to be resolved
+//! adversarially by a strategy (§6.2). The resulting finite binary tree is the
+//! object depicted in Fig. 6a.
+
+use probterm_numerics::Rational;
+use probterm_spcf::{Ident, Prim, Term};
+use std::fmt;
+
+/// A symbolic value appearing in guards: constants, sample variables, the
+/// unknown argument/recursive outcome `⊛`, and postponed primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardValue {
+    /// A rational constant.
+    Const(Rational),
+    /// The sample variable `αᵢ`.
+    Var(usize),
+    /// The unknown value (`⊛` for the argument, `★` for recursive outcomes).
+    Unknown,
+    /// A postponed primitive application.
+    Prim(Prim, Vec<GuardValue>),
+}
+
+impl GuardValue {
+    /// Returns `true` if the value mentions the unknown `⊛`/`★`.
+    pub fn mentions_unknown(&self) -> bool {
+        match self {
+            GuardValue::Unknown => true,
+            GuardValue::Const(_) | GuardValue::Var(_) => false,
+            GuardValue::Prim(_, args) => args.iter().any(GuardValue::mentions_unknown),
+        }
+    }
+
+    /// Returns the constant if the value is a constant.
+    pub fn as_const(&self) -> Option<&Rational> {
+        match self {
+            GuardValue::Const(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Attempts to view the value as an affine expression `Σ cᵢ·αᵢ + k` over
+    /// `dimension` sample variables.
+    pub fn as_affine(&self, dimension: usize) -> Option<(Vec<Rational>, Rational)> {
+        match self {
+            GuardValue::Const(r) => Some((vec![Rational::zero(); dimension], r.clone())),
+            GuardValue::Unknown => None,
+            GuardValue::Var(i) => {
+                if *i >= dimension {
+                    return None;
+                }
+                let mut coeffs = vec![Rational::zero(); dimension];
+                coeffs[*i] = Rational::one();
+                Some((coeffs, Rational::zero()))
+            }
+            GuardValue::Prim(p, args) => match p {
+                Prim::Add | Prim::Sub => {
+                    let (ca, ka) = args[0].as_affine(dimension)?;
+                    let (cb, kb) = args[1].as_affine(dimension)?;
+                    let op = |a: &Rational, b: &Rational| {
+                        if *p == Prim::Add {
+                            a + b
+                        } else {
+                            a - b
+                        }
+                    };
+                    Some((
+                        ca.iter().zip(&cb).map(|(a, b)| op(a, b)).collect(),
+                        op(&ka, &kb),
+                    ))
+                }
+                Prim::Neg => {
+                    let (c, k) = args[0].as_affine(dimension)?;
+                    Some((c.iter().map(|v| -v).collect(), -k))
+                }
+                Prim::Mul => {
+                    let (ca, ka) = args[0].as_affine(dimension)?;
+                    let (cb, kb) = args[1].as_affine(dimension)?;
+                    if ca.iter().all(Rational::is_zero) {
+                        Some((cb.iter().map(|v| v * &ka).collect(), &ka * &kb))
+                    } else if cb.iter().all(Rational::is_zero) {
+                        Some((ca.iter().map(|v| v * &kb).collect(), &ka * &kb))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for GuardValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardValue::Const(r) => write!(f, "{r}"),
+            GuardValue::Var(i) => write!(f, "α{i}"),
+            GuardValue::Unknown => write!(f, "⊛"),
+            GuardValue::Prim(p, args) => {
+                write!(f, "{}(", p.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A symbolic execution tree (Fig. 6a).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecTree {
+    /// The body evaluated to a value.
+    Leaf,
+    /// The body got stuck (e.g. a failing `score`); treated as non-terminating.
+    Stuck,
+    /// A recursive call node `μ`, followed by the rest of the evaluation.
+    Mu(Box<ExecTree>),
+    /// A probabilistic branch on `guard ≤ 0` over sample variables only.
+    Prob {
+        /// The guard value (mentions only sample variables and constants).
+        guard: GuardValue,
+        /// Continuation when `guard ≤ 0`.
+        then: Box<ExecTree>,
+        /// Continuation when `guard > 0`.
+        els: Box<ExecTree>,
+    },
+    /// An Environment-resolved branch: the guard mentions `⊛`/`★`, so the
+    /// branch is treated nondeterministically (coloured red in Fig. 6a).
+    Env {
+        /// Identifier of the environment node (used to index strategies).
+        id: usize,
+        /// The (unknown-dependent) guard, kept for display purposes.
+        guard: GuardValue,
+        /// Continuation when the Environment picks the then-branch.
+        then: Box<ExecTree>,
+        /// Continuation when the Environment picks the else-branch.
+        els: Box<ExecTree>,
+    },
+    /// A `score` over sample variables: the path continues only where the
+    /// scored value is non-negative.
+    Score {
+        /// The scored value.
+        value: GuardValue,
+        /// Continuation.
+        rest: Box<ExecTree>,
+    },
+}
+
+impl ExecTree {
+    /// Number of Environment nodes in the tree.
+    pub fn env_node_count(&self) -> usize {
+        match self {
+            ExecTree::Leaf | ExecTree::Stuck => 0,
+            ExecTree::Mu(rest) => rest.env_node_count(),
+            ExecTree::Score { rest, .. } => rest.env_node_count(),
+            ExecTree::Prob { then, els, .. } => then.env_node_count() + els.env_node_count(),
+            ExecTree::Env { then, els, .. } => 1 + then.env_node_count() + els.env_node_count(),
+        }
+    }
+
+    /// Number of `μ` (recursive call) nodes in the tree.
+    pub fn mu_node_count(&self) -> usize {
+        match self {
+            ExecTree::Leaf | ExecTree::Stuck => 0,
+            ExecTree::Mu(rest) => 1 + rest.mu_node_count(),
+            ExecTree::Score { rest, .. } => rest.mu_node_count(),
+            ExecTree::Prob { then, els, .. } | ExecTree::Env { then, els, .. } => {
+                then.mu_node_count() + els.mu_node_count()
+            }
+        }
+    }
+
+    /// The maximal number of `μ` nodes along any root-to-leaf path — an upper
+    /// bound on the recursive rank observable in the tree.
+    pub fn max_mu_per_path(&self) -> u64 {
+        match self {
+            ExecTree::Leaf | ExecTree::Stuck => 0,
+            ExecTree::Mu(rest) => 1 + rest.max_mu_per_path(),
+            ExecTree::Score { rest, .. } => rest.max_mu_per_path(),
+            ExecTree::Prob { then, els, .. } | ExecTree::Env { then, els, .. } => {
+                then.max_mu_per_path().max(els.max_mu_per_path())
+            }
+        }
+    }
+
+    /// Renders the tree as indented text (the textual analogue of Fig. 6a).
+    pub fn render(&self) -> String {
+        fn go(t: &ExecTree, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match t {
+                ExecTree::Leaf => out.push_str(&format!("{pad}leaf\n")),
+                ExecTree::Stuck => out.push_str(&format!("{pad}stuck\n")),
+                ExecTree::Mu(rest) => {
+                    out.push_str(&format!("{pad}μ\n"));
+                    go(rest, indent, out);
+                }
+                ExecTree::Score { value, rest } => {
+                    out.push_str(&format!("{pad}score({value})\n"));
+                    go(rest, indent, out);
+                }
+                ExecTree::Prob { guard, then, els } => {
+                    out.push_str(&format!("{pad}prob [{guard} ≤ 0]\n"));
+                    go(then, indent + 1, out);
+                    go(els, indent + 1, out);
+                }
+                ExecTree::Env { id, guard, then, els } => {
+                    out.push_str(&format!("{pad}env#{id} [{guard} ≤ 0]\n"));
+                    go(then, indent + 1, out);
+                    go(els, indent + 1, out);
+                }
+            }
+        }
+        let mut out = String::new();
+        go(self, 0, &mut out);
+        out
+    }
+}
+
+/// Errors raised while building the execution tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The input is not a first-order fixpoint `μφ x. M`.
+    NotFirstOrderFixpoint,
+    /// The body did not normalise within the step budget (should not happen
+    /// for recursion-free bodies; indicates an unsupported shape).
+    BodyDidNotNormalise,
+    /// An ill-formed application was encountered during symbolic execution.
+    IllFormed(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::NotFirstOrderFixpoint => {
+                write!(f, "expected a first-order fixpoint μφ x. M")
+            }
+            TreeError::BodyDidNotNormalise => {
+                write!(f, "the recursion body did not normalise within the step budget")
+            }
+            TreeError::IllFormed(what) => write!(f, "ill-formed symbolic execution: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// The result of building a symbolic execution tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicTree {
+    /// The tree itself.
+    pub tree: ExecTree,
+    /// Total number of sample variables introduced (the tree dimension).
+    pub sample_count: usize,
+    /// Number of Environment nodes (indexed `0 .. env_count`).
+    pub env_count: usize,
+}
+
+// Internal symbolic CbV terms.
+#[derive(Debug, Clone, PartialEq)]
+enum ATerm {
+    Val(GuardValue),
+    RecMarker,
+    Var(Ident),
+    Lam(Ident, Box<ATerm>),
+    App(Box<ATerm>, Box<ATerm>),
+    If(Box<ATerm>, Box<ATerm>, Box<ATerm>),
+    Prim(Prim, Vec<ATerm>),
+    Sample,
+    Score(Box<ATerm>),
+}
+
+impl ATerm {
+    fn embed(t: &Term, phi: &Ident, x: &Ident) -> ATerm {
+        match t {
+            Term::Var(y) if y == phi => ATerm::RecMarker,
+            Term::Var(y) if y == x => ATerm::Val(GuardValue::Unknown),
+            Term::Var(y) => ATerm::Var(y.clone()),
+            Term::Num(r) => ATerm::Val(GuardValue::Const(r.clone())),
+            Term::Lam(y, b) => {
+                let inner_phi = if y == phi { probterm_spcf::ident("#shadow-phi") } else { phi.clone() };
+                let inner_x = if y == x { probterm_spcf::ident("#shadow-x") } else { x.clone() };
+                ATerm::Lam(y.clone(), Box::new(ATerm::embed(b, &inner_phi, &inner_x)))
+            }
+            Term::Fix(_, _, _) => ATerm::Val(GuardValue::Unknown),
+            Term::App(f, a) => ATerm::App(
+                Box::new(ATerm::embed(f, phi, x)),
+                Box::new(ATerm::embed(a, phi, x)),
+            ),
+            Term::If(g, t1, t2) => ATerm::If(
+                Box::new(ATerm::embed(g, phi, x)),
+                Box::new(ATerm::embed(t1, phi, x)),
+                Box::new(ATerm::embed(t2, phi, x)),
+            ),
+            Term::Prim(p, args) => {
+                ATerm::Prim(*p, args.iter().map(|a| ATerm::embed(a, phi, x)).collect())
+            }
+            Term::Sample => ATerm::Sample,
+            Term::Score(m) => ATerm::Score(Box::new(ATerm::embed(m, phi, x))),
+        }
+    }
+
+    fn is_value(&self) -> bool {
+        matches!(
+            self,
+            ATerm::Val(_) | ATerm::RecMarker | ATerm::Var(_) | ATerm::Lam(_, _)
+        )
+    }
+
+    fn subst(&self, x: &Ident, replacement: &ATerm) -> ATerm {
+        match self {
+            ATerm::Var(y) => {
+                if y == x {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            ATerm::Val(_) | ATerm::RecMarker | ATerm::Sample => self.clone(),
+            ATerm::Lam(y, b) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    ATerm::Lam(y.clone(), Box::new(b.subst(x, replacement)))
+                }
+            }
+            ATerm::App(f, a) => ATerm::App(
+                Box::new(f.subst(x, replacement)),
+                Box::new(a.subst(x, replacement)),
+            ),
+            ATerm::If(g, t, e) => ATerm::If(
+                Box::new(g.subst(x, replacement)),
+                Box::new(t.subst(x, replacement)),
+                Box::new(e.subst(x, replacement)),
+            ),
+            ATerm::Prim(p, args) => {
+                ATerm::Prim(*p, args.iter().map(|a| a.subst(x, replacement)).collect())
+            }
+            ATerm::Score(m) => ATerm::Score(Box::new(m.subst(x, replacement))),
+        }
+    }
+}
+
+/// Shared mutable counters during tree construction.
+struct Builder {
+    samples: usize,
+    env_nodes: usize,
+    fuel: usize,
+}
+
+/// Builds the symbolic execution tree of a first-order fixpoint term
+/// (`μφ x. M`, possibly applied to an argument which is ignored — the analysis
+/// replaces the argument by `⊛`).
+///
+/// # Errors
+///
+/// Returns a [`TreeError`] if the shape is unsupported or the body does not
+/// normalise within an internal step budget.
+pub fn build_tree(term: &Term) -> Result<SymbolicTree, TreeError> {
+    let fixpoint = match term {
+        Term::App(f, _) if matches!(**f, Term::Fix(_, _, _)) => &**f,
+        other => other,
+    };
+    let Term::Fix(phi, x, body) = fixpoint else {
+        return Err(TreeError::NotFirstOrderFixpoint);
+    };
+    if !probterm_spcf::is_first_order_fixpoint(fixpoint) {
+        return Err(TreeError::NotFirstOrderFixpoint);
+    }
+    let initial = ATerm::embed(body, phi, x);
+    let mut builder = Builder {
+        samples: 0,
+        env_nodes: 0,
+        fuel: 1_000_000,
+    };
+    let tree = evaluate(initial, &mut builder)?;
+    Ok(SymbolicTree {
+        tree,
+        sample_count: builder.samples,
+        env_count: builder.env_nodes,
+    })
+}
+
+/// Evaluates an `ATerm` to an execution tree.
+fn evaluate(term: ATerm, builder: &mut Builder) -> Result<ExecTree, TreeError> {
+    let mut current = term;
+    loop {
+        if builder.fuel == 0 {
+            return Err(TreeError::BodyDidNotNormalise);
+        }
+        builder.fuel -= 1;
+        if current.is_value() {
+            return Ok(ExecTree::Leaf);
+        }
+        match step_or_branch(current, builder)? {
+            Stepped::Continue(next) => current = next,
+            Stepped::Tree(tree) => return Ok(tree),
+        }
+    }
+}
+
+enum Stepped {
+    Continue(ATerm),
+    Tree(ExecTree),
+}
+
+/// One CbV symbolic step; branching constructs build tree nodes by recursively
+/// evaluating the continuations.
+fn step_or_branch(term: ATerm, builder: &mut Builder) -> Result<Stepped, TreeError> {
+    enum Frame {
+        AppFun(ATerm),
+        AppArg(ATerm),
+        If(ATerm, ATerm),
+        Score,
+        Prim(Prim, Vec<ATerm>, Vec<ATerm>),
+    }
+    fn plug(frames: &[Frame], mut t: ATerm) -> ATerm {
+        for frame in frames.iter().rev() {
+            t = match frame {
+                Frame::AppFun(arg) => ATerm::App(Box::new(t), Box::new(arg.clone())),
+                Frame::AppArg(fun) => ATerm::App(Box::new(fun.clone()), Box::new(t)),
+                Frame::If(a, b) => ATerm::If(Box::new(t), Box::new(a.clone()), Box::new(b.clone())),
+                Frame::Score => ATerm::Score(Box::new(t)),
+                Frame::Prim(p, prefix, suffix) => {
+                    let mut args = prefix.clone();
+                    args.push(t);
+                    args.extend(suffix.iter().cloned());
+                    ATerm::Prim(*p, args)
+                }
+            };
+        }
+        t
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut current = term;
+    loop {
+        match current {
+            ATerm::App(fun, arg) => {
+                if !fun.is_value() {
+                    frames.push(Frame::AppFun(*arg));
+                    current = *fun;
+                } else if !arg.is_value() {
+                    frames.push(Frame::AppArg(*fun));
+                    current = *arg;
+                } else {
+                    match *fun {
+                        ATerm::Lam(ref x, ref body) => {
+                            return Ok(Stepped::Continue(plug(&frames, body.subst(x, &arg))));
+                        }
+                        // A recursive call: record a μ node, outcome is unknown.
+                        ATerm::RecMarker => {
+                            let continuation = plug(&frames, ATerm::Val(GuardValue::Unknown));
+                            let rest = evaluate(continuation, builder)?;
+                            return Ok(Stepped::Tree(ExecTree::Mu(Box::new(rest))));
+                        }
+                        _ => {
+                            return Err(TreeError::IllFormed(
+                                "application of a non-function value".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+            ATerm::If(guard, then, els) => match *guard {
+                ATerm::Val(v) => {
+                    if let Some(r) = v.as_const() {
+                        let taken = if r.is_positive() { *els } else { *then };
+                        return Ok(Stepped::Continue(plug(&frames, taken)));
+                    }
+                    let then_term = plug(&frames, (*then).clone());
+                    let else_term = plug(&frames, *els);
+                    let then_tree = evaluate(then_term, builder)?;
+                    let else_tree = evaluate(else_term, builder)?;
+                    if v.mentions_unknown() {
+                        let id = builder.env_nodes;
+                        builder.env_nodes += 1;
+                        return Ok(Stepped::Tree(ExecTree::Env {
+                            id,
+                            guard: v,
+                            then: Box::new(then_tree),
+                            els: Box::new(else_tree),
+                        }));
+                    }
+                    return Ok(Stepped::Tree(ExecTree::Prob {
+                        guard: v,
+                        then: Box::new(then_tree),
+                        els: Box::new(else_tree),
+                    }));
+                }
+                ref g if g.is_value() => {
+                    return Err(TreeError::IllFormed("branching on a function value".into()))
+                }
+                _ => {
+                    frames.push(Frame::If(*then, *els));
+                    current = *guard;
+                }
+            },
+            ATerm::Score(inner) => match *inner {
+                ATerm::Val(v) => {
+                    if let Some(r) = v.as_const() {
+                        if r.is_negative() {
+                            return Ok(Stepped::Tree(ExecTree::Stuck));
+                        }
+                        return Ok(Stepped::Continue(plug(&frames, ATerm::Val(v))));
+                    }
+                    if v.mentions_unknown() {
+                        // A score whose success depends on an unknown value: be
+                        // conservative and treat the path as possibly failing.
+                        return Ok(Stepped::Tree(ExecTree::Stuck));
+                    }
+                    let rest_term = plug(&frames, ATerm::Val(v.clone()));
+                    let rest = evaluate(rest_term, builder)?;
+                    return Ok(Stepped::Tree(ExecTree::Score {
+                        value: v,
+                        rest: Box::new(rest),
+                    }));
+                }
+                ref m if m.is_value() => {
+                    return Err(TreeError::IllFormed("score of a function value".into()))
+                }
+                _ => {
+                    frames.push(Frame::Score);
+                    current = *inner;
+                }
+            },
+            ATerm::Sample => {
+                let v = GuardValue::Var(builder.samples);
+                builder.samples += 1;
+                return Ok(Stepped::Continue(plug(&frames, ATerm::Val(v))));
+            }
+            ATerm::Prim(p, mut args) => {
+                if args.iter().all(ATerm::is_value) {
+                    let values: Option<Vec<GuardValue>> = args
+                        .iter()
+                        .map(|a| match a {
+                            ATerm::Val(v) => Some(v.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    let Some(values) = values else {
+                        return Err(TreeError::IllFormed(
+                            "primitive applied to a function value".into(),
+                        ));
+                    };
+                    // Constant-fold where possible.
+                    let folded = if values.iter().all(|v| v.as_const().is_some()) {
+                        let concrete: Vec<Rational> =
+                            values.iter().map(|v| v.as_const().unwrap().clone()).collect();
+                        match p.eval(&concrete) {
+                            Some(r) => GuardValue::Const(r),
+                            None => return Ok(Stepped::Tree(ExecTree::Stuck)),
+                        }
+                    } else {
+                        GuardValue::Prim(p, values)
+                    };
+                    return Ok(Stepped::Continue(plug(&frames, ATerm::Val(folded))));
+                }
+                let i = args
+                    .iter()
+                    .position(|a| !a.is_value())
+                    .expect("some argument is not a value");
+                let suffix = args.split_off(i + 1);
+                let focus = args.pop().expect("argument at position i");
+                frames.push(Frame::Prim(p, args, suffix));
+                current = focus;
+            }
+            ATerm::Var(x) => {
+                return Err(TreeError::IllFormed(format!("free variable {x}")));
+            }
+            ATerm::Val(_) | ATerm::RecMarker | ATerm::Lam(_, _) => {
+                return Ok(Stepped::Continue(current));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probterm_spcf::catalog;
+    use probterm_spcf::parse_term;
+
+    #[test]
+    fn affine_printer_tree_has_one_prob_node_and_one_mu() {
+        let b = catalog::printer_affine(Rational::from_ratio(1, 2));
+        let tree = build_tree(&b.term).unwrap();
+        assert_eq!(tree.env_count, 0);
+        assert_eq!(tree.sample_count, 1);
+        assert_eq!(tree.tree.mu_node_count(), 1);
+        assert_eq!(tree.tree.max_mu_per_path(), 1);
+        let rendered = tree.tree.render();
+        assert!(rendered.contains("prob"));
+        assert!(rendered.contains("μ"));
+    }
+
+    #[test]
+    fn nonaffine_printer_tree_has_two_mu_nodes_on_the_failure_path() {
+        let b = catalog::printer_nonaffine(Rational::from_ratio(1, 2));
+        let tree = build_tree(&b.term).unwrap();
+        assert_eq!(tree.env_count, 0);
+        assert_eq!(tree.tree.max_mu_per_path(), 2);
+        assert_eq!(tree.tree.mu_node_count(), 2);
+    }
+
+    #[test]
+    fn tired_printer_tree_matches_figure_6a() {
+        // Ex. 5.1: one Environment node (the sig(x) branching), probabilistic
+        // branches for the p-test and the fair choice, paths with 0, 2 and 3 μ nodes.
+        let b = catalog::tired_printer(Rational::parse("0.6").unwrap());
+        let tree = build_tree(&b.term).unwrap();
+        assert_eq!(tree.env_count, 1);
+        assert_eq!(tree.tree.max_mu_per_path(), 3);
+        let rendered = tree.tree.render();
+        assert!(rendered.contains("env#0"));
+        assert!(rendered.contains("⊛"), "environment guard should mention ⊛: {rendered}");
+    }
+
+    #[test]
+    fn error_reuse_printer_has_env_and_reused_sample() {
+        let b = catalog::error_reuse_printer(Rational::parse("0.65").unwrap());
+        let tree = build_tree(&b.term).unwrap();
+        assert_eq!(tree.env_count, 1);
+        assert_eq!(tree.tree.max_mu_per_path(), 3);
+        // Samples: e, the sig-test sample, the e-test sample.
+        assert_eq!(tree.sample_count, 3);
+    }
+
+    #[test]
+    fn guards_on_the_argument_become_environment_nodes() {
+        // The 1dRW guard x ≤ 0 depends on ⊛ and must be Environment-resolved.
+        let b = catalog::random_walk_1d(Rational::from_ratio(1, 2), 1);
+        let tree = build_tree(&b.term).unwrap();
+        assert!(tree.env_count >= 1);
+        assert!(tree.tree.max_mu_per_path() >= 1);
+    }
+
+    #[test]
+    fn rejects_non_fixpoint_terms() {
+        assert_eq!(
+            build_tree(&parse_term("1 + 2").unwrap()),
+            Err(TreeError::NotFirstOrderFixpoint)
+        );
+        let higher = parse_term("fix phi x. lam d. phi x d").unwrap();
+        assert_eq!(build_tree(&higher), Err(TreeError::NotFirstOrderFixpoint));
+    }
+
+    #[test]
+    fn stuck_scores_produce_stuck_leaves() {
+        let t = parse_term("(fix phi x. if sample <= 1/2 then score(0-1) else phi x) 0").unwrap();
+        let tree = build_tree(&t).unwrap();
+        let rendered = tree.tree.render();
+        assert!(rendered.contains("stuck"));
+    }
+
+    #[test]
+    fn guard_value_affine_views() {
+        let g = GuardValue::Prim(
+            Prim::Sub,
+            vec![GuardValue::Var(0), GuardValue::Const(Rational::from_ratio(3, 5))],
+        );
+        let (coeffs, k) = g.as_affine(1).unwrap();
+        assert_eq!(coeffs, vec![Rational::one()]);
+        assert_eq!(k, Rational::from_ratio(-3, 5));
+        assert!(!g.mentions_unknown());
+        let h = GuardValue::Prim(Prim::Sub, vec![GuardValue::Var(0), GuardValue::Unknown]);
+        assert!(h.mentions_unknown());
+        assert!(h.as_affine(1).is_none());
+        assert!(format!("{h}").contains("⊛"));
+    }
+}

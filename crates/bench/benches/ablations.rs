@@ -1,0 +1,87 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **Exact polytope volumes vs. box-splitting sweep** for the same path
+//!   regions (the lower-bound engine uses the former whenever path constraints
+//!   are affine; this ablation quantifies the cost/precision trade-off).
+//! * **Exploration depth scaling** of the lower-bound engine on the geometric
+//!   benchmark (the "anytime" axis of Table 1).
+//! * **Strategy enumeration cost** as the number of Environment nodes grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probterm_intervalsem::{explore, lower_bound, ExplorationConfig, LowerBoundConfig};
+use probterm_numerics::Rational;
+use probterm_spcf::{catalog, parse_term};
+
+/// Exact volume vs. box sweep on the triangle region of Ex. 3.5.
+fn bench_volume_vs_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_volume_vs_sweep");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let term = catalog::triangle_example().term;
+    let exploration = explore(
+        &term,
+        &ExplorationConfig {
+            max_steps_per_path: 25,
+            max_paths: 100,
+        },
+    );
+    let path = exploration
+        .terminated
+        .into_iter()
+        .find(|p| p.sample_count == 2)
+        .expect("the no-recursion path of Ex. 3.5");
+    group.bench_function("exact_polytope_volume", |b| {
+        b.iter(|| path.exact_probability().expect("affine path"))
+    });
+    for boxes in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("box_sweep", boxes), &boxes, |b, &boxes| {
+            b.iter(|| path.box_lower_bound(boxes))
+        });
+    }
+    group.finish();
+}
+
+/// Lower-bound depth scaling on geo(1/2).
+fn bench_depth_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_depth_scaling_geo");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let geo = catalog::geometric(Rational::from_ratio(1, 2)).term;
+    for depth in [20usize, 40, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| lower_bound(&geo, &LowerBoundConfig::with_depth(depth)))
+        });
+    }
+    group.finish();
+}
+
+/// Strategy-enumeration cost as the number of environment nodes grows.
+fn bench_strategy_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_strategy_enumeration");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    // k nested ⊛-dependent branches produce 2^k strategies.
+    for k in [1usize, 2, 4] {
+        let mut body = String::from("x");
+        for _ in 0..k {
+            body = format!("(if sig(x) <= 1/2 then phi (x+1) else {body})");
+        }
+        let src = format!("(fix phi x. if sample <= 3/4 then x else {body}) 1");
+        let term = parse_term(&src).expect("generated benchmark parses");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &term, |b, term| {
+            b.iter(|| probterm_astver::verify_ast(term).expect("supported"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_volume_vs_sweep,
+    bench_depth_scaling,
+    bench_strategy_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark regenerating Figure 6: the stochastic symbolic
+//! execution tree of the running example (Ex. 5.1, Fig. 6a) and the
+//! enumeration of all Environment strategies with their polytope volumes
+//! (Fig. 6b), i.e. the full automated proof-system pipeline of §6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use probterm_astver::{build_tree, verify_ast};
+use probterm_numerics::Rational;
+use probterm_spcf::catalog;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_symbolic_execution_trees");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    // Fig. 6a: building the symbolic execution tree of Ex. 5.1.
+    let tired = catalog::tired_printer(Rational::parse("0.6").unwrap());
+    group.bench_function("build_tree(Ex 5.1)", |b| {
+        b.iter(|| {
+            let tree = build_tree(&tired.term).expect("supported benchmark");
+            assert!(tree.env_count >= 1, "Ex. 5.1 has an argument-dependent branch");
+            tree
+        })
+    });
+    let printer = catalog::printer_nonaffine(Rational::from_ratio(1, 2));
+    group.bench_function("build_tree(Ex 1.1 (2))", |b| {
+        b.iter(|| build_tree(&printer.term).expect("supported benchmark"))
+    });
+
+    // Fig. 6b: enumerating every Environment strategy, computing each path
+    // volume, assembling P_approx and deciding AST.
+    group.bench_function("strategies_and_papprox(Ex 5.1)", |b| {
+        b.iter(|| {
+            let verification = verify_ast(&tired.term).expect("supported benchmark");
+            assert!(verification.strategies >= 2, "Fig. 6b enumerates several strategies");
+            assert!(verification.verified_ast);
+            verification
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

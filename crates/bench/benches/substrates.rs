@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the substrates every analysis is built on: exact
+//! rational arithmetic, exact polytope volumes (the §7.2 volume oracle),
+//! random-walk decisions and matrix powers (§5.1), and branching-process
+//! extinction probabilities. These quantify where the wall-clock time of the
+//! table benchmarks goes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probterm_numerics::Rational;
+use probterm_polytope::Polytope;
+use probterm_rwalk::{GeneratingFunction, CountingDistribution, StepDistribution, WalkMatrix};
+
+fn bench_rational(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_rational_arithmetic");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("harmonic_sum_300_terms", |b| {
+        b.iter(|| {
+            let mut total = Rational::zero();
+            for k in 1..=300i64 {
+                total += Rational::from_ratio(1, k);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_polytope_volume(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_polytope_volume");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for dimension in [2usize, 3, 4, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("unit_simplex", dimension),
+            &dimension,
+            |b, &dimension| {
+                b.iter(|| {
+                    // {x ∈ [0,1]^d | Σ x_i ≤ 1} has volume 1/d!.
+                    let mut polytope = Polytope::unit_cube(dimension);
+                    polytope.add_constraint(vec![Rational::one(); dimension], Rational::one());
+                    let volume = polytope.volume();
+                    let factorial: i64 = (1..=dimension as i64).product();
+                    assert_eq!(volume, Rational::from_ratio(1, factorial));
+                    volume
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_random_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_random_walks");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let fair = StepDistribution::from_pairs([
+        (-1, Rational::from_ratio(1, 2)),
+        (1, Rational::from_ratio(1, 2)),
+    ]);
+    group.bench_function("theorem_5_4_decision", |b| {
+        b.iter(|| {
+            assert!(fair.is_ast());
+            fair.ast_violations()
+        })
+    });
+    group.bench_function("exact_matrix_power_200_steps", |b| {
+        let walk = WalkMatrix::new(&fair, 48);
+        b.iter(|| walk.absorption_within(1, 200))
+    });
+    group.bench_function("extinction_probability_gr", |b| {
+        let gr = CountingDistribution::from_pairs([
+            (0, Rational::from_ratio(1, 2)),
+            (3, Rational::from_ratio(1, 2)),
+        ]);
+        let generating = GeneratingFunction::new(&gr);
+        b.iter(|| generating.extinction_probability_f64(1e-12, 100_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rational, bench_polytope_volume, bench_random_walks);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark regenerating (a scaled-down version of) Table 1.
+//!
+//! Each benchmark measures the full lower-bound pipeline — symbolic
+//! exploration, exact polytope volumes and box-splitting sweeps — for one row
+//! of the paper's Table 1. The depths are the paper's depths divided by four
+//! (and by eight for the Criterion run) so that a full run stays fast; the `table1`
+//! binary runs the full-depth version and prints the actual bounds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use probterm_bench::{scaled_depths, table1_row};
+use probterm_spcf::catalog;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_lower_bounds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let depths = scaled_depths(8);
+    for (benchmark, depth) in catalog::table1_benchmarks().into_iter().zip(depths) {
+        group.bench_function(benchmark.name.clone(), |b| {
+            b.iter(|| {
+                let row = table1_row(&benchmark, depth);
+                assert!(row.lower_bound_f64 >= 0.0);
+                row
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmark regenerating Table 2 (AST verification).
+//!
+//! Each benchmark measures the complete verification pipeline for one row of
+//! the paper's Table 2: building the symbolic execution tree, enumerating all
+//! Environment strategies, computing the exact polytope volume of every path,
+//! assembling `P_approx` and deciding AST via Theorem 5.4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use probterm_astver::verify_ast;
+use probterm_spcf::catalog;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_ast_verification");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for benchmark in catalog::table2_benchmarks() {
+        group.bench_function(benchmark.name.clone(), |b| {
+            b.iter(|| {
+                let verification = verify_ast(&benchmark.term).expect("supported benchmark");
+                assert!(verification.verified_ast, "{} must verify", benchmark.name);
+                verification
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Table 1 of the paper: lower bounds on the probability of
+//! termination for the ten benchmark programs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p probterm-bench --bin table1 [scale] [--json]
+//! ```
+//!
+//! `scale` divides the paper's exploration depths (default 1 = full depths;
+//! use e.g. `4` for a quick run). With `--json` the rows are also printed as
+//! JSON for further processing.
+
+use probterm_bench::{render_table1, scaled_depths, table1, table1_depths};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let scale: usize = args
+        .iter()
+        .find(|a| *a != "--json")
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let depths = if scale <= 1 { table1_depths() } else { scaled_depths(scale) };
+    eprintln!("computing Table 1 (lower bounds) at depths {depths:?} ...");
+    let rows = table1(&depths);
+    println!("{}", render_table1(&rows));
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable rows"));
+    }
+}

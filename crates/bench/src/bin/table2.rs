@@ -1,0 +1,21 @@
+//! Regenerates Table 2 of the paper: automated AST verification of the five
+//! non-affine recursive benchmark programs, reporting the computed counting
+//! distribution `P_approx`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p probterm-bench --bin table2 [--json]
+//! ```
+
+use probterm_bench::{render_table2, table2};
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    eprintln!("computing Table 2 (AST verification) ...");
+    let rows = table2();
+    println!("{}", render_table2(&rows));
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serialisable rows"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Benchmark harness regenerating the paper's evaluation (Tables 1 and 2).
+//!
+//! The library part of this crate contains the row-generation logic shared by
+//! the `table1` / `table2` binaries and the Criterion benchmarks, so that the
+//! printed tables and the timed benchmarks are guaranteed to measure exactly
+//! the same computations.
+
+#![warn(missing_docs)]
+
+use probterm_astver::verify_ast;
+use probterm_intervalsem::{lower_bound, LowerBoundConfig};
+use probterm_spcf::catalog::{self, Benchmark};
+use serde::Serialize;
+
+/// A row of Table 1 (lower-bound computation).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub term: String,
+    /// The true probability of termination, when known.
+    pub pterm: Option<f64>,
+    /// The computed lower bound (decimal, 10 digits, truncated).
+    pub lower_bound: String,
+    /// The computed lower bound as a float (for quick comparisons).
+    pub lower_bound_f64: f64,
+    /// Lower bound on the expected number of reduction steps of terminating runs.
+    pub expected_steps_lb: f64,
+    /// Exploration depth used.
+    pub depth: usize,
+    /// Number of terminating symbolic paths found.
+    pub paths: usize,
+    /// Wall-clock time in milliseconds.
+    pub time_ms: u128,
+}
+
+/// A row of Table 2 (AST verification).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub term: String,
+    /// The computed counting distribution `P_approx`, rendered.
+    pub papprox: String,
+    /// Whether AST was verified.
+    pub verified: bool,
+    /// Number of Environment strategies enumerated.
+    pub strategies: usize,
+    /// Wall-clock time in milliseconds.
+    pub time_ms: u128,
+}
+
+/// The exploration depths used for Table 1, mirroring the `d` column of the
+/// paper (same order as [`catalog::table1_benchmarks`]). The pedestrian model
+/// uses a shallower depth, as in the paper.
+pub fn table1_depths() -> Vec<usize> {
+    vec![100, 200, 200, 150, 80, 90, 90, 80, 100, 40]
+}
+
+/// Depths scaled down by `factor` (for quick runs and the Criterion benches).
+pub fn scaled_depths(factor: usize) -> Vec<usize> {
+    table1_depths()
+        .into_iter()
+        .map(|d| (d / factor).max(10))
+        .collect()
+}
+
+/// Computes one Table 1 row.
+pub fn table1_row(benchmark: &Benchmark, depth: usize) -> Table1Row {
+    let result = lower_bound(&benchmark.term, &LowerBoundConfig::with_depth(depth));
+    Table1Row {
+        term: benchmark.name.clone(),
+        pterm: benchmark.expected_pterm,
+        lower_bound: result.probability.to_decimal_string(10),
+        lower_bound_f64: result.probability.to_f64(),
+        expected_steps_lb: result.expected_steps.to_f64(),
+        depth,
+        paths: result.paths,
+        time_ms: result.elapsed.as_millis(),
+    }
+}
+
+/// Computes every row of Table 1 at the given depths (falling back to the
+/// paper's depths when `depths` is shorter than the benchmark list).
+pub fn table1(depths: &[usize]) -> Vec<Table1Row> {
+    let defaults = table1_depths();
+    catalog::table1_benchmarks()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let depth = depths.get(i).copied().unwrap_or(defaults[i]);
+            table1_row(b, depth)
+        })
+        .collect()
+}
+
+/// Computes one Table 2 row.
+pub fn table2_row(benchmark: &Benchmark) -> Table2Row {
+    match verify_ast(&benchmark.term) {
+        Ok(v) => Table2Row {
+            term: benchmark.name.clone(),
+            papprox: v.papprox.to_string(),
+            verified: v.verified_ast,
+            strategies: v.strategies,
+            time_ms: v.elapsed.as_millis(),
+        },
+        Err(e) => Table2Row {
+            term: benchmark.name.clone(),
+            papprox: format!("error: {e}"),
+            verified: false,
+            strategies: 0,
+            time_ms: 0,
+        },
+    }
+}
+
+/// Computes every row of Table 2.
+pub fn table2() -> Vec<Table2Row> {
+    catalog::table2_benchmarks().iter().map(table2_row).collect()
+}
+
+/// Renders Table 1 rows as an aligned text table.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>14} {:>12} {:>6} {:>8} {:>9}\n",
+        "term", "Pterm", "LB", "E-steps LB", "d", "paths", "t (ms)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>14} {:>12.4} {:>6} {:>8} {:>9}\n",
+            r.term,
+            r.pterm.map(|p| format!("{p:.4}")).unwrap_or_else(|| "?".into()),
+            r.lower_bound,
+            r.expected_steps_lb,
+            r.depth,
+            r.paths,
+            r.time_ms
+        ));
+    }
+    out
+}
+
+/// Renders Table 2 rows as an aligned text table.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<52} {:>9} {:>11} {:>9}\n",
+        "term", "P_approx", "AST", "strategies", "t (ms)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:<52} {:>9} {:>11} {:>9}\n",
+            r.term,
+            r.papprox,
+            if r.verified { "verified" } else { "no" },
+            r.strategies,
+            r.time_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table1_rows_are_sound() {
+        let rows = table1(&scaled_depths(4));
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            if let Some(p) = r.pterm {
+                assert!(
+                    r.lower_bound_f64 <= p + 1e-9,
+                    "{}: {} > {}",
+                    r.term,
+                    r.lower_bound_f64,
+                    p
+                );
+            }
+            assert!(r.lower_bound_f64 >= 0.0);
+        }
+        let rendered = render_table1(&rows);
+        assert!(rendered.contains("geo"));
+        assert!(rendered.contains("pedestrian"));
+    }
+
+    #[test]
+    fn table2_rows_match_the_paper() {
+        let rows = table2();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.verified), "{rows:?}");
+        assert!(rows[0].papprox.contains("δ0"));
+        assert!(rows[1].papprox.contains("δ2"));
+        assert!(rows[2].papprox.contains("δ3"));
+        let rendered = render_table2(&rows);
+        assert!(rendered.contains("verified"));
+        // Serialisable for the JSON report.
+        let json = serde_json::to_string(&rows).unwrap();
+        assert!(json.contains("papprox"));
+    }
+}

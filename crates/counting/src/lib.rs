@@ -1,0 +1,721 @@
+//! Counting-based recursion analysis (paper §5.2–§5.4, App. D.3–D.4).
+//!
+//! For a first-order fixpoint program `μφ x. M` (call-by-value, no nested
+//! recursion) this crate provides:
+//!
+//! * the **★-reduction** of Fig. 5 — evaluation of the instantiated body
+//!   `body(r) = M[r/x, μ/φ]` in which the outcome of every recursive call is
+//!   replaced by the unknown numeral ★ while the number of calls is counted;
+//! * **empirical counting patterns** `⦃μφ x.M | r⦄` (Definition 5.7) obtained
+//!   by Monte-Carlo sampling of the ★-reduction, used to cross-validate the
+//!   exact `P_approx` computed by the `probterm-astver` crate;
+//! * the **recursive-rank upper bound** via a non-idempotent-intersection-style
+//!   call-site count (Lemma D.9), feeding Corollary 5.13;
+//! * the **guard-independence (progress) type system** of App. D.3 with the
+//!   restricted type `R⊤` for recursive outcomes, which guarantees that the
+//!   ★-reduction never gets stuck on `if(★, …)` or `score(★)`.
+
+#![warn(missing_docs)]
+
+mod summary;
+
+pub use summary::{
+    summary_run, tree_family_weight, NumberTree, SummaryEntry, SummaryOutcome,
+};
+
+use probterm_numerics::Rational;
+use probterm_rwalk::CountingDistribution;
+use probterm_spcf::{ident, Ident, Prim, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors reported by the counting analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountingError {
+    /// The term is not of the shape `μφ x. M` with first-order type and no
+    /// nested recursion (required by §5.2).
+    NotFirstOrderFixpoint,
+    /// The guard-independence type system rejected the body.
+    GuardDependsOnRecursion(String),
+}
+
+impl fmt::Display for CountingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountingError::NotFirstOrderFixpoint => {
+                write!(f, "expected a first-order fixpoint μφ x. M without nested recursion")
+            }
+            CountingError::GuardDependsOnRecursion(what) => {
+                write!(f, "recursive outcome may influence control flow: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CountingError {}
+
+/// Checks the program shape required by the counting analysis and returns the
+/// binder names and body.
+///
+/// # Errors
+///
+/// Returns [`CountingError::NotFirstOrderFixpoint`] on other terms.
+pub fn as_first_order_fixpoint(term: &Term) -> Result<(&Ident, &Ident, &Term), CountingError> {
+    if !probterm_spcf::is_first_order_fixpoint(term) {
+        return Err(CountingError::NotFirstOrderFixpoint);
+    }
+    match term {
+        Term::Fix(phi, x, body) => Ok((phi, x, body)),
+        _ => Err(CountingError::NotFirstOrderFixpoint),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ★-reduction (Fig. 5)
+// ---------------------------------------------------------------------------
+
+/// Terms of the ★-instrumented calculus: SPCF plus the unknown numeral `★`
+/// and the recursion marker `μ`.
+#[derive(Debug, Clone, PartialEq)]
+enum StarTerm {
+    Star,
+    RecMarker,
+    Var(Ident),
+    Num(Rational),
+    Lam(Ident, Box<StarTerm>),
+    App(Box<StarTerm>, Box<StarTerm>),
+    If(Box<StarTerm>, Box<StarTerm>, Box<StarTerm>),
+    Prim(Prim, Vec<StarTerm>),
+    Sample,
+    Score(Box<StarTerm>),
+}
+
+impl StarTerm {
+    /// Builds `body(r) = M[r/x, μ/φ]` as a ★-term.
+    fn instantiate(body: &Term, phi: &Ident, x: &Ident, argument: &Rational) -> StarTerm {
+        fn embed(t: &Term, phi: &Ident, x: &Ident, argument: &Rational) -> StarTerm {
+            match t {
+                Term::Var(y) if y == phi => StarTerm::RecMarker,
+                Term::Var(y) if y == x => StarTerm::Num(argument.clone()),
+                Term::Var(y) => StarTerm::Var(y.clone()),
+                Term::Num(r) => StarTerm::Num(r.clone()),
+                Term::Lam(y, b) => {
+                    // A binder shadowing the fixpoint binders stops the substitution.
+                    let inner_phi = if y == phi { ident("#shadowed-phi") } else { phi.clone() };
+                    let inner_x = if y == x { ident("#shadowed-x") } else { x.clone() };
+                    StarTerm::Lam(y.clone(), Box::new(embed(b, &inner_phi, &inner_x, argument)))
+                }
+                Term::Fix(_, _, _) => {
+                    unreachable!("nested recursion is excluded by as_first_order_fixpoint")
+                }
+                Term::App(f, a) => StarTerm::App(
+                    Box::new(embed(f, phi, x, argument)),
+                    Box::new(embed(a, phi, x, argument)),
+                ),
+                Term::If(g, t1, t2) => StarTerm::If(
+                    Box::new(embed(g, phi, x, argument)),
+                    Box::new(embed(t1, phi, x, argument)),
+                    Box::new(embed(t2, phi, x, argument)),
+                ),
+                Term::Prim(p, args) => StarTerm::Prim(
+                    *p,
+                    args.iter().map(|a| embed(a, phi, x, argument)).collect(),
+                ),
+                Term::Sample => StarTerm::Sample,
+                Term::Score(m) => StarTerm::Score(Box::new(embed(m, phi, x, argument))),
+            }
+        }
+        embed(body, phi, x, argument)
+    }
+
+    fn is_value(&self) -> bool {
+        matches!(
+            self,
+            StarTerm::Star
+                | StarTerm::RecMarker
+                | StarTerm::Var(_)
+                | StarTerm::Num(_)
+                | StarTerm::Lam(_, _)
+        )
+    }
+
+    fn subst(&self, x: &Ident, replacement: &StarTerm) -> StarTerm {
+        match self {
+            StarTerm::Var(y) => {
+                if y == x {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            StarTerm::Star | StarTerm::RecMarker | StarTerm::Num(_) | StarTerm::Sample => {
+                self.clone()
+            }
+            StarTerm::Lam(y, b) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    StarTerm::Lam(y.clone(), Box::new(b.subst(x, replacement)))
+                }
+            }
+            StarTerm::App(f, a) => StarTerm::App(
+                Box::new(f.subst(x, replacement)),
+                Box::new(a.subst(x, replacement)),
+            ),
+            StarTerm::If(g, t, e) => StarTerm::If(
+                Box::new(g.subst(x, replacement)),
+                Box::new(t.subst(x, replacement)),
+                Box::new(e.subst(x, replacement)),
+            ),
+            StarTerm::Prim(p, args) => {
+                StarTerm::Prim(*p, args.iter().map(|a| a.subst(x, replacement)).collect())
+            }
+            StarTerm::Score(m) => StarTerm::Score(Box::new(m.subst(x, replacement))),
+        }
+    }
+}
+
+/// The outcome of a ★-reduction run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StarOutcome {
+    /// The body evaluated to a value after making the given number of
+    /// recursive calls from distinct call sites.
+    Terminated {
+        /// Number of recursive calls made.
+        calls: u64,
+    },
+    /// The reduction got stuck (e.g. `if(★, …)`, negative `score`, domain error).
+    Stuck,
+    /// The step budget was exhausted.
+    OutOfFuel,
+}
+
+/// Runs the ★-reduction of `body(argument)` on random samples, returning the
+/// number of recursive calls made (Fig. 5 / Definition 5.7).
+fn star_run<R: Rng>(
+    body: &Term,
+    phi: &Ident,
+    x: &Ident,
+    argument: &Rational,
+    rng: &mut R,
+    max_steps: usize,
+) -> StarOutcome {
+    let mut current = StarTerm::instantiate(body, phi, x, argument);
+    let mut calls = 0u64;
+    for _ in 0..max_steps {
+        if current.is_value() {
+            return StarOutcome::Terminated { calls };
+        }
+        match star_step(current, &mut calls, rng) {
+            Ok(next) => current = next,
+            Err(()) => return StarOutcome::Stuck,
+        }
+    }
+    if current.is_value() {
+        StarOutcome::Terminated { calls }
+    } else {
+        StarOutcome::OutOfFuel
+    }
+}
+
+/// One CbV step of the ★-reduction.
+fn star_step<R: Rng>(term: StarTerm, calls: &mut u64, rng: &mut R) -> Result<StarTerm, ()> {
+    enum Frame {
+        AppFun(StarTerm),
+        AppArg(StarTerm),
+        If(StarTerm, StarTerm),
+        Score,
+        Prim(Prim, Vec<StarTerm>, Vec<StarTerm>),
+    }
+    fn plug(frames: Vec<Frame>, mut t: StarTerm) -> StarTerm {
+        for frame in frames.into_iter().rev() {
+            t = match frame {
+                Frame::AppFun(arg) => StarTerm::App(Box::new(t), Box::new(arg)),
+                Frame::AppArg(fun) => StarTerm::App(Box::new(fun), Box::new(t)),
+                Frame::If(a, b) => StarTerm::If(Box::new(t), Box::new(a), Box::new(b)),
+                Frame::Score => StarTerm::Score(Box::new(t)),
+                Frame::Prim(p, mut prefix, suffix) => {
+                    prefix.push(t);
+                    prefix.extend(suffix);
+                    StarTerm::Prim(p, prefix)
+                }
+            };
+        }
+        t
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut current = term;
+    loop {
+        match current {
+            StarTerm::App(fun, arg) => {
+                if !fun.is_value() {
+                    frames.push(Frame::AppFun(*arg));
+                    current = *fun;
+                } else if !arg.is_value() {
+                    frames.push(Frame::AppArg(*fun));
+                    current = *arg;
+                } else {
+                    match *fun {
+                        StarTerm::Lam(ref x, ref body) => {
+                            return Ok(plug(frames, body.subst(x, &arg)));
+                        }
+                        // ⟨μ V, s, n⟩ → ⟨★, s, n+1⟩ (Fig. 5)
+                        StarTerm::RecMarker => {
+                            *calls += 1;
+                            return Ok(plug(frames, StarTerm::Star));
+                        }
+                        _ => return Err(()),
+                    }
+                }
+            }
+            StarTerm::If(guard, then, els) => match *guard {
+                StarTerm::Num(ref r) => {
+                    let taken = if r.is_positive() { *els } else { *then };
+                    return Ok(plug(frames, taken));
+                }
+                // Branching on the unknown numeral ★ is stuck (the progress
+                // type system of App. D.3 rules this out statically).
+                StarTerm::Star => return Err(()),
+                ref g if g.is_value() => return Err(()),
+                _ => {
+                    frames.push(Frame::If(*then, *els));
+                    current = *guard;
+                }
+            },
+            StarTerm::Score(inner) => match *inner {
+                StarTerm::Num(r) => {
+                    if r.is_negative() {
+                        return Err(());
+                    }
+                    return Ok(plug(frames, StarTerm::Num(r)));
+                }
+                StarTerm::Star => return Err(()),
+                ref m if m.is_value() => return Err(()),
+                _ => {
+                    frames.push(Frame::Score);
+                    current = *inner;
+                }
+            },
+            StarTerm::Sample => {
+                let v: f64 = rng.gen_range(0.0..1.0);
+                return Ok(plug(frames, StarTerm::Num(Rational::from_f64_exact(v))));
+            }
+            StarTerm::Prim(p, mut args) => {
+                // ⟨f(V₁,…,★,…), s, n⟩ → ⟨★, s, n⟩: ★ is absorbing for primitives.
+                if args.iter().all(StarTerm::is_value) {
+                    if args.iter().any(|a| matches!(a, StarTerm::Star)) {
+                        return Ok(plug(frames, StarTerm::Star));
+                    }
+                    let values: Option<Vec<Rational>> = args
+                        .iter()
+                        .map(|a| match a {
+                            StarTerm::Num(r) => Some(r.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    let Some(values) = values else { return Err(()) };
+                    return match p.eval(&values) {
+                        Some(r) => Ok(plug(frames, StarTerm::Num(r))),
+                        None => Err(()),
+                    };
+                }
+                let i = args
+                    .iter()
+                    .position(|a| !a.is_value())
+                    .expect("some argument is not a value");
+                let suffix = args.split_off(i + 1);
+                let focus = args.pop().expect("argument at position i");
+                frames.push(Frame::Prim(p, args, suffix));
+                current = focus;
+            }
+            StarTerm::Var(_)
+            | StarTerm::Num(_)
+            | StarTerm::Lam(_, _)
+            | StarTerm::Star
+            | StarTerm::RecMarker => return Err(()),
+        }
+    }
+}
+
+/// An empirical counting pattern obtained by Monte-Carlo sampling of the
+/// ★-reduction (used to cross-validate the exact analysis of `probterm-astver`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmpiricalCountingPattern {
+    /// Number of runs performed.
+    pub runs: usize,
+    /// Number of runs that got stuck or ran out of fuel.
+    pub failed_runs: usize,
+    /// Histogram of call counts over successful runs.
+    pub histogram: BTreeMap<u64, usize>,
+}
+
+impl EmpiricalCountingPattern {
+    /// The empirical probability of making exactly `n` recursive calls.
+    pub fn frequency(&self, n: u64) -> f64 {
+        *self.histogram.get(&n).unwrap_or(&0) as f64 / self.runs as f64
+    }
+
+    /// Converts the histogram into a [`CountingDistribution`] with rational
+    /// frequencies `count / runs`.
+    pub fn to_distribution(&self) -> CountingDistribution {
+        CountingDistribution::from_pairs(
+            self.histogram
+                .iter()
+                .map(|(n, c)| (*n, Rational::from_ratio(*c as i64, self.runs as i64))),
+        )
+    }
+
+    /// The largest observed call count.
+    pub fn max_calls(&self) -> Option<u64> {
+        self.histogram.keys().next_back().copied()
+    }
+}
+
+/// Estimates the counting pattern `⦃μφ x.M | argument⦄` of Definition 5.7 by
+/// running the ★-reduction `runs` times on uniformly random traces.
+///
+/// # Errors
+///
+/// Returns an error if the term is not a first-order fixpoint.
+pub fn empirical_counting_pattern(
+    term: &Term,
+    argument: &Rational,
+    runs: usize,
+    seed: u64,
+) -> Result<EmpiricalCountingPattern, CountingError> {
+    let (phi, x, body) = as_first_order_fixpoint(term)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut histogram: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut failed = 0usize;
+    for _ in 0..runs {
+        match star_run(body, phi, x, argument, &mut rng, 100_000) {
+            StarOutcome::Terminated { calls } => *histogram.entry(calls).or_insert(0) += 1,
+            StarOutcome::Stuck | StarOutcome::OutOfFuel => failed += 1,
+        }
+    }
+    Ok(EmpiricalCountingPattern {
+        runs,
+        failed_runs: failed,
+        histogram,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Recursive rank (§5.4, App. D.4)
+// ---------------------------------------------------------------------------
+
+/// An upper bound on the *recursive rank* of a first-order fixpoint: the
+/// maximal number of call sites from which recursive calls are made in any
+/// single evaluation of the body.
+///
+/// The bound is the one delivered by the non-idempotent intersection type
+/// system of App. D.4 specialised to first-order bodies: along any control
+/// path the number of applications of `φ` is counted, conditionals take the
+/// maximum over their branches, and all other constructs sum the counts of
+/// their subterms.
+///
+/// # Errors
+///
+/// Returns an error if the term is not a first-order fixpoint.
+pub fn recursive_rank_bound(term: &Term) -> Result<u64, CountingError> {
+    let (phi, _x, body) = as_first_order_fixpoint(term)?;
+    Ok(count_calls(body, phi))
+}
+
+fn count_calls(term: &Term, phi: &Ident) -> u64 {
+    match term {
+        Term::Var(_) | Term::Num(_) | Term::Sample => 0,
+        Term::App(f, a) => {
+            let base = count_calls(f, phi) + count_calls(a, phi);
+            if matches!(&**f, Term::Var(y) if y == phi) {
+                base + 1
+            } else {
+                base
+            }
+        }
+        Term::If(g, t, e) => count_calls(g, phi) + count_calls(t, phi).max(count_calls(e, phi)),
+        Term::Prim(_, args) => args.iter().map(|a| count_calls(a, phi)).sum(),
+        Term::Score(m) => count_calls(m, phi),
+        Term::Lam(y, b) => {
+            if y == phi {
+                0
+            } else {
+                count_calls(b, phi)
+            }
+        }
+        Term::Fix(p, y, b) => {
+            if p == phi || y == phi {
+                0
+            } else {
+                count_calls(b, phi)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guard independence / progress type system (App. D.3)
+// ---------------------------------------------------------------------------
+
+/// The simple types of the progress system: `R`, the restricted `R⊤` of
+/// recursive outcomes, and arrows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PTy {
+    Real,
+    RealTop,
+    Arrow(Box<PTy>, Box<PTy>),
+}
+
+/// Checks the guard-independence property of App. D.3: in the body of the
+/// fixpoint, the outcome of a recursive call (type `R⊤`) never flows into the
+/// guard of a conditional or the argument of `score`.
+///
+/// This is a sound, syntax-directed implementation of the type system of
+/// Fig. 17: a term is assigned `R⊤` as soon as a recursive outcome may reach
+/// it, and guards / score arguments are required to have the unrestricted
+/// type `R`.
+///
+/// # Errors
+///
+/// Returns an error describing the offending construct, or
+/// [`CountingError::NotFirstOrderFixpoint`] for other terms.
+pub fn check_guard_independence(term: &Term) -> Result<(), CountingError> {
+    let (phi, x, body) = as_first_order_fixpoint(term)?;
+    let mut env: Vec<(Ident, PTy)> = vec![
+        (
+            phi.clone(),
+            PTy::Arrow(Box::new(PTy::RealTop), Box::new(PTy::RealTop)),
+        ),
+        (x.clone(), PTy::Real),
+    ];
+    infer_p(body, &mut env).map(|_| ())
+}
+
+fn infer_p(term: &Term, env: &mut Vec<(Ident, PTy)>) -> Result<PTy, CountingError> {
+    match term {
+        Term::Num(_) | Term::Sample => Ok(PTy::Real),
+        Term::Var(y) => env
+            .iter()
+            .rev()
+            .find(|(name, _)| name == y)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| CountingError::GuardDependsOnRecursion(format!("unbound variable {y}"))),
+        Term::Lam(y, b) => {
+            // The argument of a locally defined function may receive a
+            // recursive outcome, so it is conservatively typed R⊤ (R ⊑ R⊤).
+            env.push((y.clone(), PTy::RealTop));
+            let result = infer_p(b, env)?;
+            env.pop();
+            Ok(PTy::Arrow(Box::new(PTy::RealTop), Box::new(result)))
+        }
+        Term::Fix(_, _, _) => Err(CountingError::NotFirstOrderFixpoint),
+        Term::App(f, a) => {
+            // `let`-style redexes (λy. body) arg are typed precisely: the bound
+            // variable gets the type of the argument, so e.g. `let e = sample in
+            // if e ≤ p …` (Ex. 5.15) is accepted.
+            if let Term::Lam(y, body) = &**f {
+                let a_ty = infer_p(a, env)?;
+                env.push((y.clone(), a_ty));
+                let result = infer_p(body, env)?;
+                env.pop();
+                return Ok(result);
+            }
+            let f_ty = infer_p(f, env)?;
+            let _a_ty = infer_p(a, env)?;
+            match f_ty {
+                PTy::Arrow(_, result) => Ok(*result),
+                PTy::Real | PTy::RealTop => Err(CountingError::GuardDependsOnRecursion(
+                    "application of a base-type value".into(),
+                )),
+            }
+        }
+        Term::If(g, t, e) => {
+            let g_ty = infer_p(g, env)?;
+            if g_ty != PTy::Real {
+                return Err(CountingError::GuardDependsOnRecursion(format!(
+                    "conditional guard `{g}` may depend on a recursive outcome"
+                )));
+            }
+            let t_ty = infer_p(t, env)?;
+            let e_ty = infer_p(e, env)?;
+            Ok(join(t_ty, e_ty))
+        }
+        Term::Prim(_, args) => {
+            let mut tainted = false;
+            for a in args {
+                match infer_p(a, env)? {
+                    PTy::Real => {}
+                    PTy::RealTop => tainted = true,
+                    PTy::Arrow(_, _) => {
+                        return Err(CountingError::GuardDependsOnRecursion(
+                            "function used as primitive argument".into(),
+                        ))
+                    }
+                }
+            }
+            Ok(if tainted { PTy::RealTop } else { PTy::Real })
+        }
+        Term::Score(m) => {
+            let ty = infer_p(m, env)?;
+            if ty != PTy::Real {
+                return Err(CountingError::GuardDependsOnRecursion(format!(
+                    "score argument `{m}` may depend on a recursive outcome"
+                )));
+            }
+            Ok(PTy::Real)
+        }
+    }
+}
+
+fn join(a: PTy, b: PTy) -> PTy {
+    match (a, b) {
+        (PTy::Real, PTy::Real) => PTy::Real,
+        (PTy::Arrow(a1, b1), PTy::Arrow(_, b2)) => PTy::Arrow(a1, Box::new(join(*b1, *b2))),
+        _ => PTy::RealTop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probterm_spcf::catalog;
+    use probterm_spcf::parse_term;
+
+    fn fixpoint_of(src: &str) -> Term {
+        // Strip an application "(...fix...) arg" down to the fixpoint itself.
+        match parse_term(src).unwrap() {
+            Term::App(f, _) => *f,
+            other => other,
+        }
+    }
+
+    #[test]
+    fn shape_check_accepts_and_rejects() {
+        let ok = fixpoint_of("(fix phi x. if sample <= 1/2 then x else phi (x+1)) 0");
+        assert!(as_first_order_fixpoint(&ok).is_ok());
+        assert_eq!(
+            as_first_order_fixpoint(&Term::int(1)),
+            Err(CountingError::NotFirstOrderFixpoint)
+        );
+        let higher = parse_term("fix phi x. lam d. phi x d").unwrap();
+        assert_eq!(
+            as_first_order_fixpoint(&higher),
+            Err(CountingError::NotFirstOrderFixpoint)
+        );
+    }
+
+    #[test]
+    fn recursive_rank_bounds_match_the_paper() {
+        // Ex. 1.1 (1): affine, rank 1.
+        let affine = fixpoint_of("(fix phi x. if sample <= 1/2 then x else phi (x+1)) 1");
+        assert_eq!(recursive_rank_bound(&affine), Ok(1));
+        // Ex. 1.1 (2): rank 2.
+        let two = fixpoint_of("(fix phi x. if sample <= 1/2 then x else phi (phi (x+1))) 1");
+        assert_eq!(recursive_rank_bound(&two), Ok(2));
+        // 3print: rank 3.
+        let three = fixpoint_of("(fix phi x. if sample <= 2/3 then x else phi (phi (phi (x+1)))) 1");
+        assert_eq!(recursive_rank_bound(&three), Ok(3));
+        // Ex. 5.1: rank 3 — the max is over branches, not the sum.
+        let b = catalog::tired_printer(Rational::parse("0.6").unwrap());
+        let Term::App(fix, _) = b.term else { panic!() };
+        assert_eq!(recursive_rank_bound(&fix), Ok(3));
+        // Conditional branches take the maximum.
+        let branchy = fixpoint_of("(fix phi x. if sample <= 1/2 then phi x else phi (phi x)) 0");
+        assert_eq!(recursive_rank_bound(&branchy), Ok(2));
+    }
+
+    #[test]
+    fn rank_plus_epsilon_gives_cor_5_13() {
+        use probterm_rwalk::epsilon_ra_implies_ast;
+        let two = fixpoint_of("(fix phi x. if sample <= 1/2 then x else phi (phi (x+1))) 1");
+        let rank = recursive_rank_bound(&two).unwrap();
+        // ε = p = 1/2 here, so rank·(1-ε) = 1 ≤ 1: AST (Ex. 5.14).
+        assert!(epsilon_ra_implies_ast(rank, &Rational::from_ratio(1, 2)));
+        assert!(!epsilon_ra_implies_ast(rank, &Rational::from_ratio(2, 5)));
+    }
+
+    #[test]
+    fn empirical_counting_patterns_match_example_5_8() {
+        // Ex. 1.1 (2) with p = 1/2: ⦃⦄(0) = 1/2, ⦃⦄(2) = 1/2.
+        let two = fixpoint_of("(fix phi x. if sample <= 1/2 then x else phi (phi (x+1))) 1");
+        let pattern = empirical_counting_pattern(&two, &Rational::one(), 4_000, 11).unwrap();
+        assert_eq!(pattern.failed_runs, 0);
+        assert!((pattern.frequency(0) - 0.5).abs() < 0.05);
+        assert!((pattern.frequency(2) - 0.5).abs() < 0.05);
+        assert_eq!(pattern.frequency(1), 0.0);
+        assert_eq!(pattern.max_calls(), Some(2));
+        // Ex. 5.1 with p = 0.6 and argument 1: frequencies follow Ex. 5.8 with sig(1).
+        let b = catalog::tired_printer(Rational::parse("0.6").unwrap());
+        let Term::App(fix, _) = b.term else { panic!() };
+        let pattern = empirical_counting_pattern(&fix, &Rational::from_int(1), 6_000, 23).unwrap();
+        let sig_r = 1.0 / (1.0 + (-1.0f64).exp());
+        assert!((pattern.frequency(0) - 0.6).abs() < 0.05);
+        assert!((pattern.frequency(2) - 0.4 * 0.5 * (2.0 - sig_r)).abs() < 0.05);
+        assert!((pattern.frequency(3) - 0.4 * 0.5 * sig_r).abs() < 0.05);
+        // The empirical distribution is a genuine counting distribution.
+        let dist = pattern.to_distribution();
+        assert!(dist.total_mass() <= Rational::one());
+    }
+
+    #[test]
+    fn counting_pattern_of_affine_printer_is_bernoulli() {
+        let affine = fixpoint_of("(fix phi x. if sample <= 1/2 then x else phi (x+1)) 1");
+        let pattern = empirical_counting_pattern(&affine, &Rational::one(), 3_000, 5).unwrap();
+        assert!((pattern.frequency(0) - 0.5).abs() < 0.05);
+        assert!((pattern.frequency(1) - 0.5).abs() < 0.05);
+        assert_eq!(pattern.max_calls(), Some(1));
+    }
+
+    #[test]
+    fn star_reduction_counts_calls_not_unfoldings() {
+        // The body makes exactly three calls whenever the coin fails, regardless
+        // of what the (unknown) results of those calls are.
+        let three = fixpoint_of("(fix phi x. if sample <= 1/4 then x else phi (phi (phi (x+1)))) 1");
+        let pattern = empirical_counting_pattern(&three, &Rational::one(), 3_000, 17).unwrap();
+        assert!((pattern.frequency(0) - 0.25).abs() < 0.05);
+        assert!((pattern.frequency(3) - 0.75).abs() < 0.05);
+        assert_eq!(pattern.frequency(1) + pattern.frequency(2), 0.0);
+    }
+
+    #[test]
+    fn guard_independence_accepts_the_papers_examples() {
+        for b in catalog::table2_benchmarks() {
+            let Term::App(fix, _) = b.term.clone() else { panic!("{}", b.name) };
+            assert_eq!(
+                check_guard_independence(&fix),
+                Ok(()),
+                "{} should be guard independent",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn guard_independence_rejects_branching_on_recursive_outcomes() {
+        // if (φ x) ≤ 0 then … : the recursive outcome drives control flow.
+        let bad = fixpoint_of("(fix phi x. if phi x <= 0 then 0 else phi (x+1)) 0");
+        assert!(matches!(
+            check_guard_independence(&bad),
+            Err(CountingError::GuardDependsOnRecursion(_))
+        ));
+        // score(φ x) is likewise rejected.
+        let bad_score = fixpoint_of("(fix phi x. if sample <= 1/2 then x else score(phi x)) 0");
+        assert!(matches!(
+            check_guard_independence(&bad_score),
+            Err(CountingError::GuardDependsOnRecursion(_))
+        ));
+        // Arithmetic on recursive outcomes that stays out of guards is fine.
+        let ok = fixpoint_of("(fix phi x. if sample <= 1/2 then x else phi (x+1) + 1) 0");
+        assert_eq!(check_guard_independence(&ok), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = CountingError::NotFirstOrderFixpoint;
+        assert!(e.to_string().contains("first-order"));
+        let e = CountingError::GuardDependsOnRecursion("guard".into());
+        assert!(e.to_string().contains("guard"));
+    }
+}

@@ -1,0 +1,794 @@
+//! Number trees and the summary semantics `→□` (paper Appendix D.1).
+//!
+//! The soundness proof of Theorem 5.9 decomposes the terminating traces of a
+//! non-affine recursive program according to the *shape of its recursion*:
+//!
+//! * a **number tree** records, for every (transitive) recursive call, from
+//!   how many call sites it recurses in turn;
+//! * the **summary semantics** `→□` evaluates the body of the fixpoint on a
+//!   trace in which every recursive call is resolved by a pre-recorded
+//!   *summary* `□ʳᵣ,` ("called on `r`, returned `r'`"), so that a single level
+//!   of the recursion can be examined in isolation;
+//! * number trees are in bijection with the terminating runs of the shifted
+//!   random walk (the maps `𝔉` and `ℌ` of Lemma D.6), and the probability a
+//!   counting distribution assigns to a tree multiplies along its nodes
+//!   (Definition D.3).
+//!
+//! These objects let the tests re-derive termination probabilities by a third,
+//! independent route (besides the interval semantics and the branching-process
+//! view): summing tree probabilities gives monotone lower bounds on `Pterm`.
+
+use crate::{as_first_order_fixpoint, CountingError};
+use probterm_numerics::Rational;
+use probterm_rwalk::CountingDistribution;
+use probterm_spcf::{Ident, Prim, Term};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Number trees (Definition D.1)
+// ---------------------------------------------------------------------------
+
+/// A number tree `S = n ⊲ [S₁, …, Sₙ]`: every node is labelled by its number
+/// of children. The node label is therefore implicit — a node with `n`
+/// children *is* the label `n`.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_counting::NumberTree;
+///
+/// // The tree of Fig. 15b: 2 ⊲ [0 ⊲ [], 1 ⊲ [0 ⊲ []]].
+/// let tree = NumberTree::new(vec![
+///     NumberTree::leaf(),
+///     NumberTree::new(vec![NumberTree::leaf()]),
+/// ]);
+/// assert_eq!(tree.node_count(), 4);
+/// assert_eq!(tree.to_relative_run(), vec![1, -1, 0, -1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NumberTree {
+    children: Vec<NumberTree>,
+}
+
+impl NumberTree {
+    /// The tree `0 ⊲ []` (a run making no recursive calls).
+    pub fn leaf() -> NumberTree {
+        NumberTree { children: Vec::new() }
+    }
+
+    /// The tree `n ⊲ [S₁, …, Sₙ]` where `n = children.len()`.
+    pub fn new(children: Vec<NumberTree>) -> NumberTree {
+        NumberTree { children }
+    }
+
+    /// The label of the root: its number of children.
+    pub fn label(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The children of the root.
+    pub fn children(&self) -> &[NumberTree] {
+        &self.children
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(NumberTree::node_count).sum::<usize>()
+    }
+
+    /// Height of the tree (a leaf has height one).
+    pub fn height(&self) -> usize {
+        1 + self.children.iter().map(NumberTree::height).max().unwrap_or(0)
+    }
+
+    /// The map `𝔉` of Lemma D.6: the preorder sequence of relative changes
+    /// `label − 1`, an element of `Runs_R` (it sums to `−1` and every proper
+    /// prefix sums to at least `0`).
+    pub fn to_relative_run(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.node_count());
+        self.push_relative(&mut out);
+        out
+    }
+
+    fn push_relative(&self, out: &mut Vec<i64>) {
+        out.push(self.label() as i64 - 1);
+        for child in &self.children {
+            child.push_relative(out);
+        }
+    }
+
+    /// The inverse of [`to_relative_run`](Self::to_relative_run): rebuilds the
+    /// number tree from an element of `Runs_R`, or returns `None` if the
+    /// sequence is not a valid terminating run (wrong total, premature
+    /// termination, or leftover suffix).
+    pub fn from_relative_run(run: &[i64]) -> Option<NumberTree> {
+        let (tree, used) = Self::parse_relative(run)?;
+        if used == run.len() {
+            Some(tree)
+        } else {
+            None
+        }
+    }
+
+    fn parse_relative(run: &[i64]) -> Option<(NumberTree, usize)> {
+        let first = *run.first()?;
+        if first < -1 {
+            return None;
+        }
+        let arity = (first + 1) as usize;
+        let mut used = 1;
+        let mut children = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let (child, n) = Self::parse_relative(&run[used..])?;
+            children.push(child);
+            used += n;
+        }
+        Some((NumberTree::new(children), used))
+    }
+
+    /// The map `ℌ ∘ 𝔉` of Lemma D.6: the absolute run of the pending-calls
+    /// walk, starting at `1`, never touching `0` before the end, and ending at
+    /// `0` (an element of `Runs_A`).
+    pub fn to_absolute_run(&self) -> Vec<u64> {
+        let mut pending: i64 = 1;
+        let mut out = vec![1u64];
+        for change in self.to_relative_run() {
+            pending += change;
+            debug_assert!(pending >= 0);
+            out.push(pending as u64);
+        }
+        out
+    }
+
+    /// The probability `P(S)` of Definition D.3 for a single counting
+    /// distribution: the product over all nodes of the probability of that
+    /// node's label.
+    pub fn probability(&self, counting: &CountingDistribution) -> Rational {
+        let mut p = counting.probability(self.label() as u64);
+        for child in &self.children {
+            if p.is_zero() {
+                return p;
+            }
+            p = p.mul_ref(&child.probability(counting));
+        }
+        p
+    }
+
+    /// Enumerates every number tree with at most `max_nodes` nodes whose node
+    /// labels are all drawn from `degrees`. The result is duplicate-free.
+    pub fn enumerate(max_nodes: usize, degrees: &[u64]) -> Vec<NumberTree> {
+        let mut out = Vec::new();
+        for n in 1..=max_nodes {
+            out.extend(Self::enumerate_exact(n, degrees));
+        }
+        out
+    }
+
+    fn enumerate_exact(nodes: usize, degrees: &[u64]) -> Vec<NumberTree> {
+        if nodes == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for &d in degrees {
+            let d = d as usize;
+            if d == 0 {
+                if nodes == 1 {
+                    out.push(NumberTree::leaf());
+                }
+                continue;
+            }
+            if nodes < d + 1 {
+                continue;
+            }
+            for split in compositions(nodes - 1, d) {
+                let child_choices: Vec<Vec<NumberTree>> = split
+                    .iter()
+                    .map(|&n| Self::enumerate_exact(n, degrees))
+                    .collect();
+                if child_choices.iter().any(Vec::is_empty) {
+                    continue;
+                }
+                cartesian(&child_choices, &mut |children| {
+                    out.push(NumberTree::new(children.to_vec()));
+                });
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for NumberTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())?;
+        if !self.children.is_empty() {
+            write!(f, "⊲[")?;
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// All compositions of `total` into exactly `parts` positive summands.
+fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
+    fn go(total: usize, parts: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if parts == 1 {
+            if total >= 1 {
+                prefix.push(total);
+                out.push(prefix.clone());
+                prefix.pop();
+            }
+            return;
+        }
+        for first in 1..=total.saturating_sub(parts - 1) {
+            prefix.push(first);
+            go(total - first, parts - 1, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    if parts >= 1 {
+        go(total, parts, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+fn cartesian(choices: &[Vec<NumberTree>], emit: &mut impl FnMut(&[NumberTree])) {
+    fn go(
+        choices: &[Vec<NumberTree>],
+        acc: &mut Vec<NumberTree>,
+        emit: &mut impl FnMut(&[NumberTree]),
+    ) {
+        if choices.is_empty() {
+            emit(acc);
+            return;
+        }
+        for c in &choices[0] {
+            acc.push(c.clone());
+            go(&choices[1..], acc, emit);
+            acc.pop();
+        }
+    }
+    go(choices, &mut Vec::new(), emit);
+}
+
+/// The cumulative probability of Definition D.3 over every number tree with
+/// at most `max_nodes` nodes — a monotone (in `max_nodes`) lower bound on the
+/// termination probability of any program whose counting pattern dominates
+/// `counting` pointwise (Proposition D.5 + Theorem 5.9).
+pub fn tree_family_weight(counting: &CountingDistribution, max_nodes: usize) -> Rational {
+    let degrees: Vec<u64> = counting.iter().map(|(n, _)| n).collect();
+    NumberTree::enumerate(max_nodes, &degrees)
+        .iter()
+        .map(|t| t.probability(counting))
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Summary traces and the →□ reduction (Fig. 16)
+// ---------------------------------------------------------------------------
+
+/// One entry of a summary trace: either a recorded random sample or a summary
+/// `□ʳᵣ,` pre-determining the argument and result of one recursive call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryEntry {
+    /// The outcome of one `sample` statement.
+    Sample(Rational),
+    /// A summary `□ʳᵣ,`: the next recursive call must be on `argument` and
+    /// returns `result`.
+    Call {
+        /// The argument the recursive call is made on.
+        argument: Rational,
+        /// The value the recursive call is assumed to return.
+        result: Rational,
+    },
+}
+
+/// The outcome of a `→□` run (Fig. 16).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryOutcome {
+    /// The body evaluated to the numeral `result`, consuming the recorded
+    /// summaries in order.
+    Terminated {
+        /// Final value of the body.
+        result: Rational,
+        /// Number of summaries consumed (= recursive calls made).
+        calls: usize,
+        /// Total number of trace entries consumed.
+        consumed: usize,
+    },
+    /// The reduction got stuck: trace exhausted, a summary argument mismatch,
+    /// a failing `score`, or a type error.
+    Stuck {
+        /// Human-readable reason, for diagnostics.
+        reason: String,
+    },
+    /// The step budget was exhausted.
+    OutOfFuel,
+}
+
+impl SummaryOutcome {
+    /// Returns `true` for [`SummaryOutcome::Terminated`].
+    pub fn is_terminated(&self) -> bool {
+        matches!(self, SummaryOutcome::Terminated { .. })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum STerm {
+    Mu,
+    Var(Ident),
+    Num(Rational),
+    Lam(Ident, Box<STerm>),
+    App(Box<STerm>, Box<STerm>),
+    If(Box<STerm>, Box<STerm>, Box<STerm>),
+    Prim(Prim, Vec<STerm>),
+    Sample,
+    Score(Box<STerm>),
+}
+
+impl STerm {
+    fn embed(t: &Term, phi: &Ident, x: &Ident, argument: &Rational) -> STerm {
+        match t {
+            Term::Var(y) if y == phi => STerm::Mu,
+            Term::Var(y) if y == x => STerm::Num(argument.clone()),
+            Term::Var(y) => STerm::Var(y.clone()),
+            Term::Num(r) => STerm::Num(r.clone()),
+            Term::Lam(y, b) => {
+                let phi2 = if y == phi { probterm_spcf::ident("#shadow-phi") } else { phi.clone() };
+                let x2 = if y == x { probterm_spcf::ident("#shadow-x") } else { x.clone() };
+                STerm::Lam(y.clone(), Box::new(STerm::embed(b, &phi2, &x2, argument)))
+            }
+            Term::Fix(_, _, _) => unreachable!("nested recursion excluded by shape check"),
+            Term::App(f, a) => STerm::App(
+                Box::new(STerm::embed(f, phi, x, argument)),
+                Box::new(STerm::embed(a, phi, x, argument)),
+            ),
+            Term::If(g, a, b) => STerm::If(
+                Box::new(STerm::embed(g, phi, x, argument)),
+                Box::new(STerm::embed(a, phi, x, argument)),
+                Box::new(STerm::embed(b, phi, x, argument)),
+            ),
+            Term::Prim(p, args) => {
+                STerm::Prim(*p, args.iter().map(|a| STerm::embed(a, phi, x, argument)).collect())
+            }
+            Term::Sample => STerm::Sample,
+            Term::Score(m) => STerm::Score(Box::new(STerm::embed(m, phi, x, argument))),
+        }
+    }
+
+    fn is_value(&self) -> bool {
+        matches!(self, STerm::Mu | STerm::Var(_) | STerm::Num(_) | STerm::Lam(_, _))
+    }
+
+    fn subst(&self, x: &Ident, replacement: &STerm) -> STerm {
+        match self {
+            STerm::Var(y) => {
+                if y == x {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            STerm::Mu | STerm::Num(_) | STerm::Sample => self.clone(),
+            STerm::Lam(y, b) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    STerm::Lam(y.clone(), Box::new(b.subst(x, replacement)))
+                }
+            }
+            STerm::App(f, a) => {
+                STerm::App(Box::new(f.subst(x, replacement)), Box::new(a.subst(x, replacement)))
+            }
+            STerm::If(g, a, b) => STerm::If(
+                Box::new(g.subst(x, replacement)),
+                Box::new(a.subst(x, replacement)),
+                Box::new(b.subst(x, replacement)),
+            ),
+            STerm::Prim(p, args) => {
+                STerm::Prim(*p, args.iter().map(|a| a.subst(x, replacement)).collect())
+            }
+            STerm::Score(m) => STerm::Score(Box::new(m.subst(x, replacement))),
+        }
+    }
+}
+
+/// Runs the summary reduction `→□` of Fig. 16 on `body(argument)` against the
+/// given summary trace, under call-by-value evaluation (the strategy used
+/// throughout §5).
+///
+/// Recursive calls consume [`SummaryEntry::Call`] entries: the recorded
+/// argument must equal the actual argument of the call, and the recorded
+/// result is substituted for the call. `sample` consumes
+/// [`SummaryEntry::Sample`] entries.
+///
+/// # Errors
+///
+/// Returns [`CountingError::NotFirstOrderFixpoint`] if `term` is not of the
+/// shape `μφ x. M` accepted by the counting analysis.
+pub fn summary_run(
+    term: &Term,
+    argument: &Rational,
+    trace: &[SummaryEntry],
+    max_steps: usize,
+) -> Result<SummaryOutcome, CountingError> {
+    let (phi, x, body) = as_first_order_fixpoint(term)?;
+    let mut current = STerm::embed(body, phi, x, argument);
+    let mut position = 0usize;
+    let mut calls = 0usize;
+    for _ in 0..max_steps {
+        if let STerm::Num(r) = &current {
+            return Ok(SummaryOutcome::Terminated { result: r.clone(), calls, consumed: position });
+        }
+        if current.is_value() {
+            return Ok(SummaryOutcome::Stuck {
+                reason: "evaluated to a non-numeral value".into(),
+            });
+        }
+        match summary_step(current, trace, &mut position, &mut calls) {
+            Ok(next) => current = next,
+            Err(reason) => return Ok(SummaryOutcome::Stuck { reason }),
+        }
+    }
+    Ok(SummaryOutcome::OutOfFuel)
+}
+
+fn summary_step(
+    term: STerm,
+    trace: &[SummaryEntry],
+    position: &mut usize,
+    calls: &mut usize,
+) -> Result<STerm, String> {
+    enum Frame {
+        AppFun(STerm),
+        AppArg(STerm),
+        If(STerm, STerm),
+        Score,
+        Prim(Prim, Vec<STerm>, Vec<STerm>),
+    }
+    fn plug(frames: Vec<Frame>, mut t: STerm) -> STerm {
+        for frame in frames.into_iter().rev() {
+            t = match frame {
+                Frame::AppFun(arg) => STerm::App(Box::new(t), Box::new(arg)),
+                Frame::AppArg(fun) => STerm::App(Box::new(fun), Box::new(t)),
+                Frame::If(a, b) => STerm::If(Box::new(t), Box::new(a), Box::new(b)),
+                Frame::Score => STerm::Score(Box::new(t)),
+                Frame::Prim(p, mut prefix, suffix) => {
+                    prefix.push(t);
+                    prefix.extend(suffix);
+                    STerm::Prim(p, prefix)
+                }
+            };
+        }
+        t
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut current = term;
+    loop {
+        match current {
+            STerm::App(fun, arg) => {
+                if !fun.is_value() {
+                    frames.push(Frame::AppFun(*arg));
+                    current = *fun;
+                } else if !arg.is_value() {
+                    frames.push(Frame::AppArg(*fun));
+                    current = *arg;
+                } else {
+                    match *fun {
+                        STerm::Lam(ref y, ref body) => return Ok(plug(frames, body.subst(y, &arg))),
+                        STerm::Mu => {
+                            let STerm::Num(actual) = *arg else {
+                                return Err("recursive call on a non-numeral argument".into());
+                            };
+                            let entry = trace.get(*position).cloned();
+                            *position += 1;
+                            match entry {
+                                Some(SummaryEntry::Call { argument, result }) => {
+                                    if argument != actual {
+                                        return Err(format!(
+                                            "summary argument mismatch: recorded {argument}, actual {actual}"
+                                        ));
+                                    }
+                                    *calls += 1;
+                                    return Ok(plug(frames, STerm::Num(result)));
+                                }
+                                Some(SummaryEntry::Sample(_)) => {
+                                    return Err("expected a summary, found a sample entry".into())
+                                }
+                                None => return Err("summary trace exhausted at a recursive call".into()),
+                            }
+                        }
+                        _ => return Err("application of a non-function value".into()),
+                    }
+                }
+            }
+            STerm::If(guard, then, els) => match *guard {
+                STerm::Num(ref r) => {
+                    let taken = if r.is_positive() { *els } else { *then };
+                    return Ok(plug(frames, taken));
+                }
+                ref g if g.is_value() => return Err("conditional guard is not a numeral".into()),
+                _ => {
+                    frames.push(Frame::If(*then, *els));
+                    current = *guard;
+                }
+            },
+            STerm::Score(inner) => match *inner {
+                STerm::Num(r) => {
+                    if r.is_negative() {
+                        return Err("score on a negative value".into());
+                    }
+                    return Ok(plug(frames, STerm::Num(r)));
+                }
+                ref m if m.is_value() => return Err("score argument is not a numeral".into()),
+                _ => {
+                    frames.push(Frame::Score);
+                    current = *inner;
+                }
+            },
+            STerm::Sample => {
+                let entry = trace.get(*position).cloned();
+                *position += 1;
+                match entry {
+                    Some(SummaryEntry::Sample(r)) => return Ok(plug(frames, STerm::Num(r))),
+                    Some(SummaryEntry::Call { .. }) => {
+                        return Err("expected a sample entry, found a summary".into())
+                    }
+                    None => return Err("summary trace exhausted at a sample".into()),
+                }
+            }
+            STerm::Prim(p, mut args) => {
+                if args.iter().all(STerm::is_value) {
+                    let values: Option<Vec<Rational>> = args
+                        .iter()
+                        .map(|a| match a {
+                            STerm::Num(r) => Some(r.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    let Some(values) = values else {
+                        return Err("primitive applied to a non-numeral".into());
+                    };
+                    return match p.eval(&values) {
+                        Some(r) => Ok(plug(frames, STerm::Num(r))),
+                        None => Err("primitive domain error".into()),
+                    };
+                }
+                let i = args.iter().position(|a| !a.is_value()).expect("non-value argument");
+                let suffix = args.split_off(i + 1);
+                let focus = args.pop().expect("argument at position i");
+                frames.push(Frame::Prim(p, args, suffix));
+                current = focus;
+            }
+            STerm::Var(_) | STerm::Num(_) | STerm::Lam(_, _) | STerm::Mu => {
+                return Err("reached a value inside the step function".into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probterm_spcf::{catalog, parse_term};
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    /// The catalogue stores benchmarks as `(fix …) argument`; the counting
+    /// analyses work on the bare fixpoint, as elsewhere in this crate.
+    fn fixpoint_of(term: &Term) -> Term {
+        match term {
+            Term::App(f, _) if matches!(**f, Term::Fix(_, _, _)) => (**f).clone(),
+            other => other.clone(),
+        }
+    }
+
+    fn fig15b() -> NumberTree {
+        NumberTree::new(vec![NumberTree::leaf(), NumberTree::new(vec![NumberTree::leaf()])])
+    }
+
+    fn fig15c() -> NumberTree {
+        NumberTree::new(vec![NumberTree::new(vec![NumberTree::leaf()]), NumberTree::leaf()])
+    }
+
+    #[test]
+    fn figure_15_trees_are_distinct_and_have_four_nodes() {
+        let b = fig15b();
+        let c = fig15c();
+        assert_ne!(b, c);
+        assert_eq!(b.node_count(), 4);
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(b.height(), 3);
+        assert_eq!(b.label(), 2);
+        assert_eq!(b.children().len(), 2);
+        assert_eq!(b.to_string(), "2⊲[0, 1⊲[0]]");
+    }
+
+    #[test]
+    fn relative_runs_satisfy_the_runs_r_invariants() {
+        for tree in [NumberTree::leaf(), fig15b(), fig15c()] {
+            let run = tree.to_relative_run();
+            assert_eq!(run.iter().sum::<i64>(), -1, "total change is -1");
+            let mut acc = 0i64;
+            for (i, change) in run.iter().enumerate() {
+                acc += change;
+                if i + 1 < run.len() {
+                    assert!(acc >= 0, "proper prefixes never go negative");
+                }
+            }
+            assert_eq!(acc, -1);
+        }
+    }
+
+    #[test]
+    fn absolute_runs_start_at_one_and_end_at_zero() {
+        for tree in [NumberTree::leaf(), fig15b(), fig15c()] {
+            let run = tree.to_absolute_run();
+            assert_eq!(*run.first().unwrap(), 1);
+            assert_eq!(*run.last().unwrap(), 0);
+            assert!(run[1..run.len() - 1].iter().all(|&s| s > 0));
+        }
+    }
+
+    #[test]
+    fn relative_run_bijection_round_trips() {
+        let degrees = [0u64, 2, 3];
+        for tree in NumberTree::enumerate(7, &degrees) {
+            let run = tree.to_relative_run();
+            assert_eq!(NumberTree::from_relative_run(&run), Some(tree));
+        }
+        // Invalid runs are rejected: wrong total, premature zero, leftover tail.
+        assert_eq!(NumberTree::from_relative_run(&[]), None);
+        assert_eq!(NumberTree::from_relative_run(&[0]), None);
+        assert_eq!(NumberTree::from_relative_run(&[-1, -1]), None);
+        assert_eq!(NumberTree::from_relative_run(&[1, -1]), None);
+        assert_eq!(NumberTree::from_relative_run(&[-2]), None);
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free_and_counts_binary_trees() {
+        // Full binary trees with k internal nodes: Catalan(k); node counts 1, 3, 5, 7.
+        let trees = NumberTree::enumerate(7, &[0, 2]);
+        let mut seen = std::collections::HashSet::new();
+        for t in &trees {
+            assert!(seen.insert(t.clone()), "duplicate tree {t}");
+        }
+        let by_size = |n: usize| trees.iter().filter(|t| t.node_count() == n).count();
+        assert_eq!(by_size(1), 1);
+        assert_eq!(by_size(3), 1);
+        assert_eq!(by_size(5), 2);
+        assert_eq!(by_size(7), 5);
+    }
+
+    #[test]
+    fn example_d_4_tree_probability() {
+        // Counting distribution of Ex. D.1/D.4: t(0) = 1/4, t(1) = 1/4, t(2) = 1/2.
+        let t = CountingDistribution::from_pairs([(0, r(1, 4)), (1, r(1, 4)), (2, r(1, 2))]);
+        // The tree of Fig. 15b has probability 1/2 · 1/4 · 1/4 · 1/4 = 1/128.
+        assert_eq!(fig15b().probability(&t), r(1, 128));
+        assert_eq!(fig15c().probability(&t), r(1, 128));
+        assert_eq!(NumberTree::leaf().probability(&t), r(1, 4));
+        // A tree using a label outside the support has probability zero.
+        let ternary = NumberTree::new(vec![NumberTree::leaf(), NumberTree::leaf(), NumberTree::leaf()]);
+        assert_eq!(ternary.probability(&t), Rational::zero());
+    }
+
+    #[test]
+    fn tree_family_weight_lower_bounds_the_extinction_probability() {
+        // Ex. 1.1 (2) with p = 3/4 (AST): tree weights approach 1.
+        let ast = CountingDistribution::from_pairs([(0, r(3, 4)), (2, r(1, 4))]);
+        let w5 = tree_family_weight(&ast, 5);
+        let w9 = tree_family_weight(&ast, 9);
+        assert!(w5 < w9, "weights are monotone in the node budget");
+        assert!(w9 > r(9, 10), "AST program: weights approach 1, got {w9}");
+        assert!(w9 < Rational::one());
+        // p = 1/4 (not AST): weights approach the extinction probability 1/3.
+        let not_ast = CountingDistribution::from_pairs([(0, r(1, 4)), (2, r(3, 4))]);
+        let w = tree_family_weight(&not_ast, 11);
+        assert!(w < r(1, 3));
+        assert!(w > r(3, 10), "lower bounds converge towards 1/3, got {w}");
+    }
+
+    #[test]
+    fn summary_run_on_the_affine_printer() {
+        // Ex. 1.1 (1), p = 1/2: success branch makes no recursive call.
+        let term = fixpoint_of(&catalog::printer_affine(r(1, 2)).term);
+        let ok = summary_run(&term, &r(1, 1), &[SummaryEntry::Sample(r(3, 10))], 1_000).unwrap();
+        assert_eq!(
+            ok,
+            SummaryOutcome::Terminated { result: r(1, 1), calls: 0, consumed: 1 }
+        );
+        // Failure branch: one recursive call on x + 1 = 2, summarised to return 7.
+        let fail = summary_run(
+            &term,
+            &r(1, 1),
+            &[
+                SummaryEntry::Sample(r(9, 10)),
+                SummaryEntry::Call { argument: r(2, 1), result: r(7, 1) },
+            ],
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(
+            fail,
+            SummaryOutcome::Terminated { result: r(7, 1), calls: 1, consumed: 2 }
+        );
+    }
+
+    #[test]
+    fn summary_run_on_the_nonaffine_printer_consumes_two_summaries() {
+        // Ex. 1.1 (2): φ(φ(x + 1)); inner call on 2, outer call on whatever the
+        // inner returned.
+        let term = fixpoint_of(&catalog::printer_nonaffine(r(1, 2)).term);
+        let outcome = summary_run(
+            &term,
+            &r(1, 1),
+            &[
+                SummaryEntry::Sample(r(9, 10)),
+                SummaryEntry::Call { argument: r(2, 1), result: r(5, 1) },
+                SummaryEntry::Call { argument: r(5, 1), result: r(11, 1) },
+            ],
+            1_000,
+        )
+        .unwrap();
+        assert_eq!(
+            outcome,
+            SummaryOutcome::Terminated { result: r(11, 1), calls: 2, consumed: 3 }
+        );
+    }
+
+    #[test]
+    fn summary_mismatch_and_exhaustion_are_stuck() {
+        let term = fixpoint_of(&catalog::printer_nonaffine(r(1, 2)).term);
+        // Wrong recorded argument for the inner call.
+        let mismatch = summary_run(
+            &term,
+            &r(1, 1),
+            &[
+                SummaryEntry::Sample(r(9, 10)),
+                SummaryEntry::Call { argument: r(3, 1), result: r(5, 1) },
+            ],
+            1_000,
+        )
+        .unwrap();
+        assert!(matches!(mismatch, SummaryOutcome::Stuck { ref reason } if reason.contains("mismatch")));
+        // Trace too short.
+        let short = summary_run(&term, &r(1, 1), &[SummaryEntry::Sample(r(9, 10))], 1_000).unwrap();
+        assert!(matches!(short, SummaryOutcome::Stuck { ref reason } if reason.contains("exhausted")));
+        // Sample where a summary is expected.
+        let wrong_kind = summary_run(
+            &term,
+            &r(1, 1),
+            &[SummaryEntry::Sample(r(9, 10)), SummaryEntry::Sample(r(1, 10))],
+            1_000,
+        )
+        .unwrap();
+        assert!(matches!(wrong_kind, SummaryOutcome::Stuck { .. }));
+        assert!(!wrong_kind.is_terminated());
+    }
+
+    #[test]
+    fn summary_run_rejects_non_fixpoints() {
+        let term = parse_term("sample + 1").unwrap();
+        assert_eq!(
+            summary_run(&term, &Rational::zero(), &[], 10).unwrap_err(),
+            CountingError::NotFirstOrderFixpoint
+        );
+    }
+
+    #[test]
+    fn summary_run_out_of_fuel() {
+        let term = fixpoint_of(&catalog::printer_affine(r(1, 2)).term);
+        let outcome =
+            summary_run(&term, &r(1, 1), &[SummaryEntry::Sample(r(3, 10))], 1).unwrap();
+        assert_eq!(outcome, SummaryOutcome::OutOfFuel);
+    }
+}

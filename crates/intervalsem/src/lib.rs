@@ -1,0 +1,50 @@
+//! Interval-trace semantics and termination lower bounds for SPCF.
+//!
+//! This crate implements the first contribution of *"On Probabilistic
+//! Termination of Functional Programs with Continuous Distributions"*
+//! (Beutner & Ong, PLDI 2021):
+//!
+//! * **Interval terms and interval reduction** ([`ITerm`], [`run_interval`],
+//!   paper §3.1/Fig. 9): evaluation parameterised by a trace of intervals,
+//!   sound and complete w.r.t. the standard sampling semantics.
+//! * **Interval traces** ([`IntervalTrace`]) with their weights and the
+//!   pairwise-compatibility requirement of Theorem 3.4.
+//! * **Stochastic symbolic execution** ([`explore`], App. B.5): enumeration of
+//!   branching behaviours with symbolic path constraints.
+//! * **The lower-bound engine** ([`lower_bound`], §7.1): exact polytope
+//!   volumes for affine constraints and an interval box-splitting sweep
+//!   otherwise, yielding arbitrarily tight lower bounds on `Pterm` and on the
+//!   expected runtime of terminating runs.
+//!
+//! # Example
+//!
+//! ```
+//! use probterm_intervalsem::{lower_bound, LowerBoundConfig};
+//! use probterm_spcf::catalog;
+//!
+//! // Table 1, row "Ex 1.1, p = 1/4": the true termination probability is 1/3.
+//! let bench = catalog::printer_nonaffine(probterm_numerics::Rational::from_ratio(1, 4));
+//! let result = lower_bound(&bench.term, &LowerBoundConfig::with_depth(50));
+//! assert!(result.probability.to_f64() <= 1.0 / 3.0 + 1e-12);
+//! assert!(result.probability.to_f64() > 0.29);
+//! ```
+
+#![warn(missing_docs)]
+
+mod iterm;
+mod lowerbound;
+mod past;
+mod symbolic;
+
+pub use iterm::{
+    pairwise_compatible, prim_interval, run_interval, IOutcome, IStuck, ITerm, IntervalTrace,
+};
+pub use lowerbound::{lower_bound, lower_bound_profile, LowerBoundConfig, LowerBoundResult};
+pub use past::{
+    divergence_ratio, expected_steps_profile, refute_past_bound, ExpectedStepsPoint, PastProbe,
+    PastRefutation,
+};
+pub use symbolic::{
+    explore, Branch, ConstraintKind, Exploration, ExplorationConfig, SymConstraint,
+    SymValue, SymbolicPath,
+};

@@ -1,0 +1,204 @@
+//! Positive almost-sure termination (PAST) analysis via the interval
+//! semantics (paper §2.4, Theorem 3.4 (2) and the Σ⁰₂ characterisation of
+//! Theorem 3.10).
+//!
+//! The expected time to termination of a closed term is
+//! `Eterm(M) = Σₙ (1 − μ(T^{≤n}_{M,term}))` (Definition 2.2), and `M` is PAST
+//! when this series converges. Soundness of the interval semantics gives, for
+//! every finite set of pairwise-compatible terminating interval traces, a
+//! lower bound `E(M^2ℑ, A) ≤ Eterm(M)` — so interval exploration can
+//! *refute* candidate upper bounds on the expected runtime (this is exactly
+//! the inner `∀A. E(A) ≤ c` of the Σ⁰₂ formula in Theorem 3.10) and exhibit
+//! divergence evidence for programs, like the fair non-affine printer, that
+//! are AST but not PAST.
+
+use crate::lowerbound::{lower_bound, LowerBoundConfig, LowerBoundResult};
+use probterm_numerics::Rational;
+use probterm_spcf::Term;
+
+/// A sound refutation of a candidate expected-runtime bound: interval
+/// exploration found terminating traces whose contribution to `Eterm(M)`
+/// already exceeds the candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PastRefutation {
+    /// The candidate bound `c` that was refuted.
+    pub candidate: Rational,
+    /// The certified lower bound on `Eterm(M)` (strictly above `candidate`).
+    pub certified_lower_bound: Rational,
+    /// The exploration depth at which the refutation was found.
+    pub depth: usize,
+}
+
+/// The outcome of probing a candidate expected-runtime bound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PastProbe {
+    /// The candidate was refuted: `Eterm(M) > candidate`.
+    Refuted(PastRefutation),
+    /// Exploration up to the configured depth could not refute the candidate.
+    /// This is *not* a proof that the candidate is an upper bound — deciding
+    /// PAST is Σ⁰₂-complete (Theorem 3.10) — merely the absence of a
+    /// counter-certificate at this depth.
+    NotRefuted {
+        /// The best lower bound on `Eterm(M)` found so far.
+        certified_lower_bound: Rational,
+    },
+}
+
+impl PastProbe {
+    /// Returns `true` if the candidate bound was refuted.
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, PastProbe::Refuted(_))
+    }
+}
+
+/// Tries to refute the claim `Eterm(M) ≤ candidate` by exploring the interval
+/// semantics at increasing depths.
+///
+/// Every certified lower bound is exact (Theorem 3.4 (2)), so a refutation is
+/// conclusive; failure to refute is not.
+pub fn refute_past_bound(term: &Term, candidate: &Rational, depths: &[usize]) -> PastProbe {
+    let mut best = Rational::zero();
+    for &depth in depths {
+        let result = lower_bound(term, &LowerBoundConfig::with_depth(depth));
+        if result.expected_steps > best {
+            best = result.expected_steps.clone();
+        }
+        if best > *candidate {
+            return PastProbe::Refuted(PastRefutation {
+                candidate: candidate.clone(),
+                certified_lower_bound: best,
+                depth,
+            });
+        }
+    }
+    PastProbe::NotRefuted { certified_lower_bound: best }
+}
+
+/// One point of an expected-runtime divergence profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedStepsPoint {
+    /// Exploration depth.
+    pub depth: usize,
+    /// Certified lower bound on the termination probability at this depth.
+    pub probability: Rational,
+    /// Certified lower bound on `Eterm(M)` at this depth.
+    pub expected_steps: Rational,
+}
+
+/// Computes certified lower bounds on the termination probability and on the
+/// expected number of reduction steps at each of the given depths.
+///
+/// For PAST programs the `expected_steps` column stabilises below the true
+/// (finite) expected runtime; for programs that are AST but not PAST (e.g.
+/// Ex. 1.1 (2) at `p = 1/2`) it grows without bound, which
+/// [`divergence_ratio`] quantifies.
+pub fn expected_steps_profile(term: &Term, depths: &[usize]) -> Vec<ExpectedStepsPoint> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let result: LowerBoundResult = lower_bound(term, &LowerBoundConfig::with_depth(depth));
+            ExpectedStepsPoint {
+                depth,
+                probability: result.probability,
+                expected_steps: result.expected_steps,
+            }
+        })
+        .collect()
+}
+
+/// The ratio between the last and first expected-steps bounds of a profile —
+/// a crude but useful divergence indicator: close to `1` for PAST programs
+/// once the probability bound has saturated, and growing with the depth for
+/// programs with infinite expected runtime.
+///
+/// Returns `None` if the profile has fewer than two points or starts at zero.
+pub fn divergence_ratio(profile: &[ExpectedStepsPoint]) -> Option<f64> {
+    let first = profile.first()?;
+    let last = profile.last()?;
+    if profile.len() < 2 || first.expected_steps.is_zero() {
+        return None;
+    }
+    Some(last.expected_steps.to_f64() / first.expected_steps.to_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probterm_numerics::Rational;
+    use probterm_spcf::{catalog, parse_term};
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn straight_line_terms_have_exact_expected_steps() {
+        // `sample + sample` terminates after a fixed, small number of steps on
+        // every trace, so the expected-steps bound equals that constant: tiny
+        // candidates are refuted, generous ones are not.
+        let term = parse_term("sample + sample").unwrap();
+        let profile = expected_steps_profile(&term, &[10]);
+        assert_eq!(profile[0].probability, Rational::one());
+        assert!(profile[0].expected_steps >= r(2, 1));
+        assert!(profile[0].expected_steps <= r(6, 1));
+        assert!(refute_past_bound(&term, &r(1, 2), &[10]).is_refuted());
+        assert!(!refute_past_bound(&term, &r(10, 1), &[10]).is_refuted());
+    }
+
+    #[test]
+    fn geometric_term_is_past_and_bounds_stabilise() {
+        // geo(1/2) is PAST; its expected number of reduction steps is finite,
+        // so a sufficiently generous candidate is never refuted while a tiny
+        // one is.
+        let geo = catalog::geometric(r(1, 2)).term;
+        let probe = refute_past_bound(&geo, &r(1, 1), &[30, 60]);
+        assert!(probe.is_refuted(), "one step is clearly too small a bound");
+        let generous = refute_past_bound(&geo, &r(200, 1), &[30, 60, 90]);
+        assert!(!generous.is_refuted());
+        match generous {
+            PastProbe::NotRefuted { certified_lower_bound } => {
+                assert!(certified_lower_bound > r(5, 1));
+                assert!(certified_lower_bound < r(200, 1));
+            }
+            PastProbe::Refuted(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fair_nonaffine_printer_shows_divergence_evidence() {
+        // Ex. 1.1 (2) at p = 1/2: AST but not PAST — the expected-steps lower
+        // bounds keep growing with the exploration depth, while for the PAST
+        // geometric term they saturate.
+        let printer = catalog::printer_nonaffine(r(1, 2)).term;
+        let printer_profile = expected_steps_profile(&printer, &[30, 60]);
+        let printer_ratio = divergence_ratio(&printer_profile).unwrap();
+        let geo = catalog::geometric(r(1, 2)).term;
+        let geo_profile = expected_steps_profile(&geo, &[30, 60]);
+        let geo_ratio = divergence_ratio(&geo_profile).unwrap();
+        assert!(
+            printer_ratio > geo_ratio + 0.05,
+            "printer bounds must grow faster: {printer_ratio} vs {geo_ratio}"
+        );
+        assert!(geo_ratio < 1.2, "geo(1/2) expected steps saturate, got {geo_ratio}");
+        // Monotonicity of both columns in the depth.
+        for profile in [&printer_profile, &geo_profile] {
+            for w in profile.windows(2) {
+                assert!(w[0].probability <= w[1].probability);
+                assert!(w[0].expected_steps <= w[1].expected_steps);
+            }
+        }
+    }
+
+    #[test]
+    fn divergence_ratio_requires_two_informative_points() {
+        assert_eq!(divergence_ratio(&[]), None);
+        let term = parse_term("sample + sample").unwrap();
+        let single = expected_steps_profile(&term, &[10]);
+        assert_eq!(divergence_ratio(&single), None);
+        // A term that never terminates has zero expected-steps bounds.
+        let diverge = parse_term("(fix phi x. phi x) 0").unwrap();
+        let profile = expected_steps_profile(&diverge, &[10, 20]);
+        assert_eq!(profile[1].expected_steps, Rational::zero());
+        assert_eq!(divergence_ratio(&profile), None);
+    }
+}

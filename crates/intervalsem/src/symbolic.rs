@@ -1,0 +1,943 @@
+//! Stochastic symbolic execution (paper App. B.5 and §7.1).
+//!
+//! Instead of evaluating a term on a fixed trace, symbolic execution
+//! substitutes a fresh *sample variable* `αᵢ` for the `i`-th `sample` redex
+//! and postpones primitive functions, producing *symbolic values*. Control
+//! flow is resolved by exploring both branches of every conditional whose
+//! guard is symbolic, recording the corresponding *symbolic constraint*
+//! (`V ≤ 0` or `V > 0`), which corresponds to fixing a conditional oracle
+//! `κ ∈ {L, R}*` (App. B.4).
+//!
+//! Every terminating path therefore describes the set of standard traces
+//! `Sat_m(Δ) = T^{(κ)}_{M,term}` (Proposition B.8) on which the program
+//! terminates with that exact branching behaviour; the lower-bound engine
+//! measures these sets.
+
+use probterm_numerics::{Interval, IntervalBox, Rational};
+use probterm_polytope::UnitCubePolytope;
+use probterm_spcf::{Ident, Prim, Term};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A symbolic value of base type: an expression over sample variables,
+/// rational constants and primitive functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymValue {
+    /// A rational constant.
+    Const(Rational),
+    /// The `i`-th sample variable `αᵢ`.
+    Var(usize),
+    /// A postponed primitive application `f̄(V₁, …, V_{|f|})`.
+    Prim(Prim, Vec<SymValue>),
+}
+
+impl SymValue {
+    /// Evaluates the symbolic value at a concrete assignment of the sample
+    /// variables. Returns `None` if a partial primitive is applied outside
+    /// its domain.
+    pub fn eval(&self, assignment: &[Rational]) -> Option<Rational> {
+        match self {
+            SymValue::Const(r) => Some(r.clone()),
+            SymValue::Var(i) => assignment.get(*i).cloned(),
+            SymValue::Prim(p, args) => {
+                let values: Option<Vec<Rational>> =
+                    args.iter().map(|a| a.eval(assignment)).collect();
+                p.eval(&values?)
+            }
+        }
+    }
+
+    /// Evaluates an interval enclosure of the symbolic value over a box of
+    /// sample-variable values. Returns `None` if a partial primitive may be
+    /// applied outside its domain anywhere in the box.
+    pub fn eval_interval(&self, boxes: &IntervalBox) -> Option<Interval> {
+        match self {
+            SymValue::Const(r) => Some(Interval::point(r.clone())),
+            SymValue::Var(i) => boxes.intervals().get(*i).cloned(),
+            SymValue::Prim(p, args) => {
+                let values: Option<Vec<Interval>> =
+                    args.iter().map(|a| a.eval_interval(boxes)).collect();
+                crate::iterm::prim_interval(*p, &values?)
+            }
+        }
+    }
+
+    /// The highest sample-variable index occurring in the value, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            SymValue::Const(_) => None,
+            SymValue::Var(i) => Some(*i),
+            SymValue::Prim(_, args) => args.iter().filter_map(SymValue::max_var).max(),
+        }
+    }
+
+    /// Attempts to view the value as an affine expression `Σ cᵢ·αᵢ + k` over
+    /// `dimension` sample variables. Returns `(coefficients, constant)`.
+    ///
+    /// Only addition, subtraction, negation and multiplication in which at
+    /// least one factor is constant are affine; anything else returns `None`.
+    pub fn as_affine(&self, dimension: usize) -> Option<(Vec<Rational>, Rational)> {
+        match self {
+            SymValue::Const(r) => Some((vec![Rational::zero(); dimension], r.clone())),
+            SymValue::Var(i) => {
+                if *i >= dimension {
+                    return None;
+                }
+                let mut coeffs = vec![Rational::zero(); dimension];
+                coeffs[*i] = Rational::one();
+                Some((coeffs, Rational::zero()))
+            }
+            SymValue::Prim(p, args) => match p {
+                Prim::Add | Prim::Sub => {
+                    let (ca, ka) = args[0].as_affine(dimension)?;
+                    let (cb, kb) = args[1].as_affine(dimension)?;
+                    let combine = |a: &Rational, b: &Rational| {
+                        if *p == Prim::Add {
+                            a + b
+                        } else {
+                            a - b
+                        }
+                    };
+                    Some((
+                        ca.iter().zip(&cb).map(|(a, b)| combine(a, b)).collect(),
+                        combine(&ka, &kb),
+                    ))
+                }
+                Prim::Neg => {
+                    let (c, k) = args[0].as_affine(dimension)?;
+                    Some((c.iter().map(|x| -x).collect(), -k))
+                }
+                Prim::Mul => {
+                    let (ca, ka) = args[0].as_affine(dimension)?;
+                    let (cb, kb) = args[1].as_affine(dimension)?;
+                    if ca.iter().all(Rational::is_zero) {
+                        Some((cb.iter().map(|x| x * &ka).collect(), &ka * &kb))
+                    } else if cb.iter().all(Rational::is_zero) {
+                        Some((ca.iter().map(|x| x * &kb).collect(), &ka * &kb))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Returns `true` if the value contains no sample variables.
+    pub fn is_constant(&self) -> bool {
+        self.max_var().is_none()
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymValue::Const(r) => write!(f, "{r}"),
+            SymValue::Var(i) => write!(f, "α{i}"),
+            SymValue::Prim(p, args) => {
+                write!(f, "{}(", p.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// The comparison recorded for a path constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintKind {
+    /// The value is `≤ 0` (then-branch of a conditional).
+    NonPositive,
+    /// The value is `> 0` (else-branch of a conditional).
+    Positive,
+    /// The value is `≥ 0` (successful `score`).
+    NonNegative,
+}
+
+/// A symbolic (in)equality `V ⊲⊳ 0` collected along a path (App. B.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymConstraint {
+    /// The symbolic value being compared with zero.
+    pub value: SymValue,
+    /// The comparison.
+    pub kind: ConstraintKind,
+}
+
+impl SymConstraint {
+    /// Checks the constraint at a concrete assignment (`None` when the value
+    /// is undefined there).
+    pub fn holds_at(&self, assignment: &[Rational]) -> Option<bool> {
+        let v = self.value.eval(assignment)?;
+        Some(match self.kind {
+            ConstraintKind::NonPositive => !v.is_positive(),
+            ConstraintKind::Positive => v.is_positive(),
+            ConstraintKind::NonNegative => !v.is_negative(),
+        })
+    }
+
+    /// Interval check over a box: `Some(true)` when the constraint certainly
+    /// holds on the whole box, `Some(false)` when it certainly fails on the
+    /// whole box, and `None` when undecided.
+    pub fn check_box(&self, boxes: &IntervalBox) -> Option<bool> {
+        let iv = match self.value.eval_interval(boxes) {
+            Some(iv) => iv,
+            None => return Some(false),
+        };
+        match self.kind {
+            ConstraintKind::NonPositive => {
+                if iv.certainly_nonpositive() {
+                    Some(true)
+                } else if iv.certainly_positive() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            ConstraintKind::Positive => {
+                if iv.certainly_positive() {
+                    Some(true)
+                } else if iv.certainly_nonpositive() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            ConstraintKind::NonNegative => {
+                if !iv.lo().is_negative() {
+                    Some(true)
+                } else if iv.hi().is_negative() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Translates the constraint into a linear inequality `c·α ≤ b` when the
+    /// underlying value is affine. For strict constraints the closure is
+    /// returned (sound for volume purposes: the boundary is a null set).
+    pub fn as_linear(&self, dimension: usize) -> Option<(Vec<Rational>, Rational)> {
+        let (coeffs, constant) = self.value.as_affine(dimension)?;
+        Some(match self.kind {
+            // V ≤ 0  ⟺  c·α ≤ -k
+            ConstraintKind::NonPositive => (coeffs, -constant),
+            // V > 0  ⟺  -c·α < k  (closed for measuring purposes)
+            ConstraintKind::Positive => (coeffs.iter().map(|x| -x).collect(), constant),
+            // V ≥ 0  ⟺  -c·α ≤ k
+            ConstraintKind::NonNegative => (coeffs.iter().map(|x| -x).collect(), constant),
+        })
+    }
+}
+
+impl fmt::Display for SymConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.kind {
+            ConstraintKind::NonPositive => "<= 0",
+            ConstraintKind::Positive => "> 0",
+            ConstraintKind::NonNegative => ">= 0",
+        };
+        write!(f, "{} {op}", self.value)
+    }
+}
+
+/// A branching decision along a path (the conditional oracle `κ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Branch {
+    /// The then-branch (`𝒍`).
+    Then,
+    /// The else-branch (`𝒓`).
+    Else,
+}
+
+/// The internal symbolic term: SPCF with sample variables and postponed
+/// primitive applications.
+#[derive(Debug, Clone, PartialEq)]
+enum STerm {
+    Val(SymValue),
+    Var(Ident),
+    Lam(Ident, Box<STerm>),
+    Fix(Ident, Ident, Box<STerm>),
+    App(Box<STerm>, Box<STerm>),
+    If(Box<STerm>, Box<STerm>, Box<STerm>),
+    Prim(Prim, Vec<STerm>),
+    Sample,
+    Score(Box<STerm>),
+}
+
+impl STerm {
+    fn embed(term: &Term) -> STerm {
+        match term {
+            Term::Var(x) => STerm::Var(x.clone()),
+            Term::Num(r) => STerm::Val(SymValue::Const(r.clone())),
+            Term::Lam(x, b) => STerm::Lam(x.clone(), Box::new(STerm::embed(b))),
+            Term::Fix(p, x, b) => STerm::Fix(p.clone(), x.clone(), Box::new(STerm::embed(b))),
+            Term::App(f, a) => STerm::App(Box::new(STerm::embed(f)), Box::new(STerm::embed(a))),
+            Term::If(g, t, e) => STerm::If(
+                Box::new(STerm::embed(g)),
+                Box::new(STerm::embed(t)),
+                Box::new(STerm::embed(e)),
+            ),
+            Term::Prim(p, args) => STerm::Prim(*p, args.iter().map(STerm::embed).collect()),
+            Term::Sample => STerm::Sample,
+            Term::Score(m) => STerm::Score(Box::new(STerm::embed(m))),
+        }
+    }
+
+    fn is_value(&self) -> bool {
+        matches!(
+            self,
+            STerm::Val(_) | STerm::Var(_) | STerm::Lam(_, _) | STerm::Fix(_, _, _)
+        )
+    }
+
+    fn as_symvalue(&self) -> Option<&SymValue> {
+        match self {
+            STerm::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn subst(&self, x: &Ident, replacement: &STerm) -> STerm {
+        match self {
+            STerm::Var(y) => {
+                if y == x {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            STerm::Val(_) | STerm::Sample => self.clone(),
+            STerm::Lam(y, b) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    STerm::Lam(y.clone(), Box::new(b.subst(x, replacement)))
+                }
+            }
+            STerm::Fix(phi, y, b) => {
+                if phi == x || y == x {
+                    self.clone()
+                } else {
+                    STerm::Fix(phi.clone(), y.clone(), Box::new(b.subst(x, replacement)))
+                }
+            }
+            STerm::App(f, a) => STerm::App(
+                Box::new(f.subst(x, replacement)),
+                Box::new(a.subst(x, replacement)),
+            ),
+            STerm::If(g, t, e) => STerm::If(
+                Box::new(g.subst(x, replacement)),
+                Box::new(t.subst(x, replacement)),
+                Box::new(e.subst(x, replacement)),
+            ),
+            STerm::Prim(p, args) => {
+                STerm::Prim(*p, args.iter().map(|a| a.subst(x, replacement)).collect())
+            }
+            STerm::Score(m) => STerm::Score(Box::new(m.subst(x, replacement))),
+        }
+    }
+}
+
+/// A terminating symbolic path: a conditional oracle together with the path
+/// constraint and bookkeeping information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicPath {
+    /// Number of sample variables drawn along the path.
+    pub sample_count: usize,
+    /// The branch decisions taken, in order.
+    pub branches: Vec<Branch>,
+    /// The collected path constraints `Δ`.
+    pub constraints: Vec<SymConstraint>,
+    /// Number of small-step reductions performed on the path.
+    pub steps: usize,
+    /// The symbolic result value (for base-type programs).
+    pub result: Option<SymValue>,
+}
+
+impl SymbolicPath {
+    /// Returns `true` if every constraint is affine in the sample variables,
+    /// in which case the path region is a convex polytope and its probability
+    /// can be computed exactly.
+    pub fn is_linear(&self) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| c.as_linear(self.sample_count).is_some())
+    }
+
+    /// Builds the polytope `{α ∈ [0,1]^m | Δ}` for linear paths.
+    pub fn to_polytope(&self) -> Option<UnitCubePolytope> {
+        let mut poly = UnitCubePolytope::new(self.sample_count);
+        for c in &self.constraints {
+            let (coeffs, bound) = c.as_linear(self.sample_count)?;
+            poly.add(coeffs, bound);
+        }
+        Some(poly)
+    }
+
+    /// Exact probability of the path region for linear paths.
+    ///
+    /// The constraint system is first split into independent groups of sample
+    /// variables (constraints sharing no variable are probabilistically
+    /// independent), and the volume of each low-dimensional group is computed
+    /// separately — long paths whose constraints are all univariate (the common
+    /// case for the Table 1 benchmarks) therefore take linear time instead of
+    /// invoking the volume oracle in the full trace dimension.
+    pub fn exact_probability(&self) -> Option<Rational> {
+        let linear: Vec<(Vec<Rational>, Rational)> = self
+            .constraints
+            .iter()
+            .map(|c| c.as_linear(self.sample_count))
+            .collect::<Option<Vec<_>>>()?;
+        // Union-find over sample variables connected by shared constraints.
+        let mut parent: Vec<usize> = (0..self.sample_count).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for (coeffs, _) in &linear {
+            let vars: Vec<usize> = coeffs
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.is_zero())
+                .map(|(i, _)| i)
+                .collect();
+            for pair in vars.windows(2) {
+                let a = find(&mut parent, pair[0]);
+                let b = find(&mut parent, pair[1]);
+                parent[a] = b;
+            }
+        }
+        let mut probability = Rational::one();
+        // Constant constraints (no variables): either trivially true or the path is empty.
+        for (coeffs, bound) in &linear {
+            if coeffs.iter().all(Rational::is_zero) && bound.is_negative() {
+                return Some(Rational::zero());
+            }
+        }
+        // Process each connected component separately.
+        let mut roots: Vec<usize> = (0..self.sample_count)
+            .map(|i| find(&mut parent, i))
+            .collect();
+        let mut distinct_roots: Vec<usize> = roots.clone();
+        distinct_roots.sort_unstable();
+        distinct_roots.dedup();
+        // The exact volume oracle is exponential in the dimension; beyond this
+        // threshold the caller falls back to the (sound) box-splitting sweep.
+        const MAX_EXACT_DIMENSION: usize = 7;
+        for root in distinct_roots {
+            let component: Vec<usize> = (0..self.sample_count)
+                .filter(|i| roots[*i] == root)
+                .collect();
+            if component.len() > MAX_EXACT_DIMENSION {
+                return None;
+            }
+            let index_of: std::collections::HashMap<usize, usize> = component
+                .iter()
+                .enumerate()
+                .map(|(local, global)| (*global, local))
+                .collect();
+            let mut poly = UnitCubePolytope::new(component.len());
+            let mut has_constraint = false;
+            for (coeffs, bound) in &linear {
+                let support: Vec<usize> = coeffs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.is_zero())
+                    .map(|(i, _)| i)
+                    .collect();
+                if support.is_empty() || roots[support[0]] != root {
+                    continue;
+                }
+                let mut local = vec![Rational::zero(); component.len()];
+                for i in support {
+                    local[index_of[&i]] = coeffs[i].clone();
+                }
+                poly.add(local, bound.clone());
+                has_constraint = true;
+            }
+            if has_constraint {
+                probability *= &poly.probability();
+                if probability.is_zero() {
+                    return Some(probability);
+                }
+            }
+        }
+        // Keep the borrow checker happy about `roots` being used after the loop.
+        roots.clear();
+        Some(probability)
+    }
+
+    /// Lower-bounds the probability of the path region by adaptive box
+    /// splitting with interval arithmetic — the "sweep" of §7.1. Works for
+    /// arbitrary (non-linear) constraints; `max_boxes` bounds the work.
+    pub fn box_lower_bound(&self, max_boxes: usize) -> Rational {
+        let mut total = Rational::zero();
+        let mut queue: VecDeque<IntervalBox> = VecDeque::new();
+        queue.push_back(IntervalBox::unit(self.sample_count));
+        let mut processed = 0usize;
+        while let Some(cube) = queue.pop_front() {
+            processed += 1;
+            if processed > max_boxes {
+                break;
+            }
+            let mut all_hold = true;
+            let mut any_fail = false;
+            for c in &self.constraints {
+                match c.check_box(&cube) {
+                    Some(true) => {}
+                    Some(false) => {
+                        any_fail = true;
+                        break;
+                    }
+                    None => all_hold = false,
+                }
+            }
+            if any_fail {
+                continue;
+            }
+            if all_hold {
+                total += cube.volume();
+                continue;
+            }
+            match cube.bisect_widest() {
+                Some((a, b)) => {
+                    queue.push_back(a);
+                    queue.push_back(b);
+                }
+                None => continue,
+            }
+        }
+        total
+    }
+
+    /// Probability of the path region: exact for linear constraint systems,
+    /// a box-splitting lower bound otherwise.
+    pub fn probability(&self, max_boxes: usize) -> Rational {
+        match self.exact_probability() {
+            Some(p) => p,
+            None => self.box_lower_bound(max_boxes),
+        }
+    }
+}
+
+/// The outcome of a bounded symbolic exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exploration {
+    /// Paths that reached a value within the budget.
+    pub terminated: Vec<SymbolicPath>,
+    /// Number of paths abandoned because the step budget ran out.
+    pub out_of_fuel: usize,
+    /// Number of paths that got stuck.
+    pub stuck: usize,
+}
+
+/// Configuration of the symbolic exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplorationConfig {
+    /// Maximum number of small steps per path (the exploration depth `d`).
+    pub max_steps_per_path: usize,
+    /// Maximum total number of paths to process (safety valve).
+    pub max_paths: usize,
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> Self {
+        ExplorationConfig {
+            max_steps_per_path: 500,
+            max_paths: 100_000,
+        }
+    }
+}
+
+struct PathState {
+    term: STerm,
+    samples: usize,
+    branches: Vec<Branch>,
+    constraints: Vec<SymConstraint>,
+    steps: usize,
+}
+
+/// Explores the CbN symbolic execution tree of a closed term breadth-first,
+/// collecting every path that reaches a value within the budget.
+pub fn explore(term: &Term, config: &ExplorationConfig) -> Exploration {
+    let mut queue: VecDeque<PathState> = VecDeque::new();
+    queue.push_back(PathState {
+        term: STerm::embed(term),
+        samples: 0,
+        branches: Vec::new(),
+        constraints: Vec::new(),
+        steps: 0,
+    });
+    let mut result = Exploration {
+        terminated: Vec::new(),
+        out_of_fuel: 0,
+        stuck: 0,
+    };
+    let mut processed = 0usize;
+    while let Some(mut state) = queue.pop_front() {
+        processed += 1;
+        if processed > config.max_paths {
+            result.out_of_fuel += 1 + queue.len();
+            break;
+        }
+        loop {
+            if state.term.is_value() {
+                result.terminated.push(SymbolicPath {
+                    sample_count: state.samples,
+                    branches: state.branches,
+                    constraints: state.constraints,
+                    steps: state.steps,
+                    result: state.term.as_symvalue().cloned(),
+                });
+                break;
+            }
+            if state.steps >= config.max_steps_per_path {
+                result.out_of_fuel += 1;
+                break;
+            }
+            match sym_step(state.term.clone(), &mut state) {
+                StepResult::Continue(next) => {
+                    state.term = next;
+                    state.steps += 1;
+                }
+                StepResult::Fork(then_state, else_state) => {
+                    queue.push_back(then_state);
+                    queue.push_back(else_state);
+                    break;
+                }
+                StepResult::Stuck => {
+                    result.stuck += 1;
+                    break;
+                }
+            }
+        }
+    }
+    result
+}
+
+enum StepResult {
+    Continue(STerm),
+    Fork(PathState, PathState),
+    Stuck,
+}
+
+/// One symbolic CbN step. Forks at conditionals whose guard is a symbolic
+/// value that mentions sample variables; guards that are constants are
+/// resolved deterministically.
+fn sym_step(term: STerm, state: &mut PathState) -> StepResult {
+    enum Frame {
+        AppFun(STerm),
+        If(STerm, STerm),
+        Score,
+        Prim(Prim, Vec<STerm>, Vec<STerm>),
+    }
+    fn plug(frames: Vec<Frame>, mut t: STerm) -> STerm {
+        for frame in frames.into_iter().rev() {
+            t = match frame {
+                Frame::AppFun(arg) => STerm::App(Box::new(t), Box::new(arg)),
+                Frame::If(a, b) => STerm::If(Box::new(t), Box::new(a), Box::new(b)),
+                Frame::Score => STerm::Score(Box::new(t)),
+                Frame::Prim(p, mut prefix, suffix) => {
+                    prefix.push(t);
+                    prefix.extend(suffix);
+                    STerm::Prim(p, prefix)
+                }
+            };
+        }
+        t
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut current = term;
+    loop {
+        match current {
+            STerm::App(fun, arg) => match *fun {
+                STerm::Lam(ref x, ref body) => {
+                    return StepResult::Continue(plug(frames, body.subst(x, &arg)));
+                }
+                STerm::Fix(ref phi, ref x, ref body) => {
+                    let unrolled = body.subst(x, &arg).subst(phi, &fun);
+                    return StepResult::Continue(plug(frames, unrolled));
+                }
+                ref f if f.is_value() => return StepResult::Stuck,
+                _ => {
+                    frames.push(Frame::AppFun(*arg));
+                    current = *fun;
+                }
+            },
+            STerm::If(guard, then, els) => match *guard {
+                STerm::Val(v) => {
+                    // Constant guards are decided outright; symbolic guards fork.
+                    if let SymValue::Const(r) = &v {
+                        let taken = if r.is_positive() { *els } else { *then };
+                        return StepResult::Continue(plug(frames, taken));
+                    }
+                    // Rebuild both continuations (the frames are shared, so the
+                    // then-continuation uses a structural copy of them).
+                    let then_frames_term = plug(
+                        frames
+                            .iter()
+                            .map(|f| match f {
+                                Frame::AppFun(a) => Frame::AppFun(a.clone()),
+                                Frame::If(a, b) => Frame::If(a.clone(), b.clone()),
+                                Frame::Score => Frame::Score,
+                                Frame::Prim(p, a, b) => Frame::Prim(*p, a.clone(), b.clone()),
+                            })
+                            .collect(),
+                        (*then).clone(),
+                    );
+                    let else_frames_term = plug(frames, *els);
+                    let mut then_state = PathState {
+                        term: then_frames_term,
+                        samples: state.samples,
+                        branches: state.branches.clone(),
+                        constraints: state.constraints.clone(),
+                        steps: state.steps + 1,
+                    };
+                    then_state.branches.push(Branch::Then);
+                    then_state.constraints.push(SymConstraint {
+                        value: v.clone(),
+                        kind: ConstraintKind::NonPositive,
+                    });
+                    let mut else_state = PathState {
+                        term: else_frames_term,
+                        samples: state.samples,
+                        branches: state.branches.clone(),
+                        constraints: state.constraints.clone(),
+                        steps: state.steps + 1,
+                    };
+                    else_state.branches.push(Branch::Else);
+                    else_state.constraints.push(SymConstraint {
+                        value: v,
+                        kind: ConstraintKind::Positive,
+                    });
+                    return StepResult::Fork(then_state, else_state);
+                }
+                ref g if g.is_value() => return StepResult::Stuck,
+                _ => {
+                    frames.push(Frame::If(*then, *els));
+                    current = *guard;
+                }
+            },
+            STerm::Score(inner) => match *inner {
+                STerm::Val(v) => {
+                    match &v {
+                        SymValue::Const(r) if r.is_negative() => return StepResult::Stuck,
+                        SymValue::Const(_) => {}
+                        _ => state.constraints.push(SymConstraint {
+                            value: v.clone(),
+                            kind: ConstraintKind::NonNegative,
+                        }),
+                    }
+                    return StepResult::Continue(plug(frames, STerm::Val(v)));
+                }
+                ref m if m.is_value() => return StepResult::Stuck,
+                _ => {
+                    frames.push(Frame::Score);
+                    current = *inner;
+                }
+            },
+            STerm::Sample => {
+                let v = SymValue::Var(state.samples);
+                state.samples += 1;
+                return StepResult::Continue(plug(frames, STerm::Val(v)));
+            }
+            STerm::Prim(p, mut args) => {
+                match args.iter().position(|a| a.as_symvalue().is_none()) {
+                    None => {
+                        let values: Vec<SymValue> = args
+                            .iter()
+                            .map(|a| a.as_symvalue().expect("all symbolic values").clone())
+                            .collect();
+                        // Constant-fold when every argument is a constant.
+                        let folded = if values.iter().all(SymValue::is_constant) {
+                            let concrete: Option<Vec<Rational>> =
+                                values.iter().map(|v| v.eval(&[])).collect();
+                            match concrete.and_then(|c| p.eval(&c)) {
+                                Some(r) => SymValue::Const(r),
+                                None => return StepResult::Stuck,
+                            }
+                        } else {
+                            SymValue::Prim(p, values)
+                        };
+                        return StepResult::Continue(plug(frames, STerm::Val(folded)));
+                    }
+                    Some(i) if args[i].is_value() => return StepResult::Stuck,
+                    Some(i) => {
+                        let suffix = args.split_off(i + 1);
+                        let focus = args.pop().expect("argument at position i");
+                        frames.push(Frame::Prim(p, args, suffix));
+                        current = focus;
+                    }
+                }
+            }
+            STerm::Var(_) | STerm::Val(_) | STerm::Lam(_, _) | STerm::Fix(_, _, _) => {
+                return StepResult::Stuck;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probterm_spcf::parse_term;
+
+    fn explore_src(src: &str, steps: usize) -> Exploration {
+        let term = parse_term(src).unwrap();
+        explore(
+            &term,
+            &ExplorationConfig {
+                max_steps_per_path: steps,
+                max_paths: 10_000,
+            },
+        )
+    }
+
+    #[test]
+    fn deterministic_terms_have_one_trivial_path() {
+        let e = explore_src("1 + 2 * 3", 100);
+        assert_eq!(e.terminated.len(), 1);
+        let p = &e.terminated[0];
+        assert_eq!(p.sample_count, 0);
+        assert!(p.constraints.is_empty());
+        assert_eq!(p.result, Some(SymValue::Const(Rational::from_int(7))));
+        assert_eq!(p.probability(100), Rational::one());
+    }
+
+    #[test]
+    fn single_conditional_splits_the_unit_interval() {
+        let e = explore_src("if sample <= 0.25 then 0 else 1", 100);
+        assert_eq!(e.terminated.len(), 2);
+        let total: Rational = e.terminated.iter().map(|p| p.probability(100)).sum();
+        assert_eq!(total, Rational::one());
+        let probs: Vec<Rational> = e.terminated.iter().map(|p| p.probability(100)).collect();
+        assert!(probs.contains(&Rational::from_ratio(1, 4)));
+        assert!(probs.contains(&Rational::from_ratio(3, 4)));
+        // Each path records one branch decision and one constraint.
+        for p in &e.terminated {
+            assert_eq!(p.branches.len(), 1);
+            assert_eq!(p.constraints.len(), 1);
+            assert!(p.is_linear());
+        }
+    }
+
+    #[test]
+    fn triangle_example_has_nonbox_path_regions() {
+        // Ex. 3.5: the no-recursion path terminates iff α0 + α1 ≤ 1, probability 1/2.
+        let e = explore_src(
+            "(fix phi x. if sample + sample - 1 then x else phi x) 0",
+            25,
+        );
+        assert!(!e.terminated.is_empty());
+        let first = &e.terminated[0];
+        assert_eq!(first.sample_count, 2);
+        assert!(first.is_linear());
+        assert_eq!(first.exact_probability(), Some(Rational::from_ratio(1, 2)));
+        // The box-splitting lower bound converges towards 1/2 from below.
+        let lb = first.box_lower_bound(4_000);
+        assert!(lb <= Rational::from_ratio(1, 2));
+        assert!(lb > Rational::from_ratio(2, 5), "lower bound too weak: {lb}");
+    }
+
+    #[test]
+    fn geometric_paths_have_powers_of_p() {
+        let e = explore_src(
+            "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0",
+            200,
+        );
+        // Terminating after k failures has probability (1/2)^{k+1}.
+        let mut probs: Vec<Rational> = e.terminated.iter().map(|p| p.probability(100)).collect();
+        probs.sort();
+        probs.reverse();
+        assert!(probs.len() >= 3);
+        assert_eq!(probs[0], Rational::from_ratio(1, 2));
+        assert_eq!(probs[1], Rational::from_ratio(1, 4));
+        assert_eq!(probs[2], Rational::from_ratio(1, 8));
+        // All paths are linear and their branch histories are distinct.
+        for p in &e.terminated {
+            assert!(p.is_linear());
+        }
+    }
+
+    #[test]
+    fn score_records_nonnegativity_constraints() {
+        let e = explore_src("score(sample - 1/2)", 100);
+        assert_eq!(e.terminated.len(), 1);
+        let p = &e.terminated[0];
+        assert_eq!(p.constraints.len(), 1);
+        assert_eq!(p.constraints[0].kind, ConstraintKind::NonNegative);
+        assert_eq!(p.exact_probability(), Some(Rational::from_ratio(1, 2)));
+        // A certainly-negative score is stuck.
+        let e = explore_src("score(0 - 1)", 100);
+        assert_eq!(e.terminated.len(), 0);
+        assert_eq!(e.stuck, 1);
+    }
+
+    #[test]
+    fn nonlinear_constraints_fall_back_to_box_bounds() {
+        // Terminates iff α0·α1 ≤ 1/2; the region has measure (1 + ln 2)/2 ≈ 0.8466.
+        let e = explore_src("if sample * sample <= 1/2 then 0 else 1", 100);
+        assert_eq!(e.terminated.len(), 2);
+        let nonlinear = e
+            .terminated
+            .iter()
+            .find(|p| p.branches == vec![Branch::Then])
+            .unwrap();
+        assert!(!nonlinear.is_linear());
+        assert!(nonlinear.exact_probability().is_none());
+        let lb = nonlinear.probability(3_000);
+        let truth = (1.0 + std::f64::consts::LN_2) / 2.0;
+        assert!(lb.to_f64() <= truth);
+        assert!(lb.to_f64() > truth - 0.1, "lower bound too weak: {}", lb.to_f64());
+    }
+
+    #[test]
+    fn sample_variable_evaluation_and_affine_views() {
+        // α0 + 2·α1 - 1
+        let v = SymValue::Prim(
+            Prim::Sub,
+            vec![
+                SymValue::Prim(
+                    Prim::Add,
+                    vec![
+                        SymValue::Var(0),
+                        SymValue::Prim(
+                            Prim::Mul,
+                            vec![SymValue::Const(Rational::from_int(2)), SymValue::Var(1)],
+                        ),
+                    ],
+                ),
+                SymValue::Const(Rational::one()),
+            ],
+        );
+        let assignment = vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 4)];
+        assert_eq!(v.eval(&assignment), Some(Rational::zero()));
+        let (coeffs, k) = v.as_affine(2).unwrap();
+        assert_eq!(coeffs, vec![Rational::one(), Rational::from_int(2)]);
+        assert_eq!(k, -Rational::one());
+        assert_eq!(v.max_var(), Some(1));
+        assert!(!v.is_constant());
+        // sig(α0) is not affine but has an interval enclosure.
+        let s = SymValue::Prim(Prim::Sig, vec![SymValue::Var(0)]);
+        assert!(s.as_affine(1).is_none());
+        let enclosure = s.eval_interval(&IntervalBox::unit(1)).unwrap();
+        assert!(enclosure.lo().to_f64() >= 0.49 && enclosure.hi().to_f64() <= 0.74);
+        assert!(format!("{v}").contains("α0"));
+    }
+
+    #[test]
+    fn out_of_fuel_paths_are_counted_not_lost() {
+        let e = explore_src("(fix phi x. if sample <= 1/2 then x else phi x) 0", 12);
+        assert!(e.out_of_fuel > 0);
+        assert!(!e.terminated.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! The non-idempotent intersection (NII) counting system of Appendix D.4
+//! (Fig. 18), restricted to the first-order fragment used by the counting
+//! analysis of §5.
+//!
+//! In a non-idempotent system the intersection assigned to a variable is a
+//! *multiset*, so its cardinality counts how many times the variable is used
+//! semantically in the derivation. For a first-order fixpoint `μφ x. M`,
+//! Lemma D.9 bounds the *recursive rank* (the maximal number of call sites
+//! from which recursive calls are made in one evaluation of the body) by the
+//! largest cardinality assigned to `φ` across all derivations of
+//! `{φ: a, x: b} ⊢ M : R`.
+//!
+//! Because the two conditional rules of Fig. 18 type only one branch each, a
+//! term has many derivations; this module enumerates the achievable usage
+//! counts instead of a single syntactic count, which is what makes the bound
+//! of Lemma D.9 tight on programs whose call sites differ per branch.
+
+use probterm_spcf::{Ident, Term};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The usage census of one NII derivation: for every free variable, the
+/// cardinality of the multiset (intersection) the derivation assigns to it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct UsageCount {
+    counts: BTreeMap<Ident, usize>,
+}
+
+impl UsageCount {
+    /// The empty census (closed subterm, or a subterm using no variables).
+    pub fn empty() -> UsageCount {
+        UsageCount::default()
+    }
+
+    /// A census with a single use of `x`.
+    pub fn single(x: &Ident) -> UsageCount {
+        let mut counts = BTreeMap::new();
+        counts.insert(x.clone(), 1);
+        UsageCount { counts }
+    }
+
+    /// The number of uses of `x` (zero if absent).
+    pub fn of(&self, x: &Ident) -> usize {
+        self.counts.get(x).copied().unwrap_or(0)
+    }
+
+    /// The context disjoint union `Γ ⊎ Δ` of Fig. 18: multiset cardinalities
+    /// add up.
+    pub fn union(&self, other: &UsageCount) -> UsageCount {
+        let mut counts = self.counts.clone();
+        for (x, n) in &other.counts {
+            *counts.entry(x.clone()).or_insert(0) += n;
+        }
+        UsageCount { counts }
+    }
+
+    /// Removes `x` from the census and returns how many uses it had — the
+    /// abstraction rule, which moves the variable's multiset into the arrow.
+    pub fn split_off(&self, x: &Ident) -> (usize, UsageCount) {
+        let mut counts = self.counts.clone();
+        let n = counts.remove(x).unwrap_or(0);
+        (n, UsageCount { counts })
+    }
+
+    /// Iterates over `(variable, uses)` pairs with a positive count.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, usize)> {
+        self.counts.iter().map(|(x, n)| (x, *n))
+    }
+}
+
+impl fmt::Display for UsageCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (x, n)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}: {n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Enumerates the usage censuses of every NII derivation typing `term` at the
+/// base type `R` (Fig. 18, first-order fragment).
+///
+/// The enumeration follows the rules:
+///
+/// * variables, numerals and `sample` have exactly one derivation;
+/// * primitives and applications combine the derivations of their subterms by
+///   context union;
+/// * the two conditional rules give one derivation per derivation of the guard
+///   and of *either* branch;
+/// * a β-redex `(λy. b) a` types `b` once and `a` as many times as `b` uses
+///   `y` (the multiset of the abstraction), so uses multiply out — this is
+///   what distinguishes *semantic* from syntactic occurrence counting;
+/// * other higher-order shapes (abstractions in result position, applications
+///   of arbitrary terms) do not occur in first-order bodies and yield no
+///   derivation.
+///
+/// The result is deduplicated; for typical bodies it is small (one census per
+/// control-flow path).
+pub fn derivation_usage_counts(term: &Term) -> BTreeSet<UsageCount> {
+    match term {
+        Term::Var(x) => BTreeSet::from([UsageCount::single(x)]),
+        Term::Num(_) | Term::Sample => BTreeSet::from([UsageCount::empty()]),
+        Term::Score(m) => derivation_usage_counts(m),
+        Term::Prim(_, args) => {
+            let mut acc = BTreeSet::from([UsageCount::empty()]);
+            for arg in args {
+                acc = cross_union(&acc, &derivation_usage_counts(arg));
+            }
+            acc
+        }
+        Term::If(guard, then, els) => {
+            let guards = derivation_usage_counts(guard);
+            let mut branches = derivation_usage_counts(then);
+            branches.extend(derivation_usage_counts(els));
+            cross_union(&guards, &branches)
+        }
+        Term::App(fun, arg) => apply(fun, arg),
+        // A bare abstraction or fixpoint cannot have type R.
+        Term::Lam(_, _) | Term::Fix(_, _, _) => BTreeSet::new(),
+    }
+}
+
+/// Derivations of an application, handling the first-order shapes: a call of a
+/// variable (e.g. the recursion variable `φ`), a β-redex introduced by `let`,
+/// and nested applications of those.
+fn apply(fun: &Term, arg: &Term) -> BTreeSet<UsageCount> {
+    let args = derivation_usage_counts(arg);
+    match fun {
+        // `x N`: one use of the (function-typed) variable plus the uses of the
+        // argument — the (app) rule with a singleton multiset on the left.
+        Term::Var(x) => cross_union(&BTreeSet::from([UsageCount::single(x)]), &args),
+        // `(λy. b) N` (the desugaring of `let y = N in b`): the body is typed
+        // once; the argument is typed once per use of `y` in that derivation.
+        Term::Lam(y, body) => {
+            let mut out = BTreeSet::new();
+            for body_census in derivation_usage_counts(body) {
+                let (y_uses, rest) = body_census.split_off(y);
+                for combo in choose_with_repetition(&args, y_uses) {
+                    out.insert(rest.union(&combo));
+                }
+            }
+            out
+        }
+        // Curried call of a variable, e.g. `φ (φ (x+1))` has `φ (…)` in
+        // function position only when φ is higher-order — not first-order —
+        // but `(x N₁) N₂` style chains still recurse structurally.
+        Term::App(_, _) => cross_union(&derivation_usage_counts(fun), &args),
+        _ => BTreeSet::new(),
+    }
+}
+
+/// All context unions of one census from `a` with one census from `b`.
+fn cross_union(a: &BTreeSet<UsageCount>, b: &BTreeSet<UsageCount>) -> BTreeSet<UsageCount> {
+    let mut out = BTreeSet::new();
+    for x in a {
+        for y in b {
+            out.insert(x.union(y));
+        }
+    }
+    out
+}
+
+/// All unions of `k` (not necessarily distinct) censuses from `choices`.
+fn choose_with_repetition(choices: &BTreeSet<UsageCount>, k: usize) -> BTreeSet<UsageCount> {
+    let mut acc = BTreeSet::from([UsageCount::empty()]);
+    for _ in 0..k {
+        acc = cross_union(&acc, choices);
+    }
+    acc
+}
+
+/// The largest number of uses of `var` over all NII derivations of `term` at
+/// type `R` — for the recursion variable of a first-order fixpoint body this
+/// is the recursive-rank bound of Lemma D.9.
+pub fn max_variable_uses(term: &Term, var: &Ident) -> usize {
+    derivation_usage_counts(term)
+        .iter()
+        .map(|census| census.of(var))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The set of achievable use counts of `var` across all derivations — one
+/// entry per control-flow resolution of the conditionals. For a fixpoint body
+/// this is the support of the counting pattern over-approximated purely by
+/// typing (no probabilities involved).
+pub fn variable_use_counts(term: &Term, var: &Ident) -> BTreeSet<usize> {
+    derivation_usage_counts(term)
+        .iter()
+        .map(|census| census.of(var))
+        .collect()
+}
+
+/// The recursive-rank bound of Lemma D.9 for a first-order fixpoint
+/// `μφ x. M` (possibly applied to an initial argument, as the benchmark
+/// catalogue does): the maximal multiset cardinality assigned to `φ`.
+///
+/// Returns `None` if the term is not a fixpoint (after stripping one
+/// application).
+pub fn recursive_rank_bound_nii(term: &Term) -> Option<usize> {
+    let fixpoint = match term {
+        Term::App(f, _) if matches!(**f, Term::Fix(_, _, _)) => &**f,
+        other => other,
+    };
+    match fixpoint {
+        Term::Fix(phi, _x, body) => Some(max_variable_uses(body, phi)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probterm_spcf::{catalog, ident, parse_term};
+    use probterm_numerics::Rational;
+
+    fn counts_of_phi(src: &str) -> BTreeSet<usize> {
+        let term = parse_term(src).unwrap();
+        let fixpoint = match &term {
+            Term::App(f, _) => (**f).clone(),
+            other => other.clone(),
+        };
+        let Term::Fix(phi, _, body) = &fixpoint else { panic!("expected a fixpoint") };
+        variable_use_counts(body, phi)
+    }
+
+    #[test]
+    fn affine_printer_has_rank_one() {
+        let counts = counts_of_phi("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 1");
+        assert_eq!(counts, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn nonaffine_printer_has_rank_two() {
+        let term = catalog::printer_nonaffine(Rational::from_ratio(1, 2)).term;
+        assert_eq!(recursive_rank_bound_nii(&term), Some(2));
+        let counts = counts_of_phi("(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 1");
+        assert_eq!(counts, BTreeSet::from([0, 2]));
+    }
+
+    #[test]
+    fn tired_printer_has_rank_three_with_all_branch_counts() {
+        // Ex. 5.1: branches make 0, 2 or 3 recursive calls.
+        let term = catalog::tired_printer(Rational::parse("0.6").unwrap()).term;
+        assert_eq!(recursive_rank_bound_nii(&term), Some(3));
+        let Term::App(f, _) = &term else { panic!() };
+        let Term::Fix(phi, _, body) = &**f else { panic!() };
+        assert_eq!(variable_use_counts(body, phi), BTreeSet::from([0, 2, 3]));
+    }
+
+    #[test]
+    fn let_bindings_count_semantic_not_syntactic_uses() {
+        // `let y = phi 0 in y + y` uses φ once syntactically but twice
+        // semantically: the NII system charges one derivation of the argument
+        // per use of `y`.
+        let term = parse_term("(fix phi x. let y = phi 0 in y + y) 1").unwrap();
+        assert_eq!(recursive_rank_bound_nii(&term), Some(2));
+        // Conversely `let y = x in phi (y + y)` uses φ once.
+        let term = parse_term("(fix phi x. let y = x in phi (y + y)) 1").unwrap();
+        assert_eq!(recursive_rank_bound_nii(&term), Some(1));
+        // A discarded binding means the argument is not typed at all.
+        let term = parse_term("(fix phi x. let y = phi 0 in x) 1").unwrap();
+        assert_eq!(recursive_rank_bound_nii(&term), Some(0));
+    }
+
+    #[test]
+    fn branch_dependent_call_sites_are_tracked_per_derivation() {
+        // 1 call in the left branch, 3 in the right one.
+        let counts = counts_of_phi(
+            "(fix phi x. if sample <= 1/2 then phi x else phi (phi (phi x))) 1",
+        );
+        assert_eq!(counts, BTreeSet::from([1, 3]));
+    }
+
+    #[test]
+    fn error_reuse_printer_matches_example_5_15() {
+        let term = catalog::error_reuse_printer(Rational::parse("0.65").unwrap()).term;
+        assert_eq!(recursive_rank_bound_nii(&term), Some(3));
+    }
+
+    #[test]
+    fn usage_count_algebra() {
+        let x = ident("x");
+        let y = ident("y");
+        let a = UsageCount::single(&x);
+        let b = UsageCount::single(&x).union(&UsageCount::single(&y));
+        let u = a.union(&b);
+        assert_eq!(u.of(&x), 2);
+        assert_eq!(u.of(&y), 1);
+        assert_eq!(u.of(&ident("z")), 0);
+        let (n, rest) = u.split_off(&x);
+        assert_eq!(n, 2);
+        assert_eq!(rest.of(&x), 0);
+        assert_eq!(rest.of(&y), 1);
+        assert_eq!(u.iter().count(), 2);
+        assert!(u.to_string().contains("x: 2"));
+        assert_eq!(UsageCount::empty().of(&x), 0);
+    }
+
+    #[test]
+    fn non_fixpoints_are_rejected_and_values_have_no_r_derivation() {
+        assert_eq!(recursive_rank_bound_nii(&parse_term("1 + 1").unwrap()), None);
+        // A bare abstraction has no derivation at type R.
+        assert!(derivation_usage_counts(&parse_term("lam x. x").unwrap()).is_empty());
+        // Numerals and sample have exactly one (empty) census.
+        assert_eq!(derivation_usage_counts(&parse_term("sample").unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn scores_and_primitives_accumulate_uses() {
+        let term = parse_term("score(x) + x").unwrap();
+        let counts = variable_use_counts(&term, &ident("x"));
+        assert_eq!(counts, BTreeSet::from([2]));
+    }
+}

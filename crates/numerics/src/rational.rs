@@ -1,0 +1,630 @@
+//! Exact rational arithmetic.
+//!
+//! [`Rational`] values are the numeric backbone of every analysis in this
+//! workspace: branch probabilities, interval endpoints, weights of interval
+//! traces, polytope volumes and expected-step counts are all exact rationals,
+//! exactly as the paper's prototype does in §7.1 ("Our tool computes rational
+//! lower-bounds to avoid rounding errors").
+
+use crate::bigint::{BigInt, BigUint, Sign};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(|num|, den) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_numerics::Rational;
+///
+/// let third = Rational::from_ratio(1, 3);
+/// let sum = &third + &third + &third;
+/// assert_eq!(sum, Rational::one());
+/// assert_eq!(Rational::from_ratio(2, 4), Rational::from_ratio(1, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl Rational {
+    /// The value `0`.
+    pub fn zero() -> Rational {
+        Rational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Rational {
+        Rational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value `1/2`.
+    pub fn half() -> Rational {
+        Rational::from_ratio(1, 2)
+    }
+
+    /// Constructs `num / den` from machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn from_ratio(num: i64, den: i64) -> Rational {
+        assert!(den != 0, "zero denominator");
+        let sign_flip = den < 0;
+        let num = if sign_flip { BigInt::from(-num) } else { BigInt::from(num) };
+        let den = BigUint::from(den.unsigned_abs());
+        Rational::from_bigint_ratio(num, BigInt::from(den))
+    }
+
+    /// Constructs `num / den` from big integers, normalising signs and the gcd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_bigint_ratio(num: BigInt, den: BigInt) -> Rational {
+        assert!(!den.is_zero(), "zero denominator");
+        let (num, den_mag) = if den.is_negative() {
+            (-num, den.into_magnitude())
+        } else {
+            (num, den.into_magnitude())
+        };
+        if num.is_zero() {
+            return Rational::zero();
+        }
+        let g = num.magnitude().gcd(&den_mag);
+        let num = BigInt::from_sign_mag(num.sign(), num.magnitude().div_rem(&g).0);
+        let den = den_mag.div_rem(&g).0;
+        Rational { num, den }
+    }
+
+    /// Constructs an integer-valued rational.
+    pub fn from_int(v: i64) -> Rational {
+        Rational {
+            num: BigInt::from(v),
+            den: BigUint::one(),
+        }
+    }
+
+    /// Constructs a rational from a big integer.
+    pub fn from_bigint(v: BigInt) -> Rational {
+        Rational {
+            num: v,
+            den: BigUint::one(),
+        }
+    }
+
+    /// Numerator (signed, coprime with the denominator).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (strictly positive).
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.den.is_one() && self.num == BigInt::one()
+    }
+
+    /// Returns `true` if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Additive inverse.
+    pub fn negated(&self) -> Rational {
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::from_bigint_ratio(
+            BigInt::from(self.den.clone()),
+            self.num.clone(),
+        )
+    }
+
+    /// Adds two rationals.
+    pub fn add_ref(&self, other: &Rational) -> Rational {
+        // a/b + c/d = (a d + c b) / (b d)
+        let num = &(&self.num * &BigInt::from(other.den.clone()))
+            + &(&other.num * &BigInt::from(self.den.clone()));
+        let den = BigInt::from(self.den.mul_ref(&other.den));
+        Rational::from_bigint_ratio(num, den)
+    }
+
+    /// Subtracts `other` from `self`.
+    pub fn sub_ref(&self, other: &Rational) -> Rational {
+        self.add_ref(&other.negated())
+    }
+
+    /// Multiplies two rationals.
+    pub fn mul_ref(&self, other: &Rational) -> Rational {
+        let num = &self.num * &other.num;
+        let den = BigInt::from(self.den.mul_ref(&other.den));
+        Rational::from_bigint_ratio(num, den)
+    }
+
+    /// Divides `self` by `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_ref(&self, other: &Rational) -> Rational {
+        self.mul_ref(&other.recip())
+    }
+
+    /// Raises to an integer power (negative exponents allowed for nonzero values).
+    ///
+    /// # Panics
+    ///
+    /// Panics when raising zero to a negative power.
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::one();
+        }
+        let positive = self.pow_u32(exp.unsigned_abs());
+        if exp > 0 {
+            positive
+        } else {
+            positive.recip()
+        }
+    }
+
+    fn pow_u32(&self, exp: u32) -> Rational {
+        Rational {
+            num: self.num.pow(exp),
+            den: self.den.pow(exp),
+        }
+    }
+
+    /// The minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Floor as a big integer.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&BigInt::from(self.den.clone()));
+        if self.num.is_negative() && !r.is_zero() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling as a big integer.
+    pub fn ceil(&self) -> BigInt {
+        -((&-self).floor())
+    }
+
+    /// Best-effort conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale to keep precision when both parts are huge.
+        let nb = self.num.magnitude().bits() as i64;
+        let db = self.den.bits() as i64;
+        if nb < 900 && db < 900 {
+            return self.num.to_f64() / self.den.to_f64();
+        }
+        let shift = (nb.max(db) - 512).max(0) as u64;
+        let n = self.num.magnitude().shr_bits(shift).to_f64();
+        let d = self.den.shr_bits(shift).to_f64();
+        let v = n / d;
+        if self.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Converts a finite `f64` into the exactly-represented rational.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not finite.
+    pub fn from_f64_exact(v: f64) -> Rational {
+        assert!(v.is_finite(), "cannot convert non-finite float to rational");
+        if v == 0.0 {
+            return Rational::zero();
+        }
+        let bits = v.to_bits();
+        let sign = if (bits >> 63) == 1 { -1i64 } else { 1i64 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let mantissa = bits & ((1u64 << 52) - 1);
+        let (mantissa, exponent) = if exponent == 0 {
+            (mantissa, -1074i64)
+        } else {
+            (mantissa | (1u64 << 52), exponent - 1075)
+        };
+        let mag = BigUint::from(mantissa);
+        let num = BigInt::from_sign_mag(
+            if sign > 0 { Sign::Positive } else { Sign::Negative },
+            mag,
+        );
+        if exponent >= 0 {
+            Rational::from_bigint_ratio(
+                BigInt::from_sign_mag(num.sign(), num.magnitude().shl_bits(exponent as u64)),
+                BigInt::one(),
+            )
+        } else {
+            Rational::from_bigint_ratio(
+                num,
+                BigInt::from(BigUint::one().shl_bits((-exponent) as u64)),
+            )
+        }
+    }
+
+    /// Parses a decimal literal such as `"0.25"`, `"-3"`, `"7/9"`.
+    pub fn parse(s: &str) -> Option<Rational> {
+        let s = s.trim();
+        if let Some((n, d)) = s.split_once('/') {
+            let num = Rational::parse_decimal(n)?;
+            let den = Rational::parse_decimal(d)?;
+            if den.is_zero() {
+                return None;
+            }
+            return Some(num.div_ref(&den));
+        }
+        Rational::parse_decimal(s)
+    }
+
+    fn parse_decimal(s: &str) -> Option<Rational> {
+        let s = s.trim();
+        let (neg, rest) = match s.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if rest.is_empty() {
+            return None;
+        }
+        let (int_part, frac_part) = match rest.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (rest, ""),
+        };
+        let int_part = if int_part.is_empty() { "0" } else { int_part };
+        let int_val = BigUint::from_decimal(int_part)?;
+        let mut num = BigInt::from(int_val);
+        let mut den = BigUint::one();
+        if !frac_part.is_empty() {
+            let frac_val = BigUint::from_decimal(frac_part)?;
+            den = BigUint::from(10u64).pow(frac_part.len() as u32);
+            num = BigInt::from(num.into_magnitude().mul_ref(&den)) + BigInt::from(frac_val);
+        }
+        let r = Rational::from_bigint_ratio(num, BigInt::from(den));
+        Some(if neg { r.negated() } else { r })
+    }
+
+    /// Renders the value in decimal with `digits` fractional digits,
+    /// truncated toward zero (matching how the paper prints lower bounds).
+    pub fn to_decimal_string(&self, digits: usize) -> String {
+        let scale = BigUint::from(10u64).pow(digits as u32);
+        let scaled = (&self.num.abs() * &BigInt::from(scale)).div_rem(&BigInt::from(self.den.clone())).0;
+        let scaled_str = scaled.to_string();
+        let scaled_str = if scaled_str.len() <= digits {
+            format!("{}{}", "0".repeat(digits + 1 - scaled_str.len()), scaled_str)
+        } else {
+            scaled_str
+        };
+        let (ip, fp) = scaled_str.split_at(scaled_str.len() - digits);
+        let sign = if self.is_negative() { "-" } else { "" };
+        if digits == 0 {
+            format!("{}{}", sign, ip)
+        } else {
+            format!("{}{}.{}", sign, ip, fp)
+        }
+    }
+
+    /// Returns `true` if the value lies in the closed unit interval.
+    pub fn in_unit_interval(&self) -> bool {
+        !self.is_negative() && *self <= Rational::one()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Rational {
+        Rational::from_int(v)
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Rational {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Rational {
+        Rational::from_bigint(v)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b ? c/d  <=>  a d ? c b   (b, d > 0)
+        let lhs = &self.num * &BigInt::from(other.den.clone());
+        let rhs = &other.num * &BigInt::from(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $impl_method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$impl_method(&rhs)
+            }
+        }
+        impl<'a> $trait<&'a Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &'a Rational) -> Rational {
+                self.$impl_method(rhs)
+            }
+        }
+        impl<'a> $trait<&'a Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &'a Rational) -> Rational {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$impl_method(&rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, add_ref);
+impl_binop!(Sub, sub, sub_ref);
+impl_binop!(Mul, mul, mul_ref);
+impl_binop!(Div, div, div_ref);
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = self.add_ref(&rhs);
+    }
+}
+
+impl<'a> AddAssign<&'a Rational> for Rational {
+    fn add_assign(&mut self, rhs: &'a Rational) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = self.sub_ref(&rhs);
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = self.mul_ref(&rhs);
+    }
+}
+
+impl<'a> MulAssign<&'a Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &'a Rational) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.negated()
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.negated()
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |acc, x| acc + x)
+    }
+}
+
+impl std::iter::Product for Rational {
+    fn product<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::one(), |acc, x| acc * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert_eq!(r(6, -3), Rational::from_int(-2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 3) + r(1, 6), r(1, 2));
+        assert_eq!(r(1, 3) - r(1, 2), r(-1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), Rational::from_int(2));
+        assert_eq!(-r(3, 7), r(-3, 7));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rational::one());
+        assert!(r(-5, 2) < Rational::zero());
+    }
+
+    #[test]
+    fn powers_and_reciprocals() {
+        assert_eq!(r(2, 3).pow(3), r(8, 27));
+        assert_eq!(r(2, 3).pow(-2), r(9, 4));
+        assert_eq!(r(2, 3).pow(0), Rational::one());
+        assert_eq!(r(-1, 2).pow(3), r(-1, 8));
+        assert_eq!(r(3, 4).recip(), r(4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::zero().recip();
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor().to_i64(), Some(3));
+        assert_eq!(r(7, 2).ceil().to_i64(), Some(4));
+        assert_eq!(r(-7, 2).floor().to_i64(), Some(-4));
+        assert_eq!(r(-7, 2).ceil().to_i64(), Some(-3));
+        assert_eq!(r(4, 2).floor().to_i64(), Some(2));
+        assert_eq!(r(4, 2).ceil().to_i64(), Some(2));
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!(Rational::parse("0.25"), Some(r(1, 4)));
+        assert_eq!(Rational::parse("-1.5"), Some(r(-3, 2)));
+        assert_eq!(Rational::parse("7/9"), Some(r(7, 9)));
+        assert_eq!(Rational::parse("3"), Some(Rational::from_int(3)));
+        assert_eq!(Rational::parse(".5"), Some(r(1, 2)));
+        assert_eq!(Rational::parse("1/0"), None);
+        assert_eq!(Rational::parse("abc"), None);
+    }
+
+    #[test]
+    fn decimal_rendering() {
+        assert_eq!(r(1, 3).to_decimal_string(10), "0.3333333333");
+        assert_eq!(r(-1, 8).to_decimal_string(3), "-0.125");
+        assert_eq!(Rational::from_int(2).to_decimal_string(2), "2.00");
+        assert_eq!(r(1, 2).to_decimal_string(0), "0");
+    }
+
+    #[test]
+    fn f64_roundtrips() {
+        for v in [0.5f64, 0.25, -0.125, 3.0, 0.1] {
+            let q = Rational::from_f64_exact(v);
+            assert_eq!(q.to_f64(), v);
+        }
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sums_and_products() {
+        let xs = vec![r(1, 4), r(1, 4), r(1, 2)];
+        let s: Rational = xs.iter().sum();
+        assert_eq!(s, Rational::one());
+        let p: Rational = xs.into_iter().product();
+        assert_eq!(p, r(1, 32));
+    }
+
+    #[test]
+    fn unit_interval_check() {
+        assert!(r(1, 2).in_unit_interval());
+        assert!(Rational::zero().in_unit_interval());
+        assert!(Rational::one().in_unit_interval());
+        assert!(!r(3, 2).in_unit_interval());
+        assert!(!r(-1, 2).in_unit_interval());
+    }
+}

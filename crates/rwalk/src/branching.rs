@@ -1,0 +1,337 @@
+//! Branching-process (Galton–Watson) view of non-affine recursion.
+//!
+//! A first-order fixpoint whose counting pattern is *independent of the
+//! argument* behaves exactly like a Galton–Watson branching process: each
+//! pending recursive call is an individual, and resolving it spawns `n` new
+//! pending calls with the probability given by the counting distribution
+//! (paper §5.3 and Appendix D, where the same decomposition appears as the
+//! bijection between *number trees* and terminating runs of the walk).
+//!
+//! The probability of termination of the program is then the **extinction
+//! probability** of the process — the least fixed point of its probability
+//! generating function on `[0, 1]`. This gives closed forms for several
+//! Table 1 rows (e.g. Ex. 1.1 with `p = 1/4` terminates with probability
+//! exactly `1/3`) which the tests use to cross-validate the lower-bound
+//! engine, and it re-derives the AST thresholds of §5 independently of
+//! Theorem 5.4: extinction is almost sure iff the mean offspring number is at
+//! most one (and the process is not the deterministic single-child process).
+
+use crate::CountingDistribution;
+use probterm_numerics::Rational;
+
+/// The probability generating function `g(s) = Σₙ c(n)·sⁿ` of a counting
+/// distribution, together with the branching-process quantities derived from
+/// it.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_numerics::Rational;
+/// use probterm_rwalk::{CountingDistribution, GeneratingFunction};
+///
+/// // Ex. 1.1 (2) with p = 1/4: counting pattern 1/4·δ0 + 3/4·δ2.
+/// let c = CountingDistribution::from_pairs([
+///     (0, Rational::from_ratio(1, 4)),
+///     (2, Rational::from_ratio(3, 4)),
+/// ]);
+/// let g = GeneratingFunction::new(&c);
+/// // The program terminates with probability exactly 1/3.
+/// assert_eq!(g.extinction_probability_exact(), Some(Rational::from_ratio(1, 3)));
+/// assert!(!g.is_almost_surely_extinct());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratingFunction {
+    /// Coefficients `c(0), c(1), …` (trailing zeros trimmed).
+    coefficients: Vec<Rational>,
+}
+
+impl GeneratingFunction {
+    /// Builds the generating function of `counting`.
+    pub fn new(counting: &CountingDistribution) -> GeneratingFunction {
+        let degree = counting.max_calls().unwrap_or(0) as usize;
+        let mut coefficients = vec![Rational::zero(); degree + 1];
+        for (n, p) in counting.iter() {
+            coefficients[n as usize] = p.clone();
+        }
+        GeneratingFunction { coefficients }
+    }
+
+    /// The coefficients `c(0), c(1), …, c(d)` of the polynomial.
+    pub fn coefficients(&self) -> &[Rational] {
+        &self.coefficients
+    }
+
+    /// The degree of the polynomial (the maximal number of offspring / the
+    /// recursive rank contribution of §5.4).
+    pub fn degree(&self) -> usize {
+        self.coefficients.len().saturating_sub(1)
+    }
+
+    /// Evaluates `g(s)` exactly by Horner's rule.
+    pub fn eval(&self, s: &Rational) -> Rational {
+        let mut acc = Rational::zero();
+        for c in self.coefficients.iter().rev() {
+            acc = acc.mul_ref(s) + c.clone();
+        }
+        acc
+    }
+
+    /// Evaluates `g(s)` in floating point.
+    pub fn eval_f64(&self, s: f64) -> f64 {
+        let mut acc = 0.0;
+        for c in self.coefficients.iter().rev() {
+            acc = acc * s + c.to_f64();
+        }
+        acc
+    }
+
+    /// The mean offspring number `g'(1) = Σₙ n·c(n)`.
+    pub fn mean_offspring(&self) -> Rational {
+        self.coefficients
+            .iter()
+            .enumerate()
+            .map(|(n, c)| Rational::from_int(n as i64).mul_ref(c))
+            .sum()
+    }
+
+    /// Total probability mass `g(1)`. A deficit corresponds to the walk's
+    /// failure state `⊥` (Definition 5.2) and makes extinction sub-certain.
+    pub fn total_mass(&self) -> Rational {
+        self.coefficients.iter().sum()
+    }
+
+    /// Whether the process dies out almost surely — the branching-process
+    /// restatement of Theorem 5.4: full mass, not the deterministic
+    /// single-child process `δ₁`, and mean offspring at most one.
+    pub fn is_almost_surely_extinct(&self) -> bool {
+        let is_dirac_one = self.coefficients.len() == 2
+            && self.coefficients[0].is_zero()
+            && self.coefficients[1].is_one();
+        self.total_mass().is_one() && !is_dirac_one && self.mean_offspring() <= Rational::one()
+    }
+
+    /// The extinction probability as the limit of the Kleene iteration
+    /// `q₀ = 0, qₖ₊₁ = g(qₖ)`, evaluated in floating point until two
+    /// consecutive iterates differ by less than `tolerance` or `max_iter`
+    /// iterations have been performed.
+    pub fn extinction_probability_f64(&self, tolerance: f64, max_iter: usize) -> f64 {
+        let mut q = 0.0f64;
+        for _ in 0..max_iter {
+            let next = self.eval_f64(q).clamp(0.0, 1.0);
+            if (next - q).abs() < tolerance {
+                return next;
+            }
+            q = next;
+        }
+        q
+    }
+
+    /// A monotonically increasing sequence of exact rational lower bounds on
+    /// the extinction probability: the first `iterations` Kleene iterates
+    /// `q₀ = 0, qₖ₊₁ = g(qₖ)`. Every entry is a sound lower bound on the
+    /// termination probability of the corresponding program.
+    ///
+    /// Iterate sizes grow quickly (each step multiplies denominators), so this
+    /// is intended for small iteration counts; use
+    /// [`extinction_probability_f64`](Self::extinction_probability_f64) for
+    /// tight numeric values.
+    pub fn extinction_lower_bounds(&self, iterations: usize) -> Vec<Rational> {
+        let mut out = Vec::with_capacity(iterations + 1);
+        let mut q = Rational::zero();
+        out.push(q.clone());
+        for _ in 0..iterations {
+            q = self.eval(&q);
+            out.push(q.clone());
+        }
+        out
+    }
+
+    /// The exact extinction probability, when it has rational closed form:
+    ///
+    /// * for full-mass distributions supported on `{0, 1, 2}` the generating
+    ///   equation `g(q) = q` is a quadratic with root `1`, so the extinction
+    ///   probability is `min(1, c(0)/c(2))`;
+    /// * for distributions with `c(0) = 0` (and some other offspring) the
+    ///   process can never die out, so the answer is `0` (or `1` for the empty
+    ///   distribution `δ₀` handled first);
+    /// * distributions that already guarantee extinction return `1`.
+    ///
+    /// Returns `None` when no rational closed form is implemented (e.g. cubic
+    /// support with mass deficit); callers should fall back to
+    /// [`extinction_probability_f64`](Self::extinction_probability_f64).
+    pub fn extinction_probability_exact(&self) -> Option<Rational> {
+        if self.is_almost_surely_extinct() {
+            return Some(Rational::one());
+        }
+        if self.coefficients.first().map(Rational::is_zero).unwrap_or(true) {
+            // No chance of zero offspring: a started process never dies out.
+            return Some(Rational::zero());
+        }
+        if self.total_mass().is_one() && self.degree() <= 2 {
+            let c0 = self.coefficients[0].clone();
+            let c2 = self
+                .coefficients
+                .get(2)
+                .cloned()
+                .unwrap_or_else(Rational::zero);
+            if c2.is_zero() {
+                // Affine case with full mass and positive stop probability:
+                // geometric, extinction certain (already covered above unless
+                // the mean is > 1, which cannot happen with degree ≤ 1).
+                return Some(Rational::one());
+            }
+            let q = c0.div_ref(&c2);
+            return Some(q.min(Rational::one()));
+        }
+        None
+    }
+}
+
+/// Builds the generating function of the counting distribution and returns
+/// its extinction probability in floating point — a convenience wrapper used
+/// by the examples and the cross-validation tests.
+pub fn extinction_probability(counting: &CountingDistribution) -> f64 {
+    GeneratingFunction::new(counting).extinction_probability_f64(1e-12, 100_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    fn printer(p: Rational) -> CountingDistribution {
+        CountingDistribution::from_pairs([(0, p.clone()), (2, Rational::one() - p)])
+    }
+
+    #[test]
+    fn printer_extinction_probability_closed_form() {
+        // Ex. 1.1 (2): q = min(1, p/(1-p)).
+        for (p, expected) in [
+            (r(1, 4), r(1, 3)),
+            (r(1, 3), r(1, 2)),
+            (r(2, 5), r(2, 3)),
+            (r(1, 2), Rational::one()),
+            (r(3, 4), Rational::one()),
+        ] {
+            let g = GeneratingFunction::new(&printer(p.clone()));
+            assert_eq!(g.extinction_probability_exact(), Some(expected.clone()), "p = {p}");
+            let numeric = g.extinction_probability_f64(1e-12, 200_000);
+            // At the critical point p = 1/2 the Kleene iteration converges only
+            // sub-geometrically, so allow a coarser numeric tolerance there.
+            let tolerance = if expected.is_one() { 1e-4 } else { 1e-6 };
+            assert!((numeric - expected.to_f64()).abs() < tolerance, "p = {p}: {numeric}");
+        }
+    }
+
+    #[test]
+    fn ast_threshold_matches_theorem_5_4() {
+        for p in [r(1, 10), r(1, 4), r(49, 100), r(1, 2), r(3, 5), r(9, 10)] {
+            let c = printer(p.clone());
+            let g = GeneratingFunction::new(&c);
+            assert_eq!(
+                g.is_almost_surely_extinct(),
+                c.shifted().is_ast(),
+                "branching view and Theorem 5.4 must agree at p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_ratio_term_extinction() {
+        // gr (Table 1): three recursive calls with probability 1/2, none with
+        // 1/2. The extinction equation q = 1/2 + 1/2·q³ has no rational root
+        // below 1, so the exact solver declines and the Kleene iteration
+        // converges to the inverse golden ratio (√5−1)/2 reported in Table 1.
+        let c = CountingDistribution::from_pairs([(0, r(1, 2)), (3, r(1, 2))]);
+        let g = GeneratingFunction::new(&c);
+        assert_eq!(g.extinction_probability_exact(), None);
+        let q = g.extinction_probability_f64(1e-12, 200_000);
+        // Least positive root of q³ − 2q + 1 = (q − 1)(q² + q − 1): (√5−1)/2.
+        let golden = (5.0f64.sqrt() - 1.0) / 2.0;
+        assert!((q - golden).abs() < 1e-9, "got {q}");
+    }
+
+    #[test]
+    fn three_print_threshold() {
+        // 3print_p: counting pattern p·δ0 + (1−p)·δ3; AST iff p ≥ 2/3.
+        for (p, expect) in [(r(2, 3), true), (r(3, 4), true), (r(3, 5), false)] {
+            let c = CountingDistribution::from_pairs([(0, p.clone()), (3, Rational::one() - p.clone())]);
+            let g = GeneratingFunction::new(&c);
+            assert_eq!(g.is_almost_surely_extinct(), expect, "p = {p}");
+            if !expect {
+                let q = g.extinction_probability_f64(1e-12, 200_000);
+                assert!(q < 1.0 - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn kleene_iterates_are_monotone_lower_bounds() {
+        let g = GeneratingFunction::new(&printer(r(1, 4)));
+        let bounds = g.extinction_lower_bounds(12);
+        for w in bounds.windows(2) {
+            assert!(w[0] <= w[1], "iterates must be monotone");
+        }
+        let limit = r(1, 3);
+        for b in &bounds {
+            assert!(*b <= limit, "every iterate is a lower bound");
+        }
+        assert!(bounds.last().unwrap() > &r(3, 10), "iterates approach 1/3");
+    }
+
+    #[test]
+    fn no_stop_probability_means_no_extinction() {
+        let c = CountingDistribution::from_pairs([(1, r(1, 2)), (2, r(1, 2))]);
+        let g = GeneratingFunction::new(&c);
+        assert_eq!(g.extinction_probability_exact(), Some(Rational::zero()));
+        assert!(!g.is_almost_surely_extinct());
+    }
+
+    #[test]
+    fn affine_full_mass_is_geometric_and_extinct() {
+        let c = CountingDistribution::from_pairs([(0, r(1, 5)), (1, r(4, 5))]);
+        let g = GeneratingFunction::new(&c);
+        assert!(g.is_almost_surely_extinct());
+        assert_eq!(g.extinction_probability_exact(), Some(Rational::one()));
+        assert_eq!(g.mean_offspring(), r(4, 5));
+    }
+
+    #[test]
+    fn mass_deficit_blocks_certain_extinction() {
+        // 10% of runs fail outright (score failure / stuck): extinction < 1
+        // even though the drift is favourable.
+        let c = CountingDistribution::from_pairs([(0, r(9, 10))]);
+        let g = GeneratingFunction::new(&c);
+        assert!(!g.is_almost_surely_extinct());
+        assert_eq!(g.extinction_probability_exact(), None);
+        let q = g.extinction_probability_f64(1e-12, 1000);
+        assert!((q - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_and_accessors() {
+        let c = CountingDistribution::from_pairs([(0, r(3, 5)), (2, r(1, 5)), (3, r(1, 5))]);
+        let g = GeneratingFunction::new(&c);
+        assert_eq!(g.degree(), 3);
+        assert_eq!(g.coefficients().len(), 4);
+        assert_eq!(g.eval(&Rational::one()), Rational::one());
+        assert_eq!(g.eval(&Rational::zero()), r(3, 5));
+        assert_eq!(g.total_mass(), Rational::one());
+        assert_eq!(g.mean_offspring(), r(2, 5) + r(3, 5));
+        assert!((g.eval_f64(0.5) - g.eval(&r(1, 2)).to_f64()).abs() < 1e-12);
+        // Mean offspring exactly 1: critical process, so the Kleene iteration
+        // approaches 1 slowly — only require closeness, not convergence.
+        assert!(extinction_probability(&c) > 0.999);
+    }
+
+    #[test]
+    fn dirac_one_is_not_extinct_matching_theorem_5_4_condition_b() {
+        let c = CountingDistribution::dirac(1);
+        let g = GeneratingFunction::new(&c);
+        assert!(!g.is_almost_surely_extinct());
+        assert!(!c.shifted().is_ast());
+    }
+}

@@ -1,0 +1,575 @@
+//! Random walks on the natural numbers and counting distributions.
+//!
+//! Paper §5.1 reduces AST of non-affine recursive programs to the almost-sure
+//! absorption at `0` of a left-truncated random walk whose per-step relative
+//! change is drawn from a *step distribution* `s : ℤ → [0,1]`. The central
+//! decision procedure is Theorem 5.4:
+//!
+//! > A finite step distribution `s` is AST iff (a) `Σᵢ s(i) = 1`, (b) `s ≠ δ₀`,
+//! > and (c) `Σᵢ i·s(i) ≤ 0`.
+//!
+//! which is decidable in linear time for rational-valued distributions.
+//! Programs give rise to *counting distributions* (sub-pmfs on ℕ, §5.2) whose
+//! shift by `-1` is the associated step distribution, and to the partial order
+//! `⊑` of Lemma 5.10 that transfers AST from a lower bound to a whole family
+//! (uniform AST).
+
+#![warn(missing_docs)]
+
+mod branching;
+mod matrix;
+
+pub use branching::{extinction_probability, GeneratingFunction};
+pub use matrix::{adversarial_absorption_within, WalkMatrix};
+
+use probterm_numerics::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite step distribution: a sub-probability mass function on ℤ with
+/// finite support, describing the relative change of the walk in one step.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_numerics::Rational;
+/// use probterm_rwalk::StepDistribution;
+///
+/// // The shifted counting pattern of the fair non-affine printer (Ex. 1.1(2), p = 1/2):
+/// // probability 1/2 of -1 (call resolved) and 1/2 of +1 (one extra pending call).
+/// let s = StepDistribution::from_pairs([(-1, Rational::from_ratio(1, 2)), (1, Rational::from_ratio(1, 2))]);
+/// assert!(s.is_ast());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepDistribution {
+    probabilities: BTreeMap<i64, Rational>,
+}
+
+impl StepDistribution {
+    /// The everywhere-zero sub-distribution.
+    pub fn zero() -> StepDistribution {
+        StepDistribution::default()
+    }
+
+    /// The Dirac distribution `δ_k`.
+    pub fn dirac(k: i64) -> StepDistribution {
+        StepDistribution::from_pairs([(k, Rational::one())])
+    }
+
+    /// Builds a step distribution from `(change, probability)` pairs,
+    /// accumulating repeated keys and dropping zero-probability entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is negative or the total mass exceeds one.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (i64, Rational)>) -> StepDistribution {
+        let mut probabilities: BTreeMap<i64, Rational> = BTreeMap::new();
+        for (k, p) in pairs {
+            assert!(!p.is_negative(), "negative probability for change {k}");
+            if p.is_zero() {
+                continue;
+            }
+            *probabilities.entry(k).or_insert_with(Rational::zero) += p;
+        }
+        let d = StepDistribution { probabilities };
+        assert!(
+            d.total_mass() <= Rational::one(),
+            "step distribution mass exceeds one: {}",
+            d.total_mass()
+        );
+        d
+    }
+
+    /// The probability of the relative change `k`.
+    pub fn probability(&self, k: i64) -> Rational {
+        self.probabilities.get(&k).cloned().unwrap_or_else(Rational::zero)
+    }
+
+    /// Iterates over `(change, probability)` pairs with non-zero probability.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &Rational)> {
+        self.probabilities.iter().map(|(k, p)| (*k, p))
+    }
+
+    /// The support of the distribution.
+    pub fn support(&self) -> Vec<i64> {
+        self.probabilities.keys().copied().collect()
+    }
+
+    /// Total probability mass `Σᵢ s(i)`.
+    pub fn total_mass(&self) -> Rational {
+        self.probabilities.values().sum()
+    }
+
+    /// The "missing" probability `1 - Σᵢ s(i)`, interpreted as failure of the
+    /// walk (transition to `⊥` in Definition 5.2).
+    pub fn missing_mass(&self) -> Rational {
+        Rational::one() - self.total_mass()
+    }
+
+    /// The (signed) expectation `Σᵢ i·s(i)` of the relative change.
+    pub fn mean(&self) -> Rational {
+        self.probabilities
+            .iter()
+            .map(|(k, p)| Rational::from_int(*k) * p)
+            .sum()
+    }
+
+    /// Returns `true` if this is exactly the Dirac distribution at zero.
+    pub fn is_dirac_zero(&self) -> bool {
+        self.probabilities.len() == 1 && self.probability(0) == Rational::one()
+    }
+
+    /// Decides almost-sure absorption at `0` of the truncated walk via
+    /// Theorem 5.4: full mass, not `δ₀`, and non-positive drift.
+    pub fn is_ast(&self) -> bool {
+        self.total_mass() == Rational::one() && !self.is_dirac_zero() && !self.mean().is_positive()
+    }
+
+    /// Explains the AST decision, listing which of the three conditions of
+    /// Theorem 5.4 fail (empty iff the distribution is AST).
+    pub fn ast_violations(&self) -> Vec<AstViolation> {
+        let mut out = Vec::new();
+        if self.total_mass() != Rational::one() {
+            out.push(AstViolation::MassDeficit(self.missing_mass()));
+        }
+        if self.is_dirac_zero() {
+            out.push(AstViolation::DiracZero);
+        }
+        if self.mean().is_positive() {
+            out.push(AstViolation::PositiveDrift(self.mean()));
+        }
+        out
+    }
+
+    /// Numerically simulates the truncated walk of Definition 5.2 and returns
+    /// the probability of having reached `0` from `start` within `steps`
+    /// steps. Used as a cross-check of the exact decision procedure.
+    pub fn absorption_probability(&self, start: u64, steps: usize) -> f64 {
+        if start == 0 {
+            return 1.0;
+        }
+        // State space: 0 (absorbed), 1..=max_state, ⊥ (implicit: lost mass).
+        let max_state = (start as usize + steps + 1).min(4_000);
+        let mut current = vec![0.0f64; max_state + 1];
+        if (start as usize) <= max_state {
+            current[start as usize] = 1.0;
+        }
+        let mut absorbed = 0.0f64;
+        let support: Vec<(i64, f64)> = self
+            .probabilities
+            .iter()
+            .map(|(k, p)| (*k, p.to_f64()))
+            .collect();
+        for _ in 0..steps {
+            let mut next = vec![0.0f64; max_state + 1];
+            for (state, &mass) in current.iter().enumerate().skip(1) {
+                if mass == 0.0 {
+                    continue;
+                }
+                for (change, p) in &support {
+                    let target = state as i64 + change;
+                    if target <= 0 {
+                        absorbed += mass * p;
+                    } else if (target as usize) <= max_state {
+                        next[target as usize] += mass * p;
+                    }
+                    // Mass escaping beyond max_state is treated as non-absorbed.
+                }
+            }
+            current = next;
+        }
+        absorbed
+    }
+}
+
+impl fmt::Display for StepDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.probabilities.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (k, p)) in self.probabilities.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{p}·δ{k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A reason why a step distribution is not AST (Theorem 5.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstViolation {
+    /// The total mass is below one (the walk can fail) by the given amount.
+    MassDeficit(Rational),
+    /// The distribution is the Dirac distribution at zero.
+    DiracZero,
+    /// The drift is strictly positive.
+    PositiveDrift(Rational),
+}
+
+impl fmt::Display for AstViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstViolation::MassDeficit(m) => write!(f, "probability mass deficit of {m}"),
+            AstViolation::DiracZero => write!(f, "the step distribution is δ0"),
+            AstViolation::PositiveDrift(m) => write!(f, "strictly positive drift {m}"),
+        }
+    }
+}
+
+/// A counting distribution: a sub-pmf on ℕ giving, for a single evaluation of
+/// a recursive body, the probability of making recursive calls from exactly
+/// `n` distinct call sites (paper §5.2).
+///
+/// # Examples
+///
+/// ```
+/// use probterm_numerics::Rational;
+/// use probterm_rwalk::CountingDistribution;
+///
+/// // Ex. 1.1 (2) with p = 1/2: no call w.p. 1/2, two calls w.p. 1/2.
+/// let c = CountingDistribution::from_pairs([
+///     (0, Rational::from_ratio(1, 2)),
+///     (2, Rational::from_ratio(1, 2)),
+/// ]);
+/// assert!(c.shifted().is_ast());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CountingDistribution {
+    probabilities: BTreeMap<u64, Rational>,
+}
+
+impl CountingDistribution {
+    /// The everywhere-zero sub-distribution.
+    pub fn zero() -> CountingDistribution {
+        CountingDistribution::default()
+    }
+
+    /// The Dirac distribution at `n` calls.
+    pub fn dirac(n: u64) -> CountingDistribution {
+        CountingDistribution::from_pairs([(n, Rational::one())])
+    }
+
+    /// Builds a counting distribution from `(calls, probability)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is negative or the total mass exceeds one.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, Rational)>) -> CountingDistribution {
+        let mut probabilities: BTreeMap<u64, Rational> = BTreeMap::new();
+        for (k, p) in pairs {
+            assert!(!p.is_negative(), "negative probability for count {k}");
+            if p.is_zero() {
+                continue;
+            }
+            *probabilities.entry(k).or_insert_with(Rational::zero) += p;
+        }
+        let d = CountingDistribution { probabilities };
+        assert!(
+            d.total_mass() <= Rational::one(),
+            "counting distribution mass exceeds one: {}",
+            d.total_mass()
+        );
+        d
+    }
+
+    /// The probability of making recursive calls from exactly `n` call sites.
+    pub fn probability(&self, n: u64) -> Rational {
+        self.probabilities.get(&n).cloned().unwrap_or_else(Rational::zero)
+    }
+
+    /// Iterates over `(calls, probability)` pairs with non-zero probability.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Rational)> {
+        self.probabilities.iter().map(|(k, p)| (*k, p))
+    }
+
+    /// Total probability mass.
+    pub fn total_mass(&self) -> Rational {
+        self.probabilities.values().sum()
+    }
+
+    /// Cumulative mass `Σ_{m ≤ n} c(m)`.
+    pub fn cumulative(&self, n: u64) -> Rational {
+        self.probabilities
+            .iter()
+            .filter(|(k, _)| **k <= n)
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// The largest call count with positive probability (the distribution's
+    /// contribution to the *recursive rank* of §5.4), or `None` if empty.
+    pub fn max_calls(&self) -> Option<u64> {
+        self.probabilities.keys().next_back().copied()
+    }
+
+    /// Expected number of recursive calls `Σ n·c(n)`.
+    pub fn expected_calls(&self) -> Rational {
+        self.probabilities
+            .iter()
+            .map(|(k, p)| Rational::from_int(*k as i64) * p)
+            .sum()
+    }
+
+    /// The shifted step distribution `s̄(z) = c(z + 1)` of §5.3: resolving a
+    /// call that spawns `n` new calls changes the number of pending calls by
+    /// `n − 1`.
+    pub fn shifted(&self) -> StepDistribution {
+        StepDistribution::from_pairs(
+            self.probabilities
+                .iter()
+                .map(|(k, p)| (*k as i64 - 1, p.clone())),
+        )
+    }
+
+    /// The partial order `⊑` of §5.3: `self ⊑ other` iff the cumulative weight
+    /// of `self` is pointwise at most that of `other`.
+    pub fn le(&self, other: &CountingDistribution) -> bool {
+        let mut checkpoints: Vec<u64> = self
+            .probabilities
+            .keys()
+            .chain(other.probabilities.keys())
+            .copied()
+            .collect();
+        checkpoints.sort_unstable();
+        checkpoints.dedup();
+        checkpoints
+            .iter()
+            .all(|n| self.cumulative(*n) <= other.cumulative(*n))
+    }
+
+    /// Lemma 5.10 / Theorem 5.9 combination: if `self ⊑ t` for every `t` in
+    /// `family` and the shift of `self` is AST, then the family is uniformly
+    /// AST (and hence the program it was extracted from is AST).
+    pub fn witnesses_uniform_ast<'a>(
+        &self,
+        family: impl IntoIterator<Item = &'a CountingDistribution>,
+    ) -> bool {
+        self.shifted().is_ast() && family.into_iter().all(|t| self.le(t))
+    }
+}
+
+impl fmt::Display for CountingDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.probabilities.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (k, p)) in self.probabilities.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{p}·δ{k}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks uniform AST of a *finite* family of step distributions via
+/// Lemma 5.6: a finite family is uniformly AST iff each member is AST.
+pub fn finite_family_uniform_ast<'a>(
+    family: impl IntoIterator<Item = &'a StepDistribution>,
+) -> bool {
+    family.into_iter().all(StepDistribution::is_ast)
+}
+
+/// Corollary 5.13: a program with recursive rank `rank` that is `ε`-recursion
+/// avoiding is AST whenever `rank · (1 − ε) ≤ 1`.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not a probability.
+pub fn epsilon_ra_implies_ast(rank: u64, epsilon: &Rational) -> bool {
+    assert!(
+        epsilon.in_unit_interval(),
+        "epsilon must be a probability, got {epsilon}"
+    );
+    Rational::from_int(rank as i64) * (Rational::one() - epsilon) <= Rational::one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn theorem_5_4_basic_cases() {
+        // Fair ±1 walk: AST (zero drift).
+        let fair = StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 2))]);
+        assert!(fair.is_ast());
+        assert_eq!(fair.mean(), Rational::zero());
+        // Downwards biased: AST.
+        let down = StepDistribution::from_pairs([(-1, r(2, 3)), (1, r(1, 3))]);
+        assert!(down.is_ast());
+        // Upwards biased: not AST (positive drift).
+        let up = StepDistribution::from_pairs([(-1, r(1, 3)), (1, r(2, 3))]);
+        assert!(!up.is_ast());
+        assert_eq!(up.ast_violations(), vec![AstViolation::PositiveDrift(r(1, 3))]);
+        // Sub-probability mass: not AST.
+        let deficit = StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 4))]);
+        assert!(!deficit.is_ast());
+        assert!(matches!(deficit.ast_violations()[0], AstViolation::MassDeficit(_)));
+        // δ0: not AST.
+        assert!(!StepDistribution::dirac(0).is_ast());
+        assert_eq!(StepDistribution::dirac(0).ast_violations(), vec![AstViolation::DiracZero]);
+        // δ-1: AST (always moves down).
+        assert!(StepDistribution::dirac(-1).is_ast());
+    }
+
+    #[test]
+    fn printer_counting_patterns_from_the_paper() {
+        // Ex. 1.1 (2): counting distribution p·δ0 + (1-p)·δ2. AST iff p ≥ 1/2.
+        for (p, expect) in [(r(1, 2), true), (r(3, 5), true), (r(1, 4), false)] {
+            let c = CountingDistribution::from_pairs([
+                (0, p.clone()),
+                (2, Rational::one() - p.clone()),
+            ]);
+            assert_eq!(c.shifted().is_ast(), expect, "p = {p}");
+        }
+        // 3print: p·δ0 + (1-p)·δ3. AST iff 3(1-p) - 1 ≤ 0 ⟺ p ≥ 2/3.
+        for (p, expect) in [(r(2, 3), true), (r(3, 4), true), (r(1, 2), false)] {
+            let c = CountingDistribution::from_pairs([
+                (0, p.clone()),
+                (3, Rational::one() - p.clone()),
+            ]);
+            assert_eq!(c.shifted().is_ast(), expect, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn example_5_11_lower_bound_distribution() {
+        // s = p·δ0 + (1-p)/2·δ2 + (1-p)/2·δ3 is AST iff p ≥ 3/5 (Ex. 5.11).
+        let s = |p: Rational| {
+            CountingDistribution::from_pairs([
+                (0, p.clone()),
+                (2, (Rational::one() - p.clone()) * r(1, 2)),
+                (3, (Rational::one() - p) * r(1, 2)),
+            ])
+        };
+        assert!(s(r(3, 5)).shifted().is_ast());
+        assert!(s(r(7, 10)).shifted().is_ast());
+        assert!(!s(r(59, 100)).shifted().is_ast());
+    }
+
+    #[test]
+    fn example_5_15_threshold_is_sqrt7_minus_2() {
+        // s = p·δ0 + (1-p)²/2·δ2 + (1-p²)/2·δ3 is AST iff p ≥ √7 − 2 (App. D.5).
+        let s = |p: Rational| {
+            let one = Rational::one();
+            CountingDistribution::from_pairs([
+                (0, p.clone()),
+                (2, (&one - &p).pow(2) * r(1, 2)),
+                (3, (&one - &(&p * &p)) * r(1, 2)),
+            ])
+        };
+        // √7 − 2 ≈ 0.645751…
+        assert!(s(Rational::parse("0.65").unwrap()).shifted().is_ast());
+        assert!(s(Rational::parse("0.6458").unwrap()).shifted().is_ast());
+        assert!(!s(Rational::parse("0.645").unwrap()).shifted().is_ast());
+        assert!(!s(Rational::parse("0.6").unwrap()).shifted().is_ast());
+    }
+
+    #[test]
+    fn shifted_distribution_shifts_by_one() {
+        let c = CountingDistribution::from_pairs([(0, r(1, 4)), (1, r(1, 4)), (3, r(1, 2))]);
+        let s = c.shifted();
+        assert_eq!(s.probability(-1), r(1, 4));
+        assert_eq!(s.probability(0), r(1, 4));
+        assert_eq!(s.probability(2), r(1, 2));
+        assert_eq!(s.total_mass(), Rational::one());
+        assert_eq!(s.mean(), c.expected_calls() - Rational::one());
+    }
+
+    #[test]
+    fn partial_order_on_counting_distributions() {
+        // s ⊑ t iff cumulative(s) ≤ cumulative(t) pointwise.
+        let s = CountingDistribution::from_pairs([(0, r(1, 2)), (2, r(1, 2))]);
+        let t = CountingDistribution::from_pairs([(0, r(3, 4)), (2, r(1, 4))]);
+        assert!(s.le(&t));
+        assert!(!t.le(&s));
+        assert!(s.le(&s));
+        // Incomparable pair.
+        let u = CountingDistribution::from_pairs([(1, Rational::one())]);
+        let v = CountingDistribution::from_pairs([(0, r(1, 2)), (3, r(1, 2))]);
+        assert!(!u.le(&v) || !v.le(&u));
+        // Lemma 5.10 via witnesses_uniform_ast.
+        let family = vec![t.clone(), CountingDistribution::from_pairs([(0, Rational::one())])];
+        assert!(s.witnesses_uniform_ast(family.iter()));
+    }
+
+    #[test]
+    fn lemma_5_6_finite_families() {
+        let a = StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 2))]);
+        let b = StepDistribution::dirac(-1);
+        assert!(finite_family_uniform_ast([&a, &b]));
+        let c = StepDistribution::from_pairs([(1, Rational::one())]);
+        assert!(!finite_family_uniform_ast([&a, &c]));
+        assert!(finite_family_uniform_ast(std::iter::empty::<&StepDistribution>()));
+    }
+
+    #[test]
+    fn corollary_5_13_epsilon_ra() {
+        // Affine programs (rank ≤ 1): any ε works — even ε = 0 satisfies 1·(1-0) ≤ 1.
+        assert!(epsilon_ra_implies_ast(1, &Rational::zero()));
+        // Ex. 1.1 (2): rank 2, ε = p; applicable iff p ≥ 1/2 (Ex. 5.14).
+        assert!(epsilon_ra_implies_ast(2, &r(1, 2)));
+        assert!(epsilon_ra_implies_ast(2, &r(3, 4)));
+        assert!(!epsilon_ra_implies_ast(2, &r(1, 4)));
+        // Ex. 5.1: rank 3, needs ε ≥ 2/3 via the corollary (weaker than Thm. 5.9).
+        assert!(epsilon_ra_implies_ast(3, &r(2, 3)));
+        assert!(!epsilon_ra_implies_ast(3, &r(3, 5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be a probability")]
+    fn epsilon_ra_rejects_bad_epsilon() {
+        let _ = epsilon_ra_implies_ast(2, &r(3, 2));
+    }
+
+    #[test]
+    fn absorption_simulation_agrees_with_theorem() {
+        // AST walk: absorption probability approaches 1.
+        let fair = StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 2))]);
+        let p = fair.absorption_probability(1, 20_000);
+        assert!(p > 0.97, "fair walk absorbed with prob {p}");
+        // Biased-up walk from 1: absorption probability tends to q/p = 1/2.
+        let up = StepDistribution::from_pairs([(-1, r(1, 3)), (1, r(2, 3))]);
+        let p = up.absorption_probability(1, 20_000);
+        assert!((p - 0.5).abs() < 0.02, "biased walk absorbed with prob {p}");
+        // Dirac at -1 from 3: absorbed after exactly 3 steps.
+        let down = StepDistribution::dirac(-1);
+        assert_eq!(down.absorption_probability(3, 2), 0.0);
+        assert_eq!(down.absorption_probability(3, 3), 1.0);
+        assert_eq!(down.absorption_probability(0, 0), 1.0);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let c = CountingDistribution::from_pairs([(0, r(3, 5)), (2, r(1, 5)), (3, r(1, 5))]);
+        assert_eq!(c.max_calls(), Some(3));
+        assert_eq!(c.total_mass(), Rational::one());
+        assert_eq!(c.cumulative(2), r(4, 5));
+        assert_eq!(c.expected_calls(), r(2, 5) + r(3, 5));
+        assert_eq!(c.probability(1), Rational::zero());
+        assert!(c.to_string().contains("δ0"));
+        assert_eq!(CountingDistribution::zero().max_calls(), None);
+        assert_eq!(CountingDistribution::zero().to_string(), "0");
+        let s = StepDistribution::from_pairs([(-1, r(1, 2))]);
+        assert_eq!(s.support(), vec![-1]);
+        assert_eq!(s.missing_mass(), r(1, 2));
+        assert!(s.to_string().contains("δ-1"));
+        assert_eq!(StepDistribution::zero().to_string(), "0");
+        assert_eq!(s.iter().count(), 1);
+        assert_eq!(c.iter().count(), 3);
+        assert_eq!(CountingDistribution::dirac(2).probability(2), Rational::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "mass exceeds one")]
+    fn overfull_distribution_panics() {
+        let _ = StepDistribution::from_pairs([(0, r(3, 4)), (1, r(1, 2))]);
+    }
+}

@@ -1,0 +1,393 @@
+//! Explicit stochastic-matrix view of the truncated random walk
+//! (paper Definition 5.2, Definition 5.3 and Definition 5.5).
+//!
+//! [`StepDistribution::is_ast`](crate::StepDistribution::is_ast) decides
+//! almost-sure absorption analytically (Theorem 5.4). This module provides the
+//! *definitional* objects that theorem talks about: the stochastic matrix
+//! `M_s` on `ℕ⊥`, its finite powers `M_s^n(m, 0)` (the probability of having
+//! been absorbed at `0` within `n` steps when starting from `m`), and the
+//! adversarial infimum of Definition 5.5 for a finite family of step
+//! distributions. All quantities are exact rationals, so the unit tests can
+//! cross-check the analytic criterion against the definition it implements.
+
+use crate::StepDistribution;
+use probterm_numerics::Rational;
+
+/// The truncated random walk of Definition 5.2, represented explicitly on the
+/// finite state window `{⊥, 0, 1, …, max_state}` (mass that would move past
+/// `max_state` is treated as escaped and never absorbed, so every probability
+/// computed here is a sound lower bound on the true absorption probability).
+///
+/// # Examples
+///
+/// ```
+/// use probterm_numerics::Rational;
+/// use probterm_rwalk::{StepDistribution, WalkMatrix};
+///
+/// let fair = StepDistribution::from_pairs([
+///     (-1, Rational::from_ratio(1, 2)),
+///     (1, Rational::from_ratio(1, 2)),
+/// ]);
+/// let walk = WalkMatrix::new(&fair, 16);
+/// // Starting at 1, the walk is absorbed within 1 step with probability 1/2.
+/// assert_eq!(walk.absorption_within(1, 1), Rational::from_ratio(1, 2));
+/// // ... and within 3 steps with probability 1/2 + 1/8 = 5/8.
+/// assert_eq!(walk.absorption_within(1, 3), Rational::from_ratio(5, 8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkMatrix {
+    step: StepDistribution,
+    max_state: usize,
+}
+
+impl WalkMatrix {
+    /// Builds the truncated walk for `step` on the window `{0, …, max_state}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_state` is zero (the window must contain at least one
+    /// transient state).
+    pub fn new(step: &StepDistribution, max_state: usize) -> WalkMatrix {
+        assert!(max_state > 0, "the state window must contain a transient state");
+        WalkMatrix { step: step.clone(), max_state }
+    }
+
+    /// The underlying step distribution.
+    pub fn step_distribution(&self) -> &StepDistribution {
+        &self.step
+    }
+
+    /// The largest transient state represented explicitly.
+    pub fn max_state(&self) -> usize {
+        self.max_state
+    }
+
+    /// One row of the stochastic matrix `M_s` of Definition 5.2: the
+    /// probability of moving from `state` to each of `⊥, 0, 1, …, max_state`
+    /// in one step. The first component of the returned pair is the
+    /// probability of leaving the window — entering `⊥` (the failure state)
+    /// or escaping past `max_state`; the vector holds the probabilities of
+    /// the states `0..=max_state`.
+    pub fn row(&self, state: usize) -> (Rational, Vec<Rational>) {
+        let mut probs = vec![Rational::zero(); self.max_state + 1];
+        if state == 0 {
+            // 0 is absorbing.
+            probs[0] = Rational::one();
+            return (Rational::zero(), probs);
+        }
+        let mut bottom = self.step.missing_mass();
+        for (change, p) in self.step.iter() {
+            let target = state as i64 + change;
+            if target <= 0 {
+                probs[0] += p;
+            } else if (target as usize) <= self.max_state {
+                probs[target as usize] += p;
+            } else {
+                bottom += p;
+            }
+        }
+        if bottom.is_negative() {
+            bottom = Rational::zero();
+        }
+        (bottom, probs)
+    }
+
+    /// `M_s^n(start, 0)`: the exact probability of having reached the
+    /// absorbing state `0` within `n` steps when starting from `start`
+    /// (Definition 5.3). Mass folded back at the window edge makes this a
+    /// lower bound on the untruncated quantity.
+    pub fn absorption_within(&self, start: usize, n: usize) -> Rational {
+        let mut dist = vec![Rational::zero(); self.max_state + 1];
+        let idx = start.min(self.max_state);
+        dist[idx] = Rational::one();
+        for _ in 0..n {
+            if dist[0].is_one() {
+                break;
+            }
+            dist = self.advance(&dist);
+        }
+        dist[0].clone()
+    }
+
+    /// The full absorption profile `n ↦ M_s^n(start, 0)` for `n = 0, …, steps`.
+    /// The sequence is monotone non-decreasing (Definition 5.3 notes that the
+    /// limit therefore always exists).
+    pub fn absorption_profile(&self, start: usize, steps: usize) -> Vec<Rational> {
+        let mut dist = vec![Rational::zero(); self.max_state + 1];
+        dist[start.min(self.max_state)] = Rational::one();
+        let mut out = Vec::with_capacity(steps + 1);
+        out.push(dist[0].clone());
+        for _ in 0..steps {
+            dist = self.advance(&dist);
+            out.push(dist[0].clone());
+        }
+        out
+    }
+
+    /// A lower bound on the expected absorption time `Σ_n (1 − M_s^n(start, 0))`
+    /// truncated at `horizon` steps. For walks that are *not* positively
+    /// recurrent this quantity grows without bound in `horizon`.
+    pub fn expected_absorption_time_lower_bound(&self, start: usize, horizon: usize) -> Rational {
+        let profile = self.absorption_profile(start, horizon);
+        profile
+            .iter()
+            .take(horizon)
+            .map(|p| Rational::one() - p.clone())
+            .sum()
+    }
+
+    fn advance(&self, dist: &[Rational]) -> Vec<Rational> {
+        let mut next = vec![Rational::zero(); self.max_state + 1];
+        next[0] = dist[0].clone();
+        for (state, mass) in dist.iter().enumerate().skip(1) {
+            if mass.is_zero() {
+                continue;
+            }
+            for (change, p) in self.step.iter() {
+                let target = state as i64 + change;
+                if target <= 0 {
+                    next[0] += mass.mul_ref(p);
+                } else if (target as usize) <= self.max_state {
+                    next[target as usize] += mass.mul_ref(p);
+                }
+                // Mass escaping past the window is dropped (never absorbed).
+            }
+        }
+        next
+    }
+}
+
+/// The adversarial absorption probability of Definition 5.5 for a finite
+/// family of step distributions: the infimum over all length-`n` schedules
+/// `s_{i₁}, …, s_{iₙ}` of the probability of having been absorbed at `0`
+/// within `n` steps, starting from `start`.
+///
+/// Uniform AST of the family means this quantity tends to `1` as `n → ∞` for
+/// every `start`; Lemma 5.6 shows that for finite families it suffices that
+/// every member is AST.  The computation is a backwards dynamic program: the
+/// adversary picks, at every step and in every state, the member minimising
+/// the continuation probability.
+///
+/// # Panics
+///
+/// Panics if the family is empty or `max_state` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_numerics::Rational;
+/// use probterm_rwalk::{adversarial_absorption_within, StepDistribution};
+///
+/// let down = StepDistribution::dirac(-1);
+/// let fair = StepDistribution::from_pairs([
+///     (-1, Rational::from_ratio(1, 2)),
+///     (1, Rational::from_ratio(1, 2)),
+/// ]);
+/// // Against the adversary, only the fair walk's guarantee survives.
+/// let p = adversarial_absorption_within(&[down, fair.clone()], 1, 3, 16);
+/// assert_eq!(p, Rational::from_ratio(5, 8));
+/// ```
+pub fn adversarial_absorption_within(
+    family: &[StepDistribution],
+    start: usize,
+    n: usize,
+    max_state: usize,
+) -> Rational {
+    assert!(!family.is_empty(), "the family of step distributions must be non-empty");
+    assert!(max_state > 0, "the state window must contain a transient state");
+    // value[m] = inf over schedules of length k of P(absorbed within k | state m).
+    let mut value = vec![Rational::zero(); max_state + 1];
+    value[0] = Rational::one();
+    for _ in 0..n {
+        let mut next = vec![Rational::zero(); max_state + 1];
+        next[0] = Rational::one();
+        for state in 1..=max_state {
+            let mut best: Option<Rational> = None;
+            for step in family {
+                let mut total = Rational::zero();
+                for (change, p) in step.iter() {
+                    let target = state as i64 + change;
+                    let continuation = if target <= 0 {
+                        Rational::one()
+                    } else if (target as usize) <= max_state {
+                        value[target as usize].clone()
+                    } else {
+                        // Escaping the window is conservatively never absorbed.
+                        Rational::zero()
+                    };
+                    total += p.mul_ref(&continuation);
+                }
+                best = Some(match best {
+                    None => total,
+                    Some(b) => b.min(total),
+                });
+            }
+            next[state] = best.expect("family is non-empty");
+        }
+        value = next;
+    }
+    value[start.min(max_state)].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finite_family_uniform_ast;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn absorbing_state_stays_absorbed() {
+        let fair = StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 2))]);
+        let walk = WalkMatrix::new(&fair, 8);
+        assert_eq!(walk.absorption_within(0, 0), Rational::one());
+        assert_eq!(walk.absorption_within(0, 25), Rational::one());
+        let (bottom, row) = walk.row(0);
+        assert_eq!(bottom, Rational::zero());
+        assert_eq!(row[0], Rational::one());
+        assert!(row[1..].iter().all(Rational::is_zero));
+    }
+
+    #[test]
+    fn rows_are_substochastic_and_complete() {
+        let leaky = StepDistribution::from_pairs([(-1, r(1, 2)), (2, r(1, 4))]);
+        let walk = WalkMatrix::new(&leaky, 6);
+        for state in 0..=6 {
+            let (bottom, row) = walk.row(state);
+            let total: Rational = row.iter().sum::<Rational>() + bottom;
+            assert_eq!(total, Rational::one(), "row {state} must be stochastic");
+        }
+        // From state 1, mass 1/4 escapes to ⊥ every step, so absorption stalls
+        // strictly below 1.
+        assert!(walk.absorption_within(1, 50) < Rational::one());
+    }
+
+    #[test]
+    fn dirac_down_absorbs_in_exactly_start_steps() {
+        let down = StepDistribution::dirac(-1);
+        let walk = WalkMatrix::new(&down, 8);
+        for start in 1..=5usize {
+            assert_eq!(walk.absorption_within(start, start - 1), Rational::zero());
+            assert_eq!(walk.absorption_within(start, start), Rational::one());
+        }
+    }
+
+    #[test]
+    fn fair_walk_profile_matches_catalan_numbers() {
+        // Starting from 1, absorption at step 2k+1 happens with probability
+        // C_k / 2^{2k+1} (Catalan numbers); cumulative sums: 1/2, 5/8, 21/32, …
+        let fair = StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 2))]);
+        let walk = WalkMatrix::new(&fair, 64);
+        let profile = walk.absorption_profile(1, 7);
+        assert_eq!(profile[0], Rational::zero());
+        assert_eq!(profile[1], r(1, 2));
+        assert_eq!(profile[2], r(1, 2));
+        assert_eq!(profile[3], r(5, 8));
+        assert_eq!(profile[5], r(11, 16));
+        assert_eq!(profile[7], r(93, 128));
+        // Monotone non-decreasing, as claimed below Definition 5.3.
+        for w in profile.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn profile_converges_towards_one_exactly_when_ast() {
+        let cases = [
+            (StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 2))]), true),
+            (StepDistribution::from_pairs([(-1, r(2, 3)), (1, r(1, 3))]), true),
+            (StepDistribution::from_pairs([(-1, r(1, 3)), (1, r(2, 3))]), false),
+        ];
+        for (step, ast) in cases {
+            let walk = WalkMatrix::new(&step, 80);
+            let p = walk.absorption_within(1, 400);
+            if ast {
+                assert!(step.is_ast());
+                assert!(p > r(9, 10), "AST walk should be mostly absorbed, got {p}");
+            } else {
+                assert!(!step.is_ast());
+                // Gambler's ruin: absorption probability from 1 is q/p = 1/2.
+                assert!(p < r(21, 40), "non-AST walk stays near 1/2, got {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_absorption_time_distinguishes_past_from_merely_ast() {
+        // Fair walk: AST but null recurrent — the truncated expected time keeps
+        // growing with the horizon.
+        let fair = StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 2))]);
+        let walk = WalkMatrix::new(&fair, 120);
+        let short = walk.expected_absorption_time_lower_bound(1, 50);
+        let long = walk.expected_absorption_time_lower_bound(1, 400);
+        assert!(long > short.mul_ref(&r(2, 1)), "null-recurrent walk: {short} vs {long}");
+        // Downwards-biased walk: positively recurrent; expected time from 1 is
+        // 1/(2p−1) = 3 for p = 2/3, so the truncated sums stay below 3.
+        let down = StepDistribution::from_pairs([(-1, r(2, 3)), (1, r(1, 3))]);
+        let walk = WalkMatrix::new(&down, 120);
+        let e = walk.expected_absorption_time_lower_bound(1, 400);
+        assert!(e < r(3, 1));
+        assert!(e > r(29, 10));
+    }
+
+    #[test]
+    fn matrix_powers_agree_with_float_simulation() {
+        let step = StepDistribution::from_pairs([(-1, r(3, 5)), (0, r(1, 10)), (1, r(3, 10))]);
+        let walk = WalkMatrix::new(&step, 60);
+        let exact = walk.absorption_within(2, 200).to_f64();
+        let float = step.absorption_probability(2, 200);
+        assert!((exact - float).abs() < 1e-9, "{exact} vs {float}");
+    }
+
+    #[test]
+    fn adversarial_absorption_matches_single_member_family() {
+        let fair = StepDistribution::from_pairs([(-1, r(1, 2)), (1, r(1, 2))]);
+        let walk = WalkMatrix::new(&fair, 32);
+        for n in [0usize, 1, 3, 10] {
+            assert_eq!(
+                adversarial_absorption_within(std::slice::from_ref(&fair), 1, n, 32),
+                walk.absorption_within(1, n),
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_absorption_is_below_every_member() {
+        let a = StepDistribution::from_pairs([(-1, r(2, 3)), (1, r(1, 3))]);
+        let b = StepDistribution::from_pairs([(-1, r(1, 2)), (0, r(1, 4)), (1, r(1, 4))]);
+        let family = [a.clone(), b.clone()];
+        assert!(finite_family_uniform_ast([&a, &b]));
+        let adv = adversarial_absorption_within(&family, 1, 30, 64);
+        for member in &family {
+            let single = WalkMatrix::new(member, 64).absorption_within(1, 30);
+            assert!(adv <= single);
+        }
+        // Lemma 5.6: a finite family of AST members is uniformly AST, so the
+        // adversarial probability still climbs towards 1.
+        let far = adversarial_absorption_within(&family, 1, 300, 128);
+        assert!(far > r(9, 10), "uniform AST family reaches {far}");
+    }
+
+    #[test]
+    fn adversary_exploits_a_non_ast_member() {
+        let good = StepDistribution::dirac(-1);
+        let bad = StepDistribution::from_pairs([(1, Rational::one())]);
+        let p = adversarial_absorption_within(&[good, bad], 1, 100, 64);
+        // The adversary always plays the upwards Dirac step: never absorbed.
+        assert_eq!(p, Rational::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn adversarial_absorption_rejects_empty_family() {
+        let _ = adversarial_absorption_within(&[], 1, 5, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "transient state")]
+    fn walk_matrix_rejects_empty_window() {
+        let _ = WalkMatrix::new(&StepDistribution::dirac(-1), 0);
+    }
+}

@@ -1,0 +1,498 @@
+//! Small-step operational semantics of SPCF.
+//!
+//! Both evaluation strategies of the paper are implemented:
+//!
+//! * **call-by-name** (Fig. 2), used for the interval semantics, the lower
+//!   bound computation (§3, §7.1) and the intersection type system (§4);
+//! * **call-by-value** (Fig. 8), used for the counting-based AST analysis and
+//!   the proof system (§5–§6).
+//!
+//! A configuration is a pair `⟨M, s⟩` of a closed term and a trace; `sample`
+//! consumes the head of the trace. Reduction does not enjoy progress: `score`
+//! of a negative numeral, primitive functions applied outside their domain,
+//! and exhausted traces are all *stuck*.
+
+use crate::ast::{Prim, Term};
+use crate::trace::Sampler;
+use probterm_numerics::Rational;
+use std::fmt;
+
+/// The evaluation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Call-by-name (paper Fig. 2).
+    CallByName,
+    /// Call-by-value (paper Fig. 8).
+    CallByValue,
+}
+
+/// Why a configuration could not make a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StuckReason {
+    /// `sample` was evaluated but the trace/sampler was exhausted.
+    TraceExhausted,
+    /// `score(r)` with `r < 0`.
+    NegativeScore(Rational),
+    /// A primitive was applied outside its domain (e.g. `log(0)`).
+    PrimDomain(Prim),
+    /// A guard, score argument or primitive argument evaluated to a
+    /// non-numeral value (only possible for ill-typed or open terms).
+    NotANumeral,
+    /// A non-function value was applied.
+    NotAFunction,
+    /// A free variable was reached.
+    FreeVariable(String),
+}
+
+impl fmt::Display for StuckReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckReason::TraceExhausted => write!(f, "trace exhausted at a sample redex"),
+            StuckReason::NegativeScore(r) => write!(f, "score of negative value {r}"),
+            StuckReason::PrimDomain(p) => write!(f, "primitive `{p}` applied outside its domain"),
+            StuckReason::NotANumeral => write!(f, "expected a numeral value"),
+            StuckReason::NotAFunction => write!(f, "applied a non-function value"),
+            StuckReason::FreeVariable(x) => write!(f, "free variable `{x}` reached"),
+        }
+    }
+}
+
+/// Result of attempting one small step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// The configuration stepped to a new term.
+    Reduced(Term),
+    /// The term is a value: no step is possible and none is needed.
+    Value,
+    /// The configuration is stuck.
+    Stuck(StuckReason),
+}
+
+/// One frame of an evaluation context (the paper's `E`), used to decompose a
+/// term as `E[R]` without recursion so that arbitrarily deep terms (e.g. long
+/// chains of pending recursive calls) can be stepped on a bounded stack.
+enum Frame {
+    /// `[·] N` — hole in function position, argument stored.
+    AppFun(Term),
+    /// `V [·]` — hole in argument position (call-by-value only), function value stored.
+    AppArg(Term),
+    /// `if([·], N, P)`.
+    If(Term, Term),
+    /// `score([·])`.
+    Score,
+    /// `f(r₁, …, r_{k-1}, [·], M_{k+1}, …)` — evaluated prefix and pending suffix stored.
+    Prim(Prim, Vec<Term>, Vec<Term>),
+}
+
+fn plug(frames: Vec<Frame>, mut term: Term) -> Term {
+    for frame in frames.into_iter().rev() {
+        term = match frame {
+            Frame::AppFun(arg) => Term::App(Box::new(term), Box::new(arg)),
+            Frame::AppArg(fun) => Term::App(Box::new(fun), Box::new(term)),
+            Frame::If(then, els) => Term::If(Box::new(term), Box::new(then), Box::new(els)),
+            Frame::Score => Term::Score(Box::new(term)),
+            Frame::Prim(p, mut prefix, suffix) => {
+                prefix.push(term);
+                prefix.extend(suffix);
+                Term::Prim(p, prefix)
+            }
+        };
+    }
+    term
+}
+
+fn stuck_value(value: &Term, otherwise: StuckReason) -> Step {
+    match value {
+        Term::Var(x) => Step::Stuck(StuckReason::FreeVariable(x.to_string())),
+        _ => Step::Stuck(otherwise),
+    }
+}
+
+/// Performs one small step of `term` under `strategy`, drawing samples from
+/// `sampler` when a `sample` redex is reduced.
+///
+/// The implementation decomposes the term into an evaluation context and a
+/// redex iteratively (using an explicit [`Frame`] stack), reduces the redex,
+/// and plugs the result back in, so it never recurses over the depth of the
+/// term.
+pub fn step(strategy: Strategy, term: &Term, sampler: &mut dyn Sampler) -> Step {
+    if term.is_value() {
+        return match term {
+            Term::Var(x) => Step::Stuck(StuckReason::FreeVariable(x.to_string())),
+            _ => Step::Value,
+        };
+    }
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut current: Term = term.clone();
+    loop {
+        // Invariant: `current` is not a value (values are never pushed as the focus).
+        match current {
+            Term::App(fun, arg) => match strategy {
+                Strategy::CallByName => match *fun {
+                    Term::Lam(ref x, ref body) => {
+                        return Step::Reduced(plug(frames, body.subst(x, &arg)));
+                    }
+                    Term::Fix(ref phi, ref x, ref body) => {
+                        let unrolled = body.subst(x, &arg).subst(phi, &fun);
+                        return Step::Reduced(plug(frames, unrolled));
+                    }
+                    ref f if f.is_value() => return stuck_value(f, StuckReason::NotAFunction),
+                    _ => {
+                        frames.push(Frame::AppFun(*arg));
+                        current = *fun;
+                    }
+                },
+                Strategy::CallByValue => {
+                    if !fun.is_value() {
+                        frames.push(Frame::AppFun(*arg));
+                        current = *fun;
+                    } else if !arg.is_value() {
+                        frames.push(Frame::AppArg(*fun));
+                        current = *arg;
+                    } else {
+                        match *fun {
+                            Term::Lam(ref x, ref body) => {
+                                return Step::Reduced(plug(frames, body.subst(x, &arg)));
+                            }
+                            Term::Fix(ref phi, ref x, ref body) => {
+                                let unrolled = body.subst(x, &arg).subst(phi, &fun);
+                                return Step::Reduced(plug(frames, unrolled));
+                            }
+                            ref f => return stuck_value(f, StuckReason::NotAFunction),
+                        }
+                    }
+                }
+            },
+            Term::If(guard, then, els) => match *guard {
+                Term::Num(ref r) => {
+                    let taken = if r.is_positive() { *els } else { *then };
+                    return Step::Reduced(plug(frames, taken));
+                }
+                ref g if g.is_value() => return stuck_value(g, StuckReason::NotANumeral),
+                _ => {
+                    frames.push(Frame::If(*then, *els));
+                    current = *guard;
+                }
+            },
+            Term::Score(inner) => match *inner {
+                Term::Num(r) => {
+                    if r.is_negative() {
+                        return Step::Stuck(StuckReason::NegativeScore(r));
+                    }
+                    return Step::Reduced(plug(frames, Term::Num(r)));
+                }
+                ref m if m.is_value() => return stuck_value(m, StuckReason::NotANumeral),
+                _ => {
+                    frames.push(Frame::Score);
+                    current = *inner;
+                }
+            },
+            Term::Sample => {
+                return match sampler.next_sample() {
+                    Some(r) => Step::Reduced(plug(frames, Term::Num(r))),
+                    None => Step::Stuck(StuckReason::TraceExhausted),
+                };
+            }
+            Term::Prim(p, mut args) => {
+                // Evaluation contexts require all arguments left of the hole to
+                // be numerals; find the first non-numeral argument.
+                match args.iter().position(|a| a.as_num().is_none()) {
+                    None => {
+                        let values: Vec<Rational> = args
+                            .iter()
+                            .map(|a| a.as_num().expect("all numerals").clone())
+                            .collect();
+                        return match p.eval(&values) {
+                            Some(result) => Step::Reduced(plug(frames, Term::Num(result))),
+                            None => Step::Stuck(StuckReason::PrimDomain(p)),
+                        };
+                    }
+                    Some(i) if args[i].is_value() => {
+                        return stuck_value(&args[i], StuckReason::NotANumeral);
+                    }
+                    Some(i) => {
+                        let suffix = args.split_off(i + 1);
+                        let focus = args.pop().expect("argument at position i");
+                        frames.push(Frame::Prim(p, args, suffix));
+                        current = focus;
+                    }
+                }
+            }
+            Term::Var(_) | Term::Num(_) | Term::Lam(_, _) | Term::Fix(_, _, _) => {
+                unreachable!("values are never the focus of the decomposition loop")
+            }
+        }
+    }
+}
+
+/// The final outcome of running a configuration to completion (or exhaustion).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Evaluation reached a value.
+    Terminated(Term),
+    /// Evaluation got stuck.
+    Stuck(StuckReason),
+    /// The step budget was exhausted before reaching a value.
+    OutOfFuel(Term),
+}
+
+impl Outcome {
+    /// Returns `true` if the run terminated at a value.
+    pub fn is_terminated(&self) -> bool {
+        matches!(self, Outcome::Terminated(_))
+    }
+}
+
+/// A completed (or truncated) evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run {
+    /// Final outcome.
+    pub outcome: Outcome,
+    /// Number of small steps performed (the quantity `#s↓(M)` of §2.4).
+    pub steps: usize,
+    /// Number of samples consumed.
+    pub samples: usize,
+}
+
+/// Runs `term` under `strategy` for at most `max_steps` small steps.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_spcf::{parse_term, run, FixedTrace, Strategy};
+///
+/// let geo = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+/// // The trace [0.7, 0.2]: the first sample fails the test, the second succeeds.
+/// let mut trace = FixedTrace::from_ratios(&[(7, 10), (1, 5)]);
+/// let result = run(Strategy::CallByName, &geo, &mut trace, 1_000);
+/// assert!(result.outcome.is_terminated());
+/// assert_eq!(result.samples, 2);
+/// ```
+pub fn run(
+    strategy: Strategy,
+    term: &Term,
+    sampler: &mut dyn Sampler,
+    max_steps: usize,
+) -> Run {
+    let mut current = term.clone();
+    let mut steps = 0usize;
+    let mut samples = 0usize;
+    loop {
+        if steps >= max_steps {
+            return Run {
+                outcome: Outcome::OutOfFuel(current),
+                steps,
+                samples,
+            };
+        }
+        let consumed_before = samples;
+        let mut counting = CountingSampler {
+            inner: sampler,
+            count: consumed_before,
+        };
+        match step(strategy, &current, &mut counting) {
+            Step::Reduced(next) => {
+                samples = counting.count;
+                current = next;
+                steps += 1;
+            }
+            Step::Value => {
+                return Run {
+                    outcome: Outcome::Terminated(current),
+                    steps,
+                    samples,
+                };
+            }
+            Step::Stuck(reason) => {
+                return Run {
+                    outcome: Outcome::Stuck(reason),
+                    steps,
+                    samples,
+                };
+            }
+        }
+    }
+}
+
+struct CountingSampler<'a> {
+    inner: &'a mut dyn Sampler,
+    count: usize,
+}
+
+impl Sampler for CountingSampler<'_> {
+    fn next_sample(&mut self) -> Option<Rational> {
+        let v = self.inner.next_sample();
+        if v.is_some() {
+            self.count += 1;
+        }
+        v
+    }
+}
+
+/// Runs a term on a fixed trace and additionally checks the paper's
+/// termination judgement `⟨M, s⟩ →* ⟨V, ε⟩`, which requires the trace to be
+/// consumed *exactly*.
+pub fn terminates_on_trace(
+    strategy: Strategy,
+    term: &Term,
+    trace: crate::trace::FixedTrace,
+    max_steps: usize,
+) -> Option<Run> {
+    let mut trace = trace;
+    let result = run(strategy, term, &mut trace, max_steps);
+    match result.outcome {
+        Outcome::Terminated(_) if trace.is_exhausted() => Some(result),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+    use crate::trace::FixedTrace;
+
+    fn cbn(src: &str, ratios: &[(i64, i64)]) -> Run {
+        let term = parse_term(src).unwrap();
+        let mut trace = FixedTrace::from_ratios(ratios);
+        run(Strategy::CallByName, &term, &mut trace, 10_000)
+    }
+
+    fn cbv(src: &str, ratios: &[(i64, i64)]) -> Run {
+        let term = parse_term(src).unwrap();
+        let mut trace = FixedTrace::from_ratios(ratios);
+        run(Strategy::CallByValue, &term, &mut trace, 10_000)
+    }
+
+    fn expect_value(r: &Run) -> &Term {
+        match &r.outcome {
+            Outcome::Terminated(v) => v,
+            other => panic!("expected termination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_reduces_deterministically() {
+        let r = cbn("1 + 2 * 3", &[]);
+        assert_eq!(expect_value(&r), &Term::int(7));
+        assert_eq!(r.samples, 0);
+        let r = cbn("abs(-3) + min(2, 5) + max(0, exp(0))", &[]);
+        assert_eq!(expect_value(&r), &Term::int(6));
+    }
+
+    #[test]
+    fn beta_reduction_cbn_vs_cbv_sample_duplication() {
+        // Under CbN the unevaluated `sample` is duplicated and draws twice;
+        // under CbV it is drawn once and the value is duplicated.
+        let src = "(lam x. x + x) sample";
+        let r = cbn(src, &[(1, 4), (1, 2)]);
+        assert_eq!(expect_value(&r), &Term::ratio(3, 4));
+        assert_eq!(r.samples, 2);
+        let r = cbv(src, &[(1, 4)]);
+        assert_eq!(expect_value(&r), &Term::ratio(1, 2));
+        assert_eq!(r.samples, 1);
+    }
+
+    #[test]
+    fn conditionals_branch_on_nonpositivity() {
+        let r = cbn("if 0 then 10 else 20", &[]);
+        assert_eq!(expect_value(&r), &Term::int(10));
+        let r = cbn("if 0.001 then 10 else 20", &[]);
+        assert_eq!(expect_value(&r), &Term::int(20));
+        let r = cbn("if 1 <= 2 then 10 else 20", &[]);
+        assert_eq!(expect_value(&r), &Term::int(10));
+    }
+
+    #[test]
+    fn geometric_example_counts_days() {
+        // Paper Ex. 1.1 program (1): result is the day on which printing succeeds.
+        let src = "(fix phi x. if sample <= 0.5 then x else phi (x + 1)) 1";
+        let r = cbn(src, &[(9, 10), (8, 10), (1, 10)]);
+        assert_eq!(expect_value(&r), &Term::int(3));
+        assert_eq!(r.samples, 3);
+        // CbV gives the same result here.
+        let r = cbv(src, &[(9, 10), (8, 10), (1, 10)]);
+        assert_eq!(expect_value(&r), &Term::int(3));
+    }
+
+    #[test]
+    fn nonaffine_example_makes_two_recursive_calls() {
+        // Paper Ex. 1.1 program (2) with p = 1/2 under CbV: a failure at the first
+        // attempt spawns two pending jobs.
+        let src = "(fix phi x. if sample <= 0.5 then x else phi (phi (x + 1))) 1";
+        // First sample fails (> 1/2), then both spawned jobs succeed immediately.
+        let r = cbv(src, &[(3, 4), (1, 4), (1, 4)]);
+        assert_eq!(expect_value(&r), &Term::int(2));
+        assert_eq!(r.samples, 3);
+    }
+
+    #[test]
+    fn stuck_configurations_are_reported() {
+        let r = cbn("score(0 - 1)", &[]);
+        assert!(matches!(r.outcome, Outcome::Stuck(StuckReason::NegativeScore(_))));
+        let r = cbn("sample", &[]);
+        assert!(matches!(r.outcome, Outcome::Stuck(StuckReason::TraceExhausted)));
+        let r = cbn("log(0)", &[]);
+        assert!(matches!(r.outcome, Outcome::Stuck(StuckReason::PrimDomain(Prim::Log))));
+        let r = cbn("1 2", &[]);
+        assert!(matches!(r.outcome, Outcome::Stuck(StuckReason::NotAFunction)));
+        let r = cbn("x + 1", &[]);
+        assert!(matches!(r.outcome, Outcome::Stuck(StuckReason::FreeVariable(_))));
+    }
+
+    #[test]
+    fn divergent_terms_run_out_of_fuel() {
+        let src = "(fix phi x. phi x) 0";
+        let term = parse_term(src).unwrap();
+        let mut trace = FixedTrace::new(vec![]);
+        let r = run(Strategy::CallByName, &term, &mut trace, 100);
+        assert!(matches!(r.outcome, Outcome::OutOfFuel(_)));
+        assert_eq!(r.steps, 100);
+    }
+
+    #[test]
+    fn score_passes_through_nonnegative_values() {
+        let r = cbn("score(0.25) + 1", &[]);
+        assert_eq!(expect_value(&r), &Term::ratio(5, 4));
+    }
+
+    #[test]
+    fn termination_judgement_requires_exact_trace_consumption() {
+        let term = parse_term("if sample <= 0.5 then 0 else 1").unwrap();
+        // Exactly one sample: accepted.
+        assert!(terminates_on_trace(
+            Strategy::CallByName,
+            &term,
+            FixedTrace::from_ratios(&[(1, 4)]),
+            100
+        )
+        .is_some());
+        // A longer trace is rejected (leftover samples).
+        assert!(terminates_on_trace(
+            Strategy::CallByName,
+            &term,
+            FixedTrace::from_ratios(&[(1, 4), (1, 4)]),
+            100
+        )
+        .is_none());
+        // An empty trace is rejected (stuck).
+        assert!(terminates_on_trace(
+            Strategy::CallByName,
+            &term,
+            FixedTrace::new(vec![]),
+            100
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn step_counts_match_between_runs_with_same_branching() {
+        // Fixing the branching fixes the number of steps (used implicitly by
+        // the conditional-oracle argument in App. B.4).
+        let src = "(fix phi x. if sample <= 0.5 then x else phi (x + 1)) 0";
+        let r1 = cbn(src, &[(6, 10), (1, 10)]);
+        let r2 = cbn(src, &[(8, 10), (2, 10)]);
+        assert_eq!(r1.steps, r2.steps);
+        assert_eq!(expect_value(&r1), expect_value(&r2));
+    }
+}

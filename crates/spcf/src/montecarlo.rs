@@ -1,0 +1,182 @@
+//! Monte-Carlo reference estimator for termination probabilities.
+//!
+//! The trace semantics interprets `Pterm(M)` as the measure of terminating
+//! traces (Definition 2.1). This module estimates that measure by repeated
+//! randomised evaluation. It is *not* part of the paper's contribution — the
+//! whole point of §3 is that enumeration of runs cannot give sound lower
+//! bounds — but it provides an invaluable statistical cross-check for the
+//! exact analyses implemented in the other crates, and is used as such by the
+//! integration tests and the benchmark harness.
+
+use crate::ast::Term;
+use crate::eval::{run, Outcome, Strategy};
+use crate::trace::RandomSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a Monte-Carlo estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloConfig {
+    /// Number of independent runs.
+    pub runs: usize,
+    /// Step budget per run; runs exceeding it are counted as non-terminating.
+    pub max_steps: usize,
+    /// RNG seed (fixed for reproducibility).
+    pub seed: u64,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            runs: 10_000,
+            max_steps: 10_000,
+            seed: 0xC0FFEE,
+            strategy: Strategy::CallByName,
+        }
+    }
+}
+
+/// The result of a Monte-Carlo estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Number of runs performed.
+    pub runs: usize,
+    /// Number of runs that terminated within the step budget.
+    pub terminated: usize,
+    /// Number of runs that got stuck (score failure, domain error, …).
+    pub stuck: usize,
+    /// Number of runs that exhausted the step budget.
+    pub out_of_fuel: usize,
+    /// Average number of small steps over terminating runs.
+    pub mean_steps: f64,
+    /// Average number of samples consumed over terminating runs.
+    pub mean_samples: f64,
+}
+
+impl MonteCarloEstimate {
+    /// The estimated probability of termination.
+    pub fn probability(&self) -> f64 {
+        self.terminated as f64 / self.runs as f64
+    }
+
+    /// A conservative half-width of the 99% confidence interval for the
+    /// estimated probability (normal approximation).
+    pub fn confidence_99(&self) -> f64 {
+        let p = self.probability();
+        2.576 * (p * (1.0 - p) / self.runs as f64).sqrt()
+    }
+}
+
+/// Estimates the probability of termination of a closed term.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_spcf::{estimate_termination, parse_term, MonteCarloConfig};
+///
+/// let geo = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+/// let config = MonteCarloConfig { runs: 500, ..Default::default() };
+/// let estimate = estimate_termination(&geo, &config);
+/// assert!(estimate.probability() > 0.95);
+/// ```
+pub fn estimate_termination(term: &Term, config: &MonteCarloConfig) -> MonteCarloEstimate {
+    let mut terminated = 0usize;
+    let mut stuck = 0usize;
+    let mut out_of_fuel = 0usize;
+    let mut total_steps = 0usize;
+    let mut total_samples = 0usize;
+    for i in 0..config.runs {
+        let rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
+        let mut sampler = RandomSampler::new(rng);
+        let result = run(config.strategy, term, &mut sampler, config.max_steps);
+        match result.outcome {
+            Outcome::Terminated(_) => {
+                terminated += 1;
+                total_steps += result.steps;
+                total_samples += result.samples;
+            }
+            Outcome::Stuck(_) => stuck += 1,
+            Outcome::OutOfFuel(_) => out_of_fuel += 1,
+        }
+    }
+    let denom = terminated.max(1) as f64;
+    MonteCarloEstimate {
+        runs: config.runs,
+        terminated,
+        stuck,
+        out_of_fuel,
+        mean_steps: total_steps as f64 / denom,
+        mean_samples: total_samples as f64 / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+
+    fn estimate(src: &str, strategy: Strategy) -> MonteCarloEstimate {
+        let term = parse_term(src).unwrap();
+        estimate_termination(
+            &term,
+            &MonteCarloConfig {
+                runs: 1_500,
+                max_steps: 8_000,
+                seed: 7,
+                strategy,
+            },
+        )
+    }
+
+    #[test]
+    fn ast_terms_estimate_close_to_one() {
+        let e = estimate(
+            "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0",
+            Strategy::CallByName,
+        );
+        assert!(e.probability() > 0.98, "estimate {e:?}");
+        assert!(e.stuck == 0);
+    }
+
+    #[test]
+    fn nonterminating_fraction_of_unfair_printer_matches_closed_form() {
+        // Ex. 1.1 (2) with p = 1/4: Pterm = 1/3.
+        let e = estimate(
+            "(fix phi x. if sample <= 1/4 then x else phi (phi (x + 1))) 1",
+            Strategy::CallByValue,
+        );
+        let p = e.probability();
+        assert!((p - 1.0 / 3.0).abs() < 0.05, "estimate {p}");
+    }
+
+    #[test]
+    fn golden_ratio_term_estimate() {
+        // gr: Pterm = (√5 - 1)/2 ≈ 0.618.
+        let e = estimate(
+            "(fix phi x. if sample <= 1/2 then x else phi (phi (phi x))) 0",
+            Strategy::CallByValue,
+        );
+        let expected = (5f64.sqrt() - 1.0) / 2.0;
+        assert!((e.probability() - expected).abs() < 0.05, "estimate {e:?}");
+    }
+
+    #[test]
+    fn diverging_term_estimates_zero() {
+        let e = estimate("(fix phi x. phi x) 0", Strategy::CallByName);
+        assert_eq!(e.terminated, 0);
+        assert!(e.probability() < 1e-9);
+        assert_eq!(e.out_of_fuel, e.runs);
+    }
+
+    #[test]
+    fn confidence_interval_is_reasonable() {
+        let e = estimate(
+            "if sample <= 1/2 then 0 else (fix phi x. phi x) 0",
+            Strategy::CallByName,
+        );
+        assert!((e.probability() - 0.5).abs() < 0.05);
+        assert!(e.confidence_99() < 0.05);
+    }
+}

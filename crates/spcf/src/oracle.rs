@@ -1,0 +1,356 @@
+//! Conditional oracles and the oracle-annotated reduction (paper Fig. 11,
+//! Appendix B.4).
+//!
+//! The completeness proof of the interval semantics partitions the set of
+//! terminating traces by their *branching behaviour*: the sequence
+//! `κ ∈ {L, R}*` of directions taken at the conditionals encountered during
+//! the run. Lemma B.5 states that every terminating trace determines a unique
+//! such `κ`, and the oracle-annotated reduction `→co` only allows a run to
+//! proceed when its branch decisions follow the prescribed oracle, so that
+//! `T_M,term` decomposes into the disjoint union of the `T^(κ)_M,term`.
+//!
+//! This module recovers the branching behaviour of a run
+//! ([`branching_behaviour`]) and replays a configuration against a prescribed
+//! oracle ([`run_with_oracle`]), which the symbolic-execution and
+//! intersection-type layers use to cross-check their own per-path reasoning.
+
+use crate::ast::Term;
+use crate::eval::{step, Outcome, Step, Strategy};
+use crate::trace::Sampler;
+use std::fmt;
+
+/// A branch direction of a conditional: `L` (guard ≤ 0, then-branch) or `R`
+/// (guard > 0, else-branch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The then-branch (`r ≤ 0`).
+    Left,
+    /// The else-branch (`r > 0`).
+    Right,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Left => write!(f, "L"),
+            Direction::Right => write!(f, "R"),
+        }
+    }
+}
+
+/// A conditional oracle `κ ∈ {L, R}*`.
+pub type Oracle = Vec<Direction>;
+
+/// Renders an oracle as a compact string such as `"RRL"`.
+pub fn oracle_string(oracle: &[Direction]) -> String {
+    oracle.iter().map(Direction::to_string).collect()
+}
+
+/// The result of an oracle-annotated run (Fig. 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleRun {
+    /// The final outcome of the reduction, or `None` if the run was aborted
+    /// because a branch contradicted the oracle (no `→co` rule applies, so
+    /// the configuration is stuck without reducing further).
+    pub outcome: Option<Outcome>,
+    /// The branch directions actually taken, in order.
+    pub taken: Oracle,
+    /// Number of small steps performed.
+    pub steps: usize,
+    /// `true` if the run was aborted because a branch contradicted the oracle
+    /// or the oracle was exhausted.
+    pub oracle_violation: bool,
+}
+
+impl OracleRun {
+    /// `true` if the run terminated in a value while following the oracle.
+    pub fn followed_oracle(&self) -> bool {
+        !self.oracle_violation
+            && matches!(self.outcome, Some(Outcome::Terminated(_)))
+    }
+}
+
+/// If the next redex of `term` (under `strategy`) is a conditional whose guard
+/// is already a numeral, returns the direction it will take.
+fn pending_branch(strategy: Strategy, term: &Term) -> Option<Direction> {
+    let mut current = term;
+    loop {
+        match current {
+            Term::App(fun, arg) => match strategy {
+                Strategy::CallByName => {
+                    if fun.is_value() {
+                        return None;
+                    }
+                    current = fun;
+                }
+                Strategy::CallByValue => {
+                    if !fun.is_value() {
+                        current = fun;
+                    } else if !arg.is_value() {
+                        current = arg;
+                    } else {
+                        return None;
+                    }
+                }
+            },
+            Term::If(guard, _, _) => match &**guard {
+                Term::Num(r) => {
+                    return Some(if r.is_positive() { Direction::Right } else { Direction::Left })
+                }
+                g if g.is_value() => return None,
+                _ => current = guard,
+            },
+            Term::Score(inner) => {
+                if inner.is_value() {
+                    return None;
+                }
+                current = inner;
+            }
+            Term::Prim(_, args) => match args.iter().find(|a| a.as_num().is_none()) {
+                Some(a) if !a.is_value() => current = a,
+                _ => return None,
+            },
+            Term::Var(_) | Term::Num(_) | Term::Lam(_, _) | Term::Fix(_, _, _) | Term::Sample => {
+                return None
+            }
+        }
+    }
+}
+
+/// Runs `term` on `sampler`, recording the branching behaviour `κ` of the run
+/// (the premise annotations of the `→co` rules in Fig. 11).
+///
+/// Returns the recorded oracle together with the run outcome. By Lemma B.5
+/// the oracle is uniquely determined by the trace whenever the run terminates.
+pub fn branching_behaviour(
+    strategy: Strategy,
+    term: &Term,
+    sampler: &mut dyn Sampler,
+    max_steps: usize,
+) -> OracleRun {
+    drive(strategy, term, sampler, max_steps, None)
+}
+
+/// Runs `term` on `sampler` while enforcing the prescribed conditional oracle
+/// `κ` (Fig. 11): the run is aborted, with `oracle_violation` set, as soon as
+/// a conditional would branch differently from the oracle or the oracle runs
+/// out of directions.
+pub fn run_with_oracle(
+    strategy: Strategy,
+    term: &Term,
+    sampler: &mut dyn Sampler,
+    oracle: &[Direction],
+    max_steps: usize,
+) -> OracleRun {
+    drive(strategy, term, sampler, max_steps, Some(oracle))
+}
+
+fn drive(
+    strategy: Strategy,
+    term: &Term,
+    sampler: &mut dyn Sampler,
+    max_steps: usize,
+    oracle: Option<&[Direction]>,
+) -> OracleRun {
+    let mut current = term.clone();
+    let mut taken: Oracle = Vec::new();
+    let mut steps = 0usize;
+    while steps < max_steps {
+        if let Some(direction) = pending_branch(strategy, &current) {
+            if let Some(oracle) = oracle {
+                match oracle.get(taken.len()) {
+                    Some(expected) if *expected == direction => {}
+                    _ => {
+                        return OracleRun {
+                            outcome: None,
+                            taken,
+                            steps,
+                            oracle_violation: true,
+                        }
+                    }
+                }
+            }
+            taken.push(direction);
+        }
+        match step(strategy, &current, sampler) {
+            Step::Reduced(next) => {
+                current = next;
+                steps += 1;
+            }
+            Step::Value => {
+                return OracleRun {
+                    outcome: Some(Outcome::Terminated(current)),
+                    taken,
+                    steps,
+                    oracle_violation: false,
+                }
+            }
+            Step::Stuck(reason) => {
+                return OracleRun {
+                    outcome: Some(Outcome::Stuck(reason)),
+                    taken,
+                    steps,
+                    oracle_violation: false,
+                }
+            }
+        }
+    }
+    OracleRun {
+        outcome: Some(Outcome::OutOfFuel(current)),
+        taken,
+        steps,
+        oracle_violation: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::StuckReason;
+    use crate::parser::parse_term;
+    use crate::trace::FixedTrace;
+    use probterm_numerics::Rational;
+
+    fn geo() -> Term {
+        parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap()
+    }
+
+    fn trace(ratios: &[(i64, i64)]) -> FixedTrace {
+        FixedTrace::from_ratios(ratios)
+    }
+
+    #[test]
+    fn branching_behaviour_of_the_geometric_term() {
+        // Two failures (samples > 1/2) then a success: behaviour R R L.
+        let mut t = trace(&[(7, 10), (8, 10), (2, 10)]);
+        let run = branching_behaviour(Strategy::CallByName, &geo(), &mut t, 1_000);
+        assert!(matches!(run.outcome, Some(Outcome::Terminated(_))));
+        assert_eq!(
+            run.taken,
+            vec![Direction::Right, Direction::Right, Direction::Left]
+        );
+        assert_eq!(oracle_string(&run.taken), "RRL");
+        // An immediately successful trace has behaviour L.
+        let mut t = trace(&[(1, 10)]);
+        let run = branching_behaviour(Strategy::CallByName, &geo(), &mut t, 1_000);
+        assert_eq!(run.taken, vec![Direction::Left]);
+    }
+
+    #[test]
+    fn lemma_b5_replay_follows_the_recorded_oracle() {
+        let ratios = [(9, 10), (3, 10)];
+        let mut t = trace(&ratios);
+        let recorded = branching_behaviour(Strategy::CallByName, &geo(), &mut t, 1_000);
+        assert!(matches!(recorded.outcome, Some(Outcome::Terminated(_))));
+        // Replaying the same trace against its own oracle succeeds and takes
+        // the same number of steps (the oracle is unique, Lemma B.5).
+        let mut t = trace(&ratios);
+        let replay =
+            run_with_oracle(Strategy::CallByName, &geo(), &mut t, &recorded.taken, 1_000);
+        assert!(replay.followed_oracle());
+        assert_eq!(replay.steps, recorded.steps);
+        assert_eq!(replay.taken, recorded.taken);
+    }
+
+    #[test]
+    fn contradicting_oracle_aborts_the_run() {
+        let ratios = [(9, 10), (3, 10)];
+        // The true behaviour is R L; prescribe L instead.
+        let mut t = trace(&ratios);
+        let wrong = run_with_oracle(
+            Strategy::CallByName,
+            &geo(),
+            &mut t,
+            &[Direction::Left],
+            1_000,
+        );
+        assert!(wrong.oracle_violation);
+        assert!(!wrong.followed_oracle());
+        assert_eq!(wrong.outcome, None);
+        // A too-short oracle is also a violation.
+        let mut t = trace(&ratios);
+        let short = run_with_oracle(
+            Strategy::CallByName,
+            &geo(),
+            &mut t,
+            &[Direction::Right],
+            1_000,
+        );
+        assert!(short.oracle_violation);
+        assert_eq!(short.taken, vec![Direction::Right]);
+    }
+
+    #[test]
+    fn oracles_partition_terminating_traces() {
+        // Traces of geo with the same number of failed attempts share an
+        // oracle; different attempt counts give different oracles.
+        let behaviours: Vec<String> = [
+            vec![(1, 4)],
+            vec![(2, 5)],
+            vec![(3, 4), (1, 4)],
+            vec![(9, 10), (1, 3)],
+            vec![(3, 4), (9, 10), (1, 10)],
+        ]
+        .into_iter()
+        .map(|ratios| {
+            let mut t = FixedTrace::from_ratios(&ratios);
+            let run = branching_behaviour(Strategy::CallByName, &geo(), &mut t, 1_000);
+            assert!(run.followed_oracle());
+            oracle_string(&run.taken)
+        })
+        .collect();
+        assert_eq!(behaviours[0], behaviours[1]);
+        assert_eq!(behaviours[2], behaviours[3]);
+        assert_ne!(behaviours[0], behaviours[2]);
+        assert_ne!(behaviours[2], behaviours[4]);
+        assert_eq!(behaviours[4], "RRL");
+    }
+
+    #[test]
+    fn strategies_agree_on_first_order_branching() {
+        // On a first-order program the CbN and CbV behaviours coincide.
+        let term =
+            parse_term("(fix phi x. if sample <= 1/3 then x else phi (x + 1)) 2").unwrap();
+        let ratios = [(1, 2), (9, 10), (1, 5)];
+        let mut cbn_trace = trace(&ratios);
+        let mut cbv_trace = trace(&ratios);
+        let cbn = branching_behaviour(Strategy::CallByName, &term, &mut cbn_trace, 10_000);
+        let cbv = branching_behaviour(Strategy::CallByValue, &term, &mut cbv_trace, 10_000);
+        assert_eq!(cbn.taken, cbv.taken);
+        assert!(cbn.followed_oracle());
+        assert!(cbv.followed_oracle());
+    }
+
+    #[test]
+    fn stuck_and_out_of_fuel_runs_report_their_partial_behaviour() {
+        // Exhausted trace: stuck after taking the first branch.
+        let mut t = trace(&[(9, 10)]);
+        let run = branching_behaviour(Strategy::CallByName, &geo(), &mut t, 1_000);
+        assert!(matches!(run.outcome, Some(Outcome::Stuck(_))));
+        assert_eq!(run.taken, vec![Direction::Right]);
+        // Fuel exhaustion.
+        let mut t = trace(&[(9, 10), (8, 10)]);
+        let run = branching_behaviour(Strategy::CallByName, &geo(), &mut t, 3);
+        assert!(matches!(run.outcome, Some(Outcome::OutOfFuel(_))));
+        assert!(!run.followed_oracle());
+    }
+
+    #[test]
+    fn score_failures_are_not_oracle_violations() {
+        let term = parse_term("if sample <= 1/2 then score(0 - 1) else 1").unwrap();
+        let mut t = trace(&[(1, 4)]);
+        let run = run_with_oracle(
+            Strategy::CallByName,
+            &term,
+            &mut t,
+            &[Direction::Left],
+            100,
+        );
+        assert!(!run.oracle_violation);
+        assert!(matches!(
+            run.outcome,
+            Some(Outcome::Stuck(StuckReason::NegativeScore(_)))
+        ));
+        let _ = Rational::zero();
+    }
+}

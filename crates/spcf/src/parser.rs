@@ -1,0 +1,545 @@
+//! Parser for the SPCF surface syntax.
+//!
+//! The grammar (desugaring into the core calculus of [`crate::ast`]):
+//!
+//! ```text
+//! term      ::= 'fix' IDENT IDENT '.' term
+//!             | ('lam' | '\') IDENT+ '.' term
+//!             | 'let' IDENT '=' term 'in' term
+//!             | 'if' term 'then' term 'else' term
+//!             | 'flip' '(' term ',' term ',' term ')'       -- left branch w.p. first argument
+//!             | comparison
+//! comparison::= arith (('<=' | '<' | '>=' | '>') arith)?
+//! arith     ::= product (('+' | '-') product)*
+//! product   ::= unary ('*' unary)*
+//! unary     ::= '-' unary | application
+//! application ::= atom atom*
+//! atom      ::= NUMBER | NUMBER '/' NUMBER | IDENT | 'sample'
+//!             | 'score' '(' term ')' | PRIM '(' term {',' term} ')' | '(' term ')'
+//! ```
+//!
+//! Conditionals follow the paper's convention: `if G then N else P` reduces to
+//! `N` when `G ≤ 0`. Comparisons desugar into subtraction, so `a <= b` and
+//! `a < b` denote the same guard `a - b` (they differ only on a measure-zero
+//! event), and `a >= b` / `a > b` denote `b - a`.
+
+use crate::ast::{Prim, Term};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use probterm_numerics::Rational;
+use std::fmt;
+
+/// An error produced by [`parse_term`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// The parser found an unexpected token.
+    Unexpected {
+        /// What the parser was looking for.
+        expected: String,
+        /// The token it found instead.
+        found: String,
+        /// Byte offset of the offending token.
+        offset: usize,
+    },
+    /// A numeric literal could not be interpreted as a rational.
+    BadNumber {
+        /// The literal text.
+        literal: String,
+        /// Byte offset of the literal.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                expected,
+                found,
+                offset,
+            } => write!(f, "parse error at byte {offset}: expected {expected}, found {found}"),
+            ParseError::BadNumber { literal, offset } => {
+                write!(f, "parse error at byte {offset}: malformed number `{literal}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "fix", "lam", "let", "in", "if", "then", "else", "flip", "sample", "score",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    position: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.position].kind
+    }
+
+    fn peek_offset(&self) -> usize {
+        self.tokens[self.position].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let tok = self.tokens[self.position].kind.clone();
+        if self.position + 1 < self.tokens.len() {
+            self.position += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            TokenKind::Ident(s) if s == kw => {
+                self.advance();
+                Ok(())
+            }
+            _ => Err(self.unexpected(&format!("keyword `{kw}`"))),
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            expected: expected.to_string(),
+            found: self.peek().to_string(),
+            offset: self.peek_offset(),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn parse_binder(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) if !KEYWORDS.contains(&name.as_str()) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.unexpected("a variable name")),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        if self.peek_keyword("fix") {
+            self.advance();
+            let phi = self.parse_binder()?;
+            let x = self.parse_binder()?;
+            self.expect(&TokenKind::Dot, "`.`")?;
+            let body = self.parse_term()?;
+            return Ok(Term::fix(&phi, &x, body));
+        }
+        if self.peek_keyword("lam") || self.peek() == &TokenKind::Backslash {
+            self.advance();
+            let mut binders = vec![self.parse_binder()?];
+            while let TokenKind::Ident(name) = self.peek() {
+                if KEYWORDS.contains(&name.as_str()) {
+                    break;
+                }
+                binders.push(self.parse_binder()?);
+            }
+            self.expect(&TokenKind::Dot, "`.`")?;
+            let mut body = self.parse_term()?;
+            for b in binders.iter().rev() {
+                body = Term::lam(b, body);
+            }
+            return Ok(body);
+        }
+        if self.peek_keyword("let") {
+            self.advance();
+            let x = self.parse_binder()?;
+            self.expect(&TokenKind::Eq, "`=`")?;
+            let bound = self.parse_term()?;
+            self.expect_keyword("in")?;
+            let body = self.parse_term()?;
+            return Ok(Term::let_in(&x, bound, body));
+        }
+        if self.peek_keyword("if") {
+            self.advance();
+            let guard = self.parse_term()?;
+            self.expect_keyword("then")?;
+            let then = self.parse_term()?;
+            self.expect_keyword("else")?;
+            let els = self.parse_term()?;
+            return Ok(Term::ite(guard, then, els));
+        }
+        if self.peek_keyword("flip") {
+            self.advance();
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let p = self.parse_term()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let left = self.parse_term()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let right = self.parse_term()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            // flip(p, L, R): take L with probability p, i.e. if(sample - p, L, R).
+            return Ok(Term::ite(Term::sub(Term::Sample, p), left, right));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Term, ParseError> {
+        let lhs = self.parse_arith()?;
+        match self.peek() {
+            TokenKind::Le | TokenKind::Lt => {
+                self.advance();
+                let rhs = self.parse_arith()?;
+                Ok(Term::sub(lhs, rhs))
+            }
+            TokenKind::Ge | TokenKind::Gt => {
+                self.advance();
+                let rhs = self.parse_arith()?;
+                Ok(Term::sub(rhs, lhs))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn parse_arith(&mut self) -> Result<Term, ParseError> {
+        let mut acc = self.parse_product()?;
+        loop {
+            match self.peek() {
+                TokenKind::Plus => {
+                    self.advance();
+                    let rhs = self.parse_product()?;
+                    acc = Term::add(acc, rhs);
+                }
+                TokenKind::Minus => {
+                    self.advance();
+                    let rhs = self.parse_product()?;
+                    acc = Term::sub(acc, rhs);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_product(&mut self) -> Result<Term, ParseError> {
+        let mut acc = self.parse_unary()?;
+        while self.peek() == &TokenKind::Star {
+            self.advance();
+            let rhs = self.parse_unary()?;
+            acc = Term::mul(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_unary(&mut self) -> Result<Term, ParseError> {
+        if self.peek() == &TokenKind::Minus {
+            self.advance();
+            let inner = self.parse_unary()?;
+            // Constant-fold negation of numerals for readability of ASTs.
+            if let Term::Num(r) = &inner {
+                return Ok(Term::Num(-r));
+            }
+            return Ok(Term::Prim(Prim::Neg, vec![inner]));
+        }
+        self.parse_application()
+    }
+
+    fn starts_atom(&self) -> bool {
+        match self.peek() {
+            TokenKind::Number(_) | TokenKind::LParen => true,
+            TokenKind::Ident(name) => {
+                !KEYWORDS.contains(&name.as_str())
+                    || name == "sample"
+                    || name == "score"
+                    || name == "flip"
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_application(&mut self) -> Result<Term, ParseError> {
+        let mut acc = self.parse_atom()?;
+        while self.starts_atom() {
+            // `flip(...)` as an argument needs the keyword-level parser.
+            let arg = if self.peek_keyword("flip") {
+                self.parse_term()?
+            } else {
+                self.parse_atom()?
+            };
+            acc = Term::app(acc, arg);
+        }
+        Ok(acc)
+    }
+
+    fn parse_number(&mut self, literal: &str, offset: usize) -> Result<Rational, ParseError> {
+        let first = Rational::parse(literal).ok_or_else(|| ParseError::BadNumber {
+            literal: literal.to_string(),
+            offset,
+        })?;
+        // Rational literal `a/b` (only between numeric literals).
+        if self.peek() == &TokenKind::Slash {
+            self.advance();
+            match self.advance() {
+                TokenKind::Number(denom) => {
+                    let d = Rational::parse(&denom).filter(|d| !d.is_zero()).ok_or_else(|| {
+                        ParseError::BadNumber {
+                            literal: denom.clone(),
+                            offset,
+                        }
+                    })?;
+                    Ok(first / d)
+                }
+                other => Err(ParseError::Unexpected {
+                    expected: "a denominator literal".into(),
+                    found: other.to_string(),
+                    offset,
+                }),
+            }
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Term, ParseError> {
+        let offset = self.peek_offset();
+        match self.peek().clone() {
+            TokenKind::Number(literal) => {
+                self.advance();
+                Ok(Term::Num(self.parse_number(&literal, offset)?))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.parse_term()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                if name == "sample" {
+                    self.advance();
+                    return Ok(Term::Sample);
+                }
+                if name == "score" {
+                    self.advance();
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let inner = self.parse_term()?;
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    return Ok(Term::score(inner));
+                }
+                if KEYWORDS.contains(&name.as_str()) && name != "flip" {
+                    return Err(self.unexpected("a term"));
+                }
+                if let Some(prim) = Prim::from_name(&name) {
+                    // A primitive call `f(a, b)` — only if followed by `(`.
+                    if self.tokens[self.position + 1].kind == TokenKind::LParen {
+                        self.advance();
+                        self.advance();
+                        let mut args = vec![self.parse_term()?];
+                        while self.peek() == &TokenKind::Comma {
+                            self.advance();
+                            args.push(self.parse_term()?);
+                        }
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                        if args.len() != prim.arity() {
+                            return Err(ParseError::Unexpected {
+                                expected: format!("{} arguments to `{}`", prim.arity(), prim),
+                                found: format!("{} arguments", args.len()),
+                                offset,
+                            });
+                        }
+                        return Ok(Term::Prim(prim, args));
+                    }
+                }
+                self.advance();
+                Ok(Term::var(&name))
+            }
+            _ => Err(self.unexpected("a term")),
+        }
+    }
+}
+
+/// Parses a complete SPCF term from its surface syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input cannot be tokenized or parsed, or if
+/// trailing input remains.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_spcf::parse_term;
+///
+/// let geo = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+/// assert!(geo.is_closed());
+/// ```
+pub fn parse_term(input: &str) -> Result<Term, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, position: 0 };
+    let term = parser.parse_term()?;
+    if parser.peek() != &TokenKind::Eof {
+        return Err(parser.unexpected("end of input"));
+    }
+    Ok(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ident;
+
+    #[test]
+    fn parses_numbers_and_rationals() {
+        assert_eq!(parse_term("0.25").unwrap(), Term::ratio(1, 4));
+        assert_eq!(parse_term("2/3").unwrap(), Term::ratio(2, 3));
+        assert_eq!(parse_term("-1.5").unwrap(), Term::ratio(-3, 2));
+        assert_eq!(parse_term("7").unwrap(), Term::int(7));
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let t = parse_term("1 + 2 * 3").unwrap();
+        assert_eq!(t, Term::add(Term::int(1), Term::mul(Term::int(2), Term::int(3))));
+        let t = parse_term("(1 + 2) * 3").unwrap();
+        assert_eq!(t, Term::mul(Term::add(Term::int(1), Term::int(2)), Term::int(3)));
+        let t = parse_term("1 - 2 - 3").unwrap();
+        assert_eq!(t, Term::sub(Term::sub(Term::int(1), Term::int(2)), Term::int(3)));
+    }
+
+    #[test]
+    fn parses_lambdas_lets_and_application() {
+        let t = parse_term("(lam x y. x + y) 1 2").unwrap();
+        assert_eq!(
+            t,
+            Term::app(
+                Term::app(
+                    Term::lam("x", Term::lam("y", Term::add(Term::var("x"), Term::var("y")))),
+                    Term::int(1)
+                ),
+                Term::int(2)
+            )
+        );
+        let t = parse_term("let x = sample in x * x").unwrap();
+        assert_eq!(
+            t,
+            Term::let_in("x", Term::Sample, Term::mul(Term::var("x"), Term::var("x")))
+        );
+        let backslash = parse_term("\\x. x").unwrap();
+        assert!(backslash.alpha_eq(&Term::lam("z", Term::var("z"))));
+    }
+
+    #[test]
+    fn parses_running_example() {
+        let t = parse_term("(fix phi x. if sample <= 0.5 then x else phi (phi (x + 1))) 1").unwrap();
+        let expected = Term::app(
+            Term::fix(
+                "phi",
+                "x",
+                Term::ite(
+                    Term::sub(Term::Sample, Term::ratio(1, 2)),
+                    Term::var("x"),
+                    Term::app(
+                        Term::var("phi"),
+                        Term::app(Term::var("phi"), Term::add(Term::var("x"), Term::int(1))),
+                    ),
+                ),
+            ),
+            Term::int(1),
+        );
+        assert_eq!(t, expected);
+        assert!(t.is_closed());
+    }
+
+    #[test]
+    fn comparisons_desugar_to_guards() {
+        // Parsing succeeds even with free variables (closedness is a separate check).
+        assert!(parse_term("if x <= 2 then 0 else 1").is_ok());
+        let le = parse_term("lam x. if x <= 2 then 0 else 1").unwrap();
+        let gt = parse_term("lam x. if x > 2 then 0 else 1").unwrap();
+        match (le, gt) {
+            (Term::Lam(_, le_body), Term::Lam(_, gt_body)) => {
+                match (*le_body, *gt_body) {
+                    (Term::If(g1, _, _), Term::If(g2, _, _)) => {
+                        assert_eq!(*g1, Term::sub(Term::var("x"), Term::int(2)));
+                        assert_eq!(*g2, Term::sub(Term::int(2), Term::var("x")));
+                    }
+                    _ => panic!("expected conditionals"),
+                }
+            }
+            _ => panic!("expected lambdas"),
+        }
+    }
+
+    #[test]
+    fn parses_flip_and_score_and_prims() {
+        let t = parse_term("flip(1/3, 0, score(1))").unwrap();
+        assert_eq!(
+            t,
+            Term::ite(
+                Term::sub(Term::Sample, Term::ratio(1, 3)),
+                Term::int(0),
+                Term::score(Term::int(1))
+            )
+        );
+        let t = parse_term("sig(3) + exp(0) + min(1, 2)").unwrap();
+        assert_eq!(t.count_samples(), 0);
+        assert!(matches!(t, Term::Prim(Prim::Add, _)));
+        // A prim name not followed by `(` is an ordinary variable.
+        let t = parse_term("lam exp. exp").unwrap();
+        assert!(t.alpha_eq(&Term::lam("e", Term::var("e"))));
+    }
+
+    #[test]
+    fn flip_works_in_argument_position() {
+        let t = parse_term("phi flip(0.5, x, y)");
+        assert!(t.is_ok());
+        let t = t.unwrap();
+        match t {
+            Term::App(f, arg) => {
+                assert_eq!(*f, Term::var("phi"));
+                assert!(matches!(*arg, Term::If(_, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_term("if x then 1").is_err());
+        assert!(parse_term("(1 + 2").is_err());
+        assert!(parse_term("1 2 3 )").is_err());
+        assert!(parse_term("add(1)").is_err());
+        assert!(parse_term("let = 3 in 4").is_err());
+        assert!(parse_term("").is_err());
+        assert!(parse_term("1/0").is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = parse_term("if 1 then 2 banana 3").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("expected"), "{msg}");
+    }
+
+    #[test]
+    fn free_variables_survive_parsing() {
+        let t = parse_term("phi (x + 1)").unwrap();
+        let fv = t.free_vars();
+        assert!(fv.contains(&ident("phi")));
+        assert!(fv.contains(&ident("x")));
+    }
+}

@@ -1,0 +1,182 @@
+//! Pretty-printing of SPCF terms.
+//!
+//! The printer emits the same surface syntax accepted by [`crate::parser`], so
+//! `parse_term(&term.to_string())` round-trips (up to sugar such as `flip` and
+//! comparison operators, which print in their desugared form).
+
+use crate::ast::{Prim, Term};
+use std::fmt;
+
+/// Precedence levels used when deciding where parentheses are needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Level {
+    /// Binders, conditionals, lets — the loosest level.
+    Term,
+    /// Additive expressions.
+    Additive,
+    /// Multiplicative expressions.
+    Multiplicative,
+    /// Application chains.
+    Application,
+    /// Atoms.
+    Atom,
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, level: Level) -> fmt::Result {
+    match t {
+        Term::Var(x) => write!(f, "{x}"),
+        Term::Num(r) => {
+            if r.is_negative() && level > Level::Additive {
+                write!(f, "({r})")
+            } else {
+                write!(f, "{r}")
+            }
+        }
+        Term::Sample => write!(f, "sample"),
+        Term::Score(m) => {
+            write!(f, "score(")?;
+            write_term(f, m, Level::Term)?;
+            write!(f, ")")
+        }
+        Term::Lam(x, body) => {
+            let parens = level > Level::Term;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "lam {x}. ")?;
+            write_term(f, body, Level::Term)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::Fix(phi, x, body) => {
+            let parens = level > Level::Term;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "fix {phi} {x}. ")?;
+            write_term(f, body, Level::Term)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::If(g, then, els) => {
+            let parens = level > Level::Term;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "if ")?;
+            write_term(f, g, Level::Additive)?;
+            write!(f, " then ")?;
+            write_term(f, then, Level::Term)?;
+            write!(f, " else ")?;
+            write_term(f, els, Level::Term)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::App(fun, arg) => {
+            let parens = level > Level::Application;
+            if parens {
+                write!(f, "(")?;
+            }
+            write_term(f, fun, Level::Application)?;
+            write!(f, " ")?;
+            write_term(f, arg, Level::Atom)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Term::Prim(p, args) => match p {
+            Prim::Add | Prim::Sub => {
+                let parens = level > Level::Additive;
+                if parens {
+                    write!(f, "(")?;
+                }
+                write_term(f, &args[0], Level::Additive)?;
+                write!(f, " {} ", if *p == Prim::Add { "+" } else { "-" })?;
+                write_term(f, &args[1], Level::Multiplicative)?;
+                if parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Prim::Mul => {
+                let parens = level > Level::Multiplicative;
+                if parens {
+                    write!(f, "(")?;
+                }
+                write_term(f, &args[0], Level::Multiplicative)?;
+                write!(f, " * ")?;
+                write_term(f, &args[1], Level::Application)?;
+                if parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            _ => {
+                write!(f, "{}(", p.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_term(f, a, Level::Term)?;
+                }
+                write!(f, ")")
+            }
+        },
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(f, self, Level::Term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_term;
+
+    fn roundtrip(src: &str) {
+        let term = parse_term(src).expect("initial parse");
+        let printed = term.to_string();
+        let reparsed = parse_term(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse `{printed}`: {e}"));
+        assert_eq!(term, reparsed, "roundtrip failed for `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips_core_constructs() {
+        roundtrip("1 + 2 * 3 - 4");
+        roundtrip("(fix phi x. if sample <= 0.5 then x else phi (x + 1)) 0");
+        roundtrip("(lam x. lam y. x y) (lam z. z)");
+        roundtrip("score(sample) + sig(3)");
+        roundtrip("let x = sample in x * x");
+        roundtrip("flip(1/3, 0, 1)");
+        roundtrip("min(1, 2) + max(3, abs(-4))");
+        roundtrip("neg(1 + 2)");
+    }
+
+    #[test]
+    fn negative_numerals_are_parenthesised_in_tight_positions() {
+        let t = Term::app(Term::var("f"), Term::int(-1));
+        assert_eq!(t.to_string(), "f (-1)");
+        let reparsed = parse_term(&t.to_string()).unwrap();
+        assert_eq!(reparsed, t);
+    }
+
+    #[test]
+    fn display_is_stable_for_running_example() {
+        let t = parse_term("(fix phi x. if sample <= 0.5 then x else phi (phi (x + 1))) 1").unwrap();
+        let printed = t.to_string();
+        assert!(printed.contains("fix phi x."));
+        assert!(printed.contains("sample - 1/2"));
+        assert!(printed.contains("phi (phi (x + 1))"));
+    }
+}

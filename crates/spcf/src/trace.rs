@@ -1,0 +1,173 @@
+//! Execution traces and sample sources.
+//!
+//! The sampling-style semantics (paper §2.3, after Kozen) evaluates a term
+//! against a *trace* — a finite sequence of numbers in `[0, 1]` that are
+//! consumed left-to-right by `sample` redexes. [`Sampler`] abstracts over how
+//! the next random draw is produced:
+//!
+//! * [`FixedTrace`] replays a predetermined trace and fails when it is
+//!   exhausted (this is the deterministic semantics `⟨M, s⟩ → ⟨M′, s′⟩`),
+//! * [`RandomSampler`] draws lazily from a pseudo-random number generator
+//!   (used by the Monte-Carlo reference estimator).
+
+use probterm_numerics::Rational;
+use rand::Rng;
+
+/// A finite execution trace: the sequence of probabilistic outcomes consumed
+/// by an evaluation.
+pub type Trace = Vec<Rational>;
+
+/// A source of samples for the operational semantics.
+pub trait Sampler {
+    /// Produces the next sample in `[0, 1]`, or `None` if the source is
+    /// exhausted (in which case evaluation of `sample` is stuck).
+    fn next_sample(&mut self) -> Option<Rational>;
+}
+
+/// Replays a fixed trace of samples, failing when it runs out.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_numerics::Rational;
+/// use probterm_spcf::{FixedTrace, Sampler};
+///
+/// let mut t = FixedTrace::new(vec![Rational::from_ratio(1, 3)]);
+/// assert_eq!(t.next_sample(), Some(Rational::from_ratio(1, 3)));
+/// assert_eq!(t.next_sample(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FixedTrace {
+    values: Vec<Rational>,
+    position: usize,
+}
+
+impl FixedTrace {
+    /// Creates a fixed trace from the given samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample lies outside `[0, 1]`.
+    pub fn new(values: Vec<Rational>) -> FixedTrace {
+        assert!(
+            values.iter().all(Rational::in_unit_interval),
+            "trace values must lie in [0, 1]"
+        );
+        FixedTrace { values, position: 0 }
+    }
+
+    /// Constructs a trace from `(numerator, denominator)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a denominator is zero or a value lies outside `[0, 1]`.
+    pub fn from_ratios(ratios: &[(i64, i64)]) -> FixedTrace {
+        FixedTrace::new(
+            ratios
+                .iter()
+                .map(|(n, d)| Rational::from_ratio(*n, *d))
+                .collect(),
+        )
+    }
+
+    /// Number of samples consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.position
+    }
+
+    /// Number of samples remaining.
+    pub fn remaining(&self) -> usize {
+        self.values.len() - self.position
+    }
+
+    /// Returns `true` when every sample has been consumed (the paper's
+    /// termination judgement `⟨M, s⟩ →* ⟨V, ε⟩` requires the trace to be used
+    /// up exactly).
+    pub fn is_exhausted(&self) -> bool {
+        self.position == self.values.len()
+    }
+}
+
+impl Sampler for FixedTrace {
+    fn next_sample(&mut self) -> Option<Rational> {
+        let v = self.values.get(self.position)?.clone();
+        self.position += 1;
+        Some(v)
+    }
+}
+
+/// Draws samples lazily from a random number generator, recording them so the
+/// realised trace can be inspected afterwards.
+#[derive(Debug)]
+pub struct RandomSampler<R: Rng> {
+    rng: R,
+    drawn: Trace,
+}
+
+impl<R: Rng> RandomSampler<R> {
+    /// Creates a sampler over the given RNG.
+    pub fn new(rng: R) -> RandomSampler<R> {
+        RandomSampler { rng, drawn: Vec::new() }
+    }
+
+    /// The samples drawn so far, in order.
+    pub fn drawn(&self) -> &[Rational] {
+        &self.drawn
+    }
+
+    /// Consumes the sampler and returns the realised trace.
+    pub fn into_trace(self) -> Trace {
+        self.drawn
+    }
+}
+
+impl<R: Rng> Sampler for RandomSampler<R> {
+    fn next_sample(&mut self) -> Option<Rational> {
+        let v: f64 = self.rng.gen_range(0.0..1.0);
+        let q = Rational::from_f64_exact(v);
+        self.drawn.push(q.clone());
+        Some(q)
+    }
+}
+
+/// The weight (Lebesgue-style product measure contribution) of an interval
+/// around a trace is only defined for interval traces; for standard traces the
+/// useful quantity is their length, exposed here for reporting purposes.
+pub fn trace_len(trace: &Trace) -> usize {
+    trace.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_trace_replays_in_order() {
+        let mut t = FixedTrace::from_ratios(&[(1, 2), (1, 4)]);
+        assert_eq!(t.remaining(), 2);
+        assert_eq!(t.next_sample(), Some(Rational::from_ratio(1, 2)));
+        assert_eq!(t.next_sample(), Some(Rational::from_ratio(1, 4)));
+        assert!(t.is_exhausted());
+        assert_eq!(t.next_sample(), None);
+        assert_eq!(t.consumed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn fixed_trace_rejects_out_of_range() {
+        let _ = FixedTrace::from_ratios(&[(3, 2)]);
+    }
+
+    #[test]
+    fn random_sampler_records_draws_in_unit_interval() {
+        let mut s = RandomSampler::new(StdRng::seed_from_u64(42));
+        for _ in 0..50 {
+            let v = s.next_sample().unwrap();
+            assert!(v.in_unit_interval());
+        }
+        assert_eq!(s.drawn().len(), 50);
+        assert_eq!(s.into_trace().len(), 50);
+    }
+}

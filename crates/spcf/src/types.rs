@@ -1,0 +1,426 @@
+//! The simple type system of SPCF (paper Fig. 1 / Fig. 7).
+//!
+//! Types are `α, β ::= R | α → β`. Terms carry no annotations, so this module
+//! implements a small unification-based inference engine (monomorphic
+//! Hindley–Milner) that either produces the principal simple type of a term or
+//! reports why none exists. All terms analysed by the paper are simply typed;
+//! type checking is the first well-formedness gate of every tool in this
+//! workspace.
+
+use crate::ast::{Ident, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A simple type: the base type of reals or a function type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SimpleType {
+    /// The base type `R` of reals.
+    Real,
+    /// A function type `α → β`.
+    Arrow(Box<SimpleType>, Box<SimpleType>),
+}
+
+impl SimpleType {
+    /// Constructs the function type `from → to`.
+    pub fn arrow(from: SimpleType, to: SimpleType) -> SimpleType {
+        SimpleType::Arrow(Box::new(from), Box::new(to))
+    }
+
+    /// The type `R → R` of first-order functions.
+    pub fn first_order() -> SimpleType {
+        SimpleType::arrow(SimpleType::Real, SimpleType::Real)
+    }
+
+    /// The order of the type: `order(R) = 0`,
+    /// `order(α → β) = max(order(α) + 1, order(β))`.
+    pub fn order(&self) -> usize {
+        match self {
+            SimpleType::Real => 0,
+            SimpleType::Arrow(a, b) => (a.order() + 1).max(b.order()),
+        }
+    }
+
+    /// Returns `true` if this is the base type.
+    pub fn is_real(&self) -> bool {
+        matches!(self, SimpleType::Real)
+    }
+}
+
+impl fmt::Display for SimpleType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimpleType::Real => write!(f, "R"),
+            SimpleType::Arrow(a, b) => match **a {
+                SimpleType::Arrow(_, _) => write!(f, "({a}) -> {b}"),
+                SimpleType::Real => write!(f, "R -> {b}"),
+            },
+        }
+    }
+}
+
+/// Internal representation with unification variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ty {
+    Real,
+    Var(usize),
+    Arrow(Box<Ty>, Box<Ty>),
+}
+
+/// An error produced by type inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable is not bound in the typing context.
+    UnboundVariable(String),
+    /// Two types failed to unify.
+    Mismatch {
+        /// Rendering of the expected type (up to unification variables).
+        expected: String,
+        /// Rendering of the actual type.
+        actual: String,
+    },
+    /// The occurs check failed (the term requires an infinite type).
+    InfiniteType,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::Mismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, found {actual}")
+            }
+            TypeError::InfiniteType => write!(f, "term requires an infinite type"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A unification-based type inference engine for SPCF.
+#[derive(Debug, Default)]
+struct Inference {
+    /// Union-find-ish substitution: `bindings[v]` is the binding of variable `v`.
+    bindings: Vec<Option<Ty>>,
+}
+
+impl Inference {
+    fn fresh(&mut self) -> Ty {
+        self.bindings.push(None);
+        Ty::Var(self.bindings.len() - 1)
+    }
+
+    fn resolve(&self, ty: &Ty) -> Ty {
+        match ty {
+            Ty::Var(v) => match &self.bindings[*v] {
+                Some(bound) => self.resolve(bound),
+                None => ty.clone(),
+            },
+            Ty::Real => Ty::Real,
+            Ty::Arrow(a, b) => Ty::Arrow(Box::new(self.resolve(a)), Box::new(self.resolve(b))),
+        }
+    }
+
+    fn occurs(&self, v: usize, ty: &Ty) -> bool {
+        match self.resolve(ty) {
+            Ty::Var(w) => v == w,
+            Ty::Real => false,
+            Ty::Arrow(a, b) => self.occurs(v, &a) || self.occurs(v, &b),
+        }
+    }
+
+    fn unify(&mut self, a: &Ty, b: &Ty) -> Result<(), TypeError> {
+        let a = self.resolve(a);
+        let b = self.resolve(b);
+        match (a, b) {
+            (Ty::Real, Ty::Real) => Ok(()),
+            (Ty::Var(v), other) | (other, Ty::Var(v)) => {
+                if let Ty::Var(w) = other {
+                    if v == w {
+                        return Ok(());
+                    }
+                }
+                if self.occurs(v, &other) {
+                    return Err(TypeError::InfiniteType);
+                }
+                self.bindings[v] = Some(other);
+                Ok(())
+            }
+            (Ty::Arrow(a1, b1), Ty::Arrow(a2, b2)) => {
+                self.unify(&a1, &a2)?;
+                self.unify(&b1, &b2)
+            }
+            (x, y) => Err(TypeError::Mismatch {
+                expected: self.render(&x),
+                actual: self.render(&y),
+            }),
+        }
+    }
+
+    fn render(&self, ty: &Ty) -> String {
+        match self.resolve(ty) {
+            Ty::Real => "R".to_string(),
+            Ty::Var(v) => format!("?{v}"),
+            Ty::Arrow(a, b) => format!("({} -> {})", self.render(&a), self.render(&b)),
+        }
+    }
+
+    fn infer(&mut self, env: &mut HashMap<Ident, Ty>, term: &Term) -> Result<Ty, TypeError> {
+        match term {
+            Term::Var(x) => env
+                .get(x)
+                .cloned()
+                .ok_or_else(|| TypeError::UnboundVariable(x.to_string())),
+            Term::Num(_) | Term::Sample => Ok(Ty::Real),
+            Term::Lam(x, body) => {
+                let arg = self.fresh();
+                let shadowed = env.insert(x.clone(), arg.clone());
+                let result = self.infer(env, body)?;
+                restore(env, x, shadowed);
+                Ok(Ty::Arrow(Box::new(arg), Box::new(result)))
+            }
+            Term::Fix(phi, x, body) => {
+                let arg = self.fresh();
+                let result = self.fresh();
+                let fun = Ty::Arrow(Box::new(arg.clone()), Box::new(result.clone()));
+                let shadowed_phi = env.insert(phi.clone(), fun.clone());
+                let shadowed_x = env.insert(x.clone(), arg);
+                let body_ty = self.infer(env, body)?;
+                self.unify(&body_ty, &result)?;
+                restore(env, x, shadowed_x);
+                restore(env, phi, shadowed_phi);
+                Ok(fun)
+            }
+            Term::App(f, a) => {
+                let f_ty = self.infer(env, f)?;
+                let a_ty = self.infer(env, a)?;
+                let result = self.fresh();
+                self.unify(
+                    &f_ty,
+                    &Ty::Arrow(Box::new(a_ty), Box::new(result.clone())),
+                )?;
+                Ok(result)
+            }
+            Term::If(g, t, e) => {
+                let g_ty = self.infer(env, g)?;
+                self.unify(&g_ty, &Ty::Real)?;
+                let t_ty = self.infer(env, t)?;
+                let e_ty = self.infer(env, e)?;
+                self.unify(&t_ty, &e_ty)?;
+                Ok(t_ty)
+            }
+            Term::Prim(p, args) => {
+                debug_assert_eq!(args.len(), p.arity());
+                for a in args {
+                    let ty = self.infer(env, a)?;
+                    self.unify(&ty, &Ty::Real)?;
+                }
+                Ok(Ty::Real)
+            }
+            Term::Score(m) => {
+                let ty = self.infer(env, m)?;
+                self.unify(&ty, &Ty::Real)?;
+                Ok(Ty::Real)
+            }
+        }
+    }
+
+    /// Turns a resolved internal type into a [`SimpleType`], defaulting any
+    /// remaining unconstrained variables to `R` (the principal choice for the
+    /// analyses in this workspace, which only ever inspect base-type results).
+    fn finalize(&self, ty: &Ty) -> SimpleType {
+        match self.resolve(ty) {
+            Ty::Real | Ty::Var(_) => SimpleType::Real,
+            Ty::Arrow(a, b) => SimpleType::arrow(self.finalize(&a), self.finalize(&b)),
+        }
+    }
+}
+
+fn restore(env: &mut HashMap<Ident, Ty>, key: &Ident, previous: Option<Ty>) {
+    match previous {
+        Some(v) => {
+            env.insert(key.clone(), v);
+        }
+        None => {
+            env.remove(key);
+        }
+    }
+}
+
+/// Infers the simple type of a closed term.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the term is open or not simply typable.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_spcf::{infer_type, SimpleType, Term};
+///
+/// let geo = Term::app(
+///     Term::fix("phi", "x", Term::ite(
+///         Term::leq(Term::Sample, Term::ratio(1, 2)),
+///         Term::var("x"),
+///         Term::app(Term::var("phi"), Term::add(Term::var("x"), Term::int(1))),
+///     )),
+///     Term::int(0),
+/// );
+/// assert_eq!(infer_type(&geo).unwrap(), SimpleType::Real);
+/// ```
+pub fn infer_type(term: &Term) -> Result<SimpleType, TypeError> {
+    let mut inference = Inference::default();
+    let mut env = HashMap::new();
+    let ty = inference.infer(&mut env, term)?;
+    Ok(inference.finalize(&ty))
+}
+
+/// Infers the simple type of a term in a context assigning types to its free
+/// variables.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the term is not simply typable in `context`.
+pub fn infer_type_in(
+    context: &[(Ident, SimpleType)],
+    term: &Term,
+) -> Result<SimpleType, TypeError> {
+    fn embed(t: &SimpleType) -> Ty {
+        match t {
+            SimpleType::Real => Ty::Real,
+            SimpleType::Arrow(a, b) => Ty::Arrow(Box::new(embed(a)), Box::new(embed(b))),
+        }
+    }
+    let mut inference = Inference::default();
+    let mut env: HashMap<Ident, Ty> = context
+        .iter()
+        .map(|(x, t)| (x.clone(), embed(t)))
+        .collect();
+    let ty = inference.infer(&mut env, term)?;
+    Ok(inference.finalize(&ty))
+}
+
+/// Returns `true` if the closed term is simply typed with base type `R`.
+pub fn is_program(term: &Term) -> bool {
+    matches!(infer_type(term), Ok(SimpleType::Real))
+}
+
+/// Checks that the term is a *first-order fixpoint* `μφ x. M` of type `R → R`
+/// with no nested recursion inside `M`, which is the program shape required by
+/// the counting-based analysis of paper §5.2.
+pub fn is_first_order_fixpoint(term: &Term) -> bool {
+    fn has_fix(t: &Term) -> bool {
+        match t {
+            Term::Fix(_, _, _) => true,
+            Term::Var(_) | Term::Num(_) | Term::Sample => false,
+            Term::Lam(_, b) | Term::Score(b) => has_fix(b),
+            Term::App(f, a) => has_fix(f) || has_fix(a),
+            Term::If(g, t1, t2) => has_fix(g) || has_fix(t1) || has_fix(t2),
+            Term::Prim(_, args) => args.iter().any(has_fix),
+        }
+    }
+    match term {
+        Term::Fix(_, _, body) => {
+            infer_type(term) == Ok(SimpleType::first_order()) && !has_fix(body)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numerals_and_sample_have_base_type() {
+        assert_eq!(infer_type(&Term::int(3)).unwrap(), SimpleType::Real);
+        assert_eq!(infer_type(&Term::Sample).unwrap(), SimpleType::Real);
+        assert_eq!(
+            infer_type(&Term::score(Term::Sample)).unwrap(),
+            SimpleType::Real
+        );
+    }
+
+    #[test]
+    fn identity_is_arrow() {
+        let id = Term::lam("x", Term::var("x"));
+        // Unconstrained argument defaults to R.
+        assert_eq!(infer_type(&id).unwrap(), SimpleType::first_order());
+        let applied = Term::app(id, Term::int(1));
+        assert_eq!(infer_type(&applied).unwrap(), SimpleType::Real);
+    }
+
+    #[test]
+    fn fixpoint_types_as_first_order_function() {
+        let geo = Term::fix(
+            "phi",
+            "x",
+            Term::ite(
+                Term::leq(Term::Sample, Term::ratio(1, 2)),
+                Term::var("x"),
+                Term::app(Term::var("phi"), Term::add(Term::var("x"), Term::int(1))),
+            ),
+        );
+        assert_eq!(infer_type(&geo).unwrap(), SimpleType::first_order());
+        assert!(is_first_order_fixpoint(&geo));
+        assert!(is_program(&Term::app(geo, Term::int(0))));
+    }
+
+    #[test]
+    fn higher_order_terms_are_typable() {
+        // λf. f 0 : (R → R) → R
+        let t = Term::lam("f", Term::app(Term::var("f"), Term::int(0)));
+        let ty = infer_type(&t).unwrap();
+        assert_eq!(
+            ty,
+            SimpleType::arrow(SimpleType::first_order(), SimpleType::Real)
+        );
+        assert_eq!(ty.order(), 2);
+    }
+
+    #[test]
+    fn ill_typed_terms_are_rejected() {
+        // Applying a numeral.
+        let t = Term::app(Term::int(1), Term::int(2));
+        assert!(matches!(infer_type(&t), Err(TypeError::Mismatch { .. })));
+        // Self-application needs an infinite type.
+        let omega = Term::lam("x", Term::app(Term::var("x"), Term::var("x")));
+        assert_eq!(infer_type(&omega), Err(TypeError::InfiniteType));
+        // Branches of a conditional must agree.
+        let t = Term::ite(Term::int(0), Term::int(1), Term::lam("x", Term::var("x")));
+        assert!(infer_type(&t).is_err());
+        // Open terms are rejected.
+        assert_eq!(
+            infer_type(&Term::var("y")),
+            Err(TypeError::UnboundVariable("y".into()))
+        );
+    }
+
+    #[test]
+    fn context_typing() {
+        let ctx = vec![(crate::ast::ident("f"), SimpleType::first_order())];
+        let t = Term::app(Term::var("f"), Term::Sample);
+        assert_eq!(infer_type_in(&ctx, &t).unwrap(), SimpleType::Real);
+    }
+
+    #[test]
+    fn first_order_fixpoint_rejects_nested_and_higher_order() {
+        // Nested recursion.
+        let inner = Term::fix("g", "y", Term::var("y"));
+        let nested = Term::fix("f", "x", Term::app(inner, Term::var("x")));
+        assert!(!is_first_order_fixpoint(&nested));
+        // Not a fixpoint at all.
+        assert!(!is_first_order_fixpoint(&Term::int(1)));
+    }
+
+    #[test]
+    fn display_of_types() {
+        assert_eq!(SimpleType::Real.to_string(), "R");
+        assert_eq!(SimpleType::first_order().to_string(), "R -> R");
+        assert_eq!(
+            SimpleType::arrow(SimpleType::first_order(), SimpleType::Real).to_string(),
+            "(R -> R) -> R"
+        );
+        let err = TypeError::UnboundVariable("x".into());
+        assert!(err.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,101 @@
+//! Three independent routes to the same termination probability.
+//!
+//! For non-affine recursion whose counting pattern does not depend on the
+//! argument, the program behaves like a Galton–Watson branching process: its
+//! termination probability is the extinction probability of that process.
+//! This example computes the termination probability of the unreliable-printer
+//! programs (Ex. 1.1) by
+//!
+//! 1. the certified lower bounds of the interval semantics (§3/§7.1),
+//! 2. the extinction probability of the branching process (least fixed point
+//!    of the offspring generating function),
+//! 3. cumulative number-tree weights (Appendix D), which are lower bounds by
+//!    Proposition D.5,
+//!
+//! and checks the AST thresholds against Theorem 5.4.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example branching_extinction
+//! ```
+
+use probterm::core::counting::tree_family_weight;
+use probterm::core::intervalsem::{lower_bound, LowerBoundConfig};
+use probterm::core::numerics::Rational;
+use probterm::core::rwalk::{CountingDistribution, GeneratingFunction};
+use probterm::core::spcf::catalog;
+
+fn main() {
+    println!("non-affine printer (Ex. 1.1 (2)): counting pattern p·δ0 + (1−p)·δ2");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>8}",
+        "p", "interval LB", "extinction", "tree weight", "AST?"
+    );
+    for p in [
+        Rational::from_ratio(1, 4),
+        Rational::from_ratio(2, 5),
+        Rational::from_ratio(1, 2),
+        Rational::from_ratio(3, 4),
+    ] {
+        let counting = CountingDistribution::from_pairs([
+            (0, p.clone()),
+            (2, Rational::one() - p.clone()),
+        ]);
+        let generating = GeneratingFunction::new(&counting);
+
+        // Route 1: interval-semantics lower bound on the program itself.
+        let program = catalog::printer_nonaffine(p.clone());
+        let bound = lower_bound(&program.term, &LowerBoundConfig::with_depth(60));
+
+        // Route 2: branching-process extinction probability (exact where the
+        // generating equation is quadratic).
+        let extinction = generating
+            .extinction_probability_exact()
+            .map(|q| q.to_decimal_string(10))
+            .unwrap_or_else(|| format!("{:.10}", generating.extinction_probability_f64(1e-12, 100_000)));
+
+        // Route 3: cumulative number-tree weights (Prop. D.5).
+        let trees = tree_family_weight(&counting, 11);
+
+        println!(
+            "{:<8} {:>14} {:>14} {:>14} {:>8}",
+            p.to_string(),
+            bound.probability.to_decimal_string(10),
+            extinction,
+            trees.to_decimal_string(10),
+            if counting.shifted().is_ast() { "yes" } else { "no" },
+        );
+    }
+
+    println!();
+    println!("three-call-site printer (3print): counting pattern p·δ0 + (1−p)·δ3");
+    for p in [Rational::from_ratio(1, 2), Rational::from_ratio(2, 3), Rational::from_ratio(3, 4)] {
+        let counting = CountingDistribution::from_pairs([
+            (0, p.clone()),
+            (3, Rational::one() - p.clone()),
+        ]);
+        let generating = GeneratingFunction::new(&counting);
+        let extinct = generating.extinction_probability_f64(1e-12, 200_000);
+        println!(
+            "p = {:<6} mean offspring {:<6} extinction ≈ {:.6}  AST: {}",
+            p.to_string(),
+            generating.mean_offspring().to_string(),
+            extinct,
+            counting.shifted().is_ast(),
+        );
+    }
+
+    // The golden-ratio term of Table 1 terminates with probability (√5−1)/2;
+    // the branching process reproduces the same number from the counting
+    // pattern 1/2·δ0 + 1/2·δ3.
+    let gr = CountingDistribution::from_pairs([
+        (0, Rational::from_ratio(1, 2)),
+        (3, Rational::from_ratio(1, 2)),
+    ]);
+    let q = GeneratingFunction::new(&gr).extinction_probability_f64(1e-12, 200_000);
+    let golden = (5.0f64.sqrt() - 1.0) / 2.0;
+    println!();
+    println!("gr: extinction ≈ {q:.10}, inverse golden ratio = {golden:.10}");
+    assert!((q - golden).abs() < 1e-8);
+}

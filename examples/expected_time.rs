@@ -1,0 +1,77 @@
+//! Positive almost-sure termination (PAST): lower bounds on the expected
+//! runtime, and divergence evidence for programs that are AST but not PAST.
+//!
+//! The interval semantics certifies lower bounds not only on the probability
+//! of termination but also on the expected number of reduction steps
+//! (Theorem 3.4 (2)). For PAST programs these bounds stabilise below the true
+//! (finite) expected runtime; for the fair non-affine printer of Ex. 1.1 —
+//! which is AST but has infinite expected runtime — they keep growing with
+//! the exploration depth. This example prints both profiles and uses
+//! `refute_past_bound` to reject candidate runtime bounds, the refutation
+//! half of the Σ⁰₂ characterisation of PAST (Theorem 3.10).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example expected_time
+//! ```
+
+use probterm::core::intervalsem::{
+    divergence_ratio, expected_steps_profile, refute_past_bound, PastProbe,
+};
+use probterm::core::numerics::Rational;
+use probterm::core::spcf::catalog;
+
+fn main() {
+    let depths = [20usize, 40, 60, 80];
+
+    let geo = catalog::geometric(Rational::from_ratio(1, 2));
+    let printer = catalog::printer_nonaffine(Rational::from_ratio(1, 2));
+
+    for benchmark in [&geo, &printer] {
+        println!("{} — {}", benchmark.name, benchmark.description);
+        let profile = expected_steps_profile(&benchmark.term, &depths);
+        println!("{:>6} {:>16} {:>16}", "depth", "Pterm >=", "E[steps] >=");
+        for point in &profile {
+            println!(
+                "{:>6} {:>16} {:>16}",
+                point.depth,
+                point.probability.to_decimal_string(8),
+                point.expected_steps.to_decimal_string(4),
+            );
+        }
+        if let Some(ratio) = divergence_ratio(&profile) {
+            println!("growth ratio (last/first expected-steps bound): {ratio:.3}");
+        }
+        println!();
+    }
+
+    // Refute candidate expected-runtime bounds for the fair printer: every
+    // candidate is eventually refuted because Eterm is infinite.
+    println!("refuting expected-runtime bounds for {}:", printer.name);
+    for candidate in [5i64, 15, 30] {
+        let candidate = Rational::from_int(candidate);
+        match refute_past_bound(&printer.term, &candidate, &[20, 40, 60, 80]) {
+            PastProbe::Refuted(refutation) => println!(
+                "  Eterm > {:>3}   (certified lower bound {} at depth {})",
+                refutation.candidate,
+                refutation.certified_lower_bound.to_decimal_string(4),
+                refutation.depth,
+            ),
+            PastProbe::NotRefuted { certified_lower_bound } => println!(
+                "  Eterm <= {candidate} not refuted up to depth 80 (best lower bound {})",
+                certified_lower_bound.to_decimal_string(4),
+            ),
+        }
+    }
+
+    // The geometric program is PAST: a generous candidate survives.
+    let generous = Rational::from_int(100);
+    let probe = refute_past_bound(&geo.term, &generous, &[40, 80]);
+    println!(
+        "\n{}: candidate Eterm <= {generous} refuted? {}",
+        geo.name,
+        probe.is_refuted()
+    );
+    assert!(!probe.is_refuted());
+}

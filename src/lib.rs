@@ -1,0 +1,9 @@
+//! Umbrella crate for the `probterm` workspace.
+//!
+//! This crate hosts the workspace-level integration tests and runnable
+//! examples. The actual functionality lives in the `probterm-*` crates and is
+//! re-exported through [`probterm_core`].
+
+pub use probterm_core as core;
+pub use probterm_numerics as numerics;
+pub use probterm_spcf as spcf;

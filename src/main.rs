@@ -1,0 +1,186 @@
+//! `probterm` — command-line interface to the termination analyses.
+//!
+//! ```text
+//! probterm analyze   (<file> | -e <program>)   [--depth N] [--mc RUNS]
+//! probterm lower     (<file> | -e <program>)   [--depth N]
+//! probterm verify    (<file> | -e <program>)
+//! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--cbv]
+//! probterm catalog
+//! ```
+//!
+//! Programs use the SPCF surface syntax, e.g.
+//! `(fix phi x. if sample <= 0.5 then x else phi (phi (x + 1))) 1`.
+
+use probterm::core::{analyze, analyze_ast, analyze_lower_bound, AnalysisConfig};
+use probterm::spcf::{catalog, estimate_termination, parse_term, MonteCarloConfig, Strategy, Term};
+use std::process::ExitCode;
+
+struct Options {
+    positional: Vec<String>,
+    inline: Option<String>,
+    depth: usize,
+    runs: usize,
+    steps: usize,
+    cbv: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        positional: Vec::new(),
+        inline: None,
+        depth: 120,
+        runs: 10_000,
+        steps: 20_000,
+        cbv: false,
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-e" | "--expr" => {
+                options.inline = Some(
+                    iter.next()
+                        .ok_or_else(|| "-e requires a program argument".to_string())?
+                        .clone(),
+                );
+            }
+            "--depth" => {
+                options.depth = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--depth requires a number".to_string())?;
+            }
+            "--runs" | "--mc" => {
+                options.runs = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--runs requires a number".to_string())?;
+            }
+            "--steps" => {
+                options.steps = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--steps requires a number".to_string())?;
+            }
+            "--cbv" => options.cbv = true,
+            other => options.positional.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn load_program(options: &Options) -> Result<Term, String> {
+    let source = if let Some(inline) = &options.inline {
+        inline.clone()
+    } else if let Some(path) = options.positional.first() {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    } else {
+        return Err("no program given: pass a file or -e '<program>'".to_string());
+    };
+    parse_term(&source).map_err(|e| format!("parse error: {e}"))
+}
+
+fn usage() -> &'static str {
+    "usage: probterm <analyze|lower|verify|simulate|catalog> [<file> | -e '<program>'] [options]\n\
+     options: --depth N   exploration depth for the lower-bound engine (default 120)\n\
+              --runs N    Monte-Carlo runs for `simulate` (default 10000)\n\
+              --steps N   step budget per Monte-Carlo run (default 20000)\n\
+              --cbv       simulate with call-by-value instead of call-by-name"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let options = match parse_options(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "catalog" => {
+            println!("Table 1 benchmarks:");
+            for b in catalog::table1_benchmarks() {
+                println!("  {:<18} {}", b.name, b.description);
+            }
+            println!("Table 2 benchmarks:");
+            for b in catalog::table2_benchmarks() {
+                println!("  {:<18} {}", b.name, b.description);
+            }
+            ExitCode::SUCCESS
+        }
+        "analyze" | "lower" | "verify" | "simulate" => {
+            let term = match load_program(&options) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match command.as_str() {
+                "analyze" => {
+                    let report = analyze(
+                        &term,
+                        &AnalysisConfig {
+                            lower_bound_depth: options.depth,
+                            monte_carlo_runs: 0,
+                            monte_carlo_steps: options.steps,
+                            seed: 2021,
+                        },
+                    );
+                    print!("{report}");
+                }
+                "lower" => {
+                    let result = analyze_lower_bound(&term, options.depth);
+                    println!(
+                        "Pterm >= {}  ({} paths, {} unexplored, {} ms)",
+                        result.probability.to_decimal_string(10),
+                        result.paths,
+                        result.unexplored_paths,
+                        result.elapsed.as_millis()
+                    );
+                }
+                "verify" => match analyze_ast(&term) {
+                    Ok(v) => println!("{v}"),
+                    Err(e) => {
+                        eprintln!("verification not applicable: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                "simulate" => {
+                    let estimate = estimate_termination(
+                        &term,
+                        &MonteCarloConfig {
+                            runs: options.runs,
+                            max_steps: options.steps,
+                            seed: 2021,
+                            strategy: if options.cbv {
+                                Strategy::CallByValue
+                            } else {
+                                Strategy::CallByName
+                            },
+                        },
+                    );
+                    println!(
+                        "terminated {}/{} runs (estimated Pterm {:.4} ± {:.4}); mean steps {:.1}",
+                        estimate.terminated,
+                        estimate.runs,
+                        estimate.probability(),
+                        estimate.confidence_99(),
+                        estimate.mean_steps
+                    );
+                }
+                _ => unreachable!(),
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests of the analysis pipeline itself:
+//! parser ↔ pretty-printer ↔ semantics ↔ interval semantics ↔ type system.
+
+use probterm::core::itypes::{derive_from_exploration, derive_set_type};
+use probterm::core::intervalsem::{run_interval, IntervalTrace, ITerm};
+use probterm::core::spcf::{
+    catalog, infer_type, parse_term, run, terminates_on_trace, FixedTrace, SimpleType, Strategy,
+};
+use probterm::numerics::{Interval, Rational};
+use proptest::prelude::*;
+
+/// Every catalogue program parses, pretty-prints and re-parses to the same AST,
+/// and is a closed, simply typed program of base type.
+#[test]
+fn catalogue_roundtrips_through_the_pretty_printer() {
+    let mut all = catalog::table1_benchmarks();
+    all.extend(catalog::table2_benchmarks());
+    all.push(catalog::triangle_example());
+    for b in &all {
+        let printed = b.term.to_string();
+        let reparsed = parse_term(&printed)
+            .unwrap_or_else(|e| panic!("{}: failed to reparse `{printed}`: {e}", b.name));
+        assert_eq!(reparsed, b.term, "{}", b.name);
+        assert_eq!(infer_type(&b.term).unwrap(), SimpleType::Real, "{}", b.name);
+    }
+}
+
+/// Lemma B.2 (used for soundness): if an interval trace terminates for the
+/// embedded term, every standard trace refining it terminates for the original
+/// term with the same step count. Checked on the non-affine printer.
+#[test]
+fn refining_standard_traces_terminate_with_equal_step_counts() {
+    let b = catalog::printer_nonaffine(Rational::from_ratio(1, 2));
+    // Interval trace: first print fails, both reprints succeed.
+    // The failure interval must stay strictly above 1/2 so the branch is
+    // decided (cf. Fig. 9); it still contains all three standard traces below.
+    let itrace = IntervalTrace::from_ratios(&[(51, 100, 1, 1), (0, 1, 1, 2), (0, 1, 1, 2)]);
+    let embedded = ITerm::embed(&b.term);
+    let outcome = run_interval(&embedded, &itrace, 100_000);
+    let steps = match outcome {
+        probterm::core::intervalsem::IOutcome::Terminated { steps, .. } => steps,
+        other => panic!("interval run did not terminate: {other:?}"),
+    };
+    for raw in [
+        [(3i64, 4i64), (1, 4), (1, 4)],
+        [(9, 10), (1, 3), (2, 5)],
+        [(51, 100), (1, 100), (49, 100)],
+    ] {
+        let trace = FixedTrace::from_ratios(&raw);
+        let result = terminates_on_trace(Strategy::CallByName, &b.term, trace, 100_000)
+            .expect("standard trace must terminate");
+        assert_eq!(result.steps, steps);
+    }
+}
+
+/// Theorem 4.1 (soundness direction) end to end: set-type judgements derived
+/// from interval traces give lower bounds below the exact lower-bound engine's
+/// result at matching depth, which in turn is below the true probability.
+#[test]
+fn set_type_weights_chain_below_the_lower_bound_engine() {
+    let b = catalog::geometric(Rational::from_ratio(1, 2));
+    let judgement = derive_from_exploration(&b.term, 60);
+    let weight = judgement.termination_lower_bound();
+    assert!(weight > Rational::from_ratio(1, 2));
+    assert!(weight <= Rational::one());
+    let engine = probterm::core::intervalsem::lower_bound(
+        &b.term,
+        &probterm::core::intervalsem::LowerBoundConfig::with_depth(60),
+    );
+    assert!(weight <= engine.probability);
+}
+
+/// Hand-built set-type derivation for the fair coin: exact weight 1 and the
+/// exact expected step count.
+#[test]
+fn manual_set_type_for_a_single_coin() {
+    let term = parse_term("if sample <= 1/2 then 0 else 1").unwrap();
+    let judgement = derive_set_type(
+        &term,
+        &[
+            IntervalTrace::new(vec![Interval::from_ratios(0, 1, 1, 2)]),
+            IntervalTrace::new(vec![Interval::from_ratios(3, 5, 1, 1)]),
+        ],
+    )
+    .unwrap();
+    assert_eq!(judgement.termination_lower_bound(), Rational::from_ratio(9, 10));
+    assert!(
+        judgement.expected_steps_lower_bound()
+            >= Rational::from_ratio(9, 10) * Rational::from_int(2)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// CbN and CbV evaluation of the (first-order, sample-free) arithmetic
+    /// fragment agree and match direct rational evaluation.
+    #[test]
+    fn strategies_agree_on_deterministic_arithmetic(a in -20i64..20, b in -20i64..20, c in 1i64..20) {
+        let src = format!("(lam x. lam y. (x + y) * {c} - min(x, y)) {a} {b}");
+        let term = parse_term(&src).unwrap();
+        let mut t1 = FixedTrace::new(vec![]);
+        let mut t2 = FixedTrace::new(vec![]);
+        let r1 = run(Strategy::CallByName, &term, &mut t1, 10_000);
+        let r2 = run(Strategy::CallByValue, &term, &mut t2, 10_000);
+        let expected = Rational::from_int((a + b) * c - a.min(b));
+        match (&r1.outcome, &r2.outcome) {
+            (
+                probterm::core::spcf::Outcome::Terminated(v1),
+                probterm::core::spcf::Outcome::Terminated(v2),
+            ) => {
+                prop_assert_eq!(v1.as_num().unwrap(), &expected);
+                prop_assert_eq!(v2.as_num().unwrap(), &expected);
+            }
+            other => prop_assert!(false, "unexpected outcomes {:?}", other),
+        }
+    }
+
+    /// The geometric program terminates on every trace that eventually has a
+    /// sample below p, and the returned numeral counts the failures.
+    #[test]
+    fn geometric_counts_failures(failures in 0usize..8) {
+        let term = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+        let mut samples: Vec<(i64, i64)> = vec![(3, 4); failures];
+        samples.push((1, 4));
+        let trace = FixedTrace::from_ratios(&samples);
+        let result = terminates_on_trace(Strategy::CallByName, &term, trace, 100_000).unwrap();
+        match result.outcome {
+            probterm::core::spcf::Outcome::Terminated(v) => {
+                prop_assert_eq!(v.as_num().unwrap(), &Rational::from_int(failures as i64));
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// Interval-trace weights of disjoint dyadic splits always sum to one and
+    /// each piece certifies termination of the single-coin program.
+    #[test]
+    fn dyadic_splits_cover_the_coin(k in 1u32..6) {
+        let term = parse_term("if sample <= 1/2 then 0 else 1").unwrap();
+        let embedded = ITerm::embed(&term);
+        let pieces = Interval::unit().split(1usize << k);
+        let mut total = Rational::zero();
+        for piece in pieces {
+            let trace = IntervalTrace::new(vec![piece]);
+            let outcome = run_interval(&embedded, &trace, 10_000);
+            if outcome.is_terminated() {
+                total = total + trace.weight();
+            }
+        }
+        // Every dyadic cell except possibly the one straddling 1/2 terminates;
+        // with power-of-two splits none straddles, so the total is exactly 1.
+        prop_assert_eq!(total, Rational::one());
+    }
+}
