@@ -1,0 +1,310 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the `probterm-bench` benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! straightforward wall-clock timer instead of criterion's statistical
+//! machinery.
+//!
+//! Each benchmark runs one untimed warm-up iteration, then `sample_size`
+//! timed iterations (capped to keep single-CPU runs quick), and reports
+//! minimum / median / mean per-iteration time. Output lines look like
+//! `group/name  min 1.234ms  median 1.456ms  mean 1.500ms (15 samples)` and
+//! are also emitted as machine-readable JSON when `CRITERION_JSON` is set to
+//! a file path.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Upper bound on timed samples per benchmark, keeping full `cargo bench`
+/// runs tractable on the single-CPU container.
+const MAX_SAMPLES: usize = 20;
+
+/// Identifier for a parameterised benchmark, e.g. `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter, for groups benchmarking one function.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once untimed, then `samples` timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// One recorded benchmark result.
+struct Record {
+    id: String,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    samples: usize,
+}
+
+/// Entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards trailing CLI args; treat the first
+        // non-flag argument as a substring filter, like criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter, records: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: MAX_SAMPLES,
+        }
+    }
+
+    /// Benchmarks `routine` without an explicit group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(id, MAX_SAMPLES, routine);
+        self
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(&mut self, id: String, samples: usize, mut routine: R) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { samples, timings: Vec::new() };
+        routine(&mut bencher);
+        let mut timings = bencher.timings;
+        if timings.is_empty() {
+            timings.push(Duration::ZERO);
+        }
+        timings.sort();
+        let min = timings[0];
+        let median = timings[timings.len() / 2];
+        let total: Duration = timings.iter().sum();
+        let mean = total / timings.len() as u32;
+        println!(
+            "{id:<55} min {:>10}  median {:>10}  mean {:>10}  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            timings.len()
+        );
+        self.records.push(Record { id, min, median, mean, samples: timings.len() });
+    }
+
+    /// Writes collected results as JSON to `$CRITERION_JSON`, if set.
+    fn flush_json(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+        if path.is_empty() {
+            return;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.min.as_nanos(),
+                r.median.as_nanos(),
+                r.mean.as_nanos(),
+                r.samples,
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = file.write_all(out.as_bytes());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark (capped internally).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(1, MAX_SAMPLES);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with one iteration.
+    pub fn warm_up_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed sample count.
+    pub fn measurement_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `group_name/id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: R,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        let samples = self.sample_size;
+        self.criterion.run_one(id, samples, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size;
+        self.criterion.run_one(id, samples, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing extra; results stream as they finish).
+    pub fn finish(&mut self) {}
+}
+
+/// Things accepted as a benchmark name: strings or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// Prevents the optimiser from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            $crate::__flush(&criterion);
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __flush(criterion: &Criterion) {
+    criterion.flush_json();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_record() {
+        let mut c = Criterion { filter: None, records: Vec::new() };
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+                b.iter(|| (0..n).product::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0].id, "unit/sum");
+        assert_eq!(c.records[1].id, "unit/scaled/4");
+        assert!(c.records[0].samples == 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("keep".into()), records: Vec::new() };
+        c.bench_function("keep_this", |b| b.iter(|| 1 + 1));
+        c.bench_function("drop_this", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.records.len(), 1);
+    }
+}

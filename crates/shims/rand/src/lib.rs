@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container this workspace builds in has no registry access, so the few
+//! pieces of `rand` the workspace uses are re-implemented here with the same
+//! module paths and signatures:
+//!
+//! * [`RngCore`] / [`Rng::gen_range`] over half-open ranges,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`], implemented as xoshiro256++ seeded through SplitMix64.
+//!
+//! The generator is deterministic for a given seed (all probterm call sites
+//! fix their seeds), statistically solid for Monte-Carlo use, and obviously
+//! not cryptographic — exactly like the real `StdRng` contract as probterm
+//! relies on it.
+
+use std::ops::Range;
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a value in `[low, high)` from `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        // 53 uniform mantissa bits in [0, 1), scaled into the range.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u128;
+                assert!(span > 0, "cannot sample from empty range");
+                // Modulo bias is < 2^-64 for every span probterm uses.
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                ((low as $wide).wrapping_add(draw as $wide)) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128,
+);
+
+/// The user-facing random-value API (blanket-implemented for every source).
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            // xoshiro256++ must not start in the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+    }
+
+    #[test]
+    fn f64_range_respects_bounds_and_moves() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let v = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            distinct.insert(v.to_bits());
+        }
+        assert!(distinct.len() > 990, "draws should almost never repeat");
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for `serde` (+ re-exported derive).
+//!
+//! Instead of serde's zero-copy serializer architecture, this shim defines a
+//! single owned JSON-like [`Value`] tree and a [`Serialize`] trait producing
+//! it. `#[derive(Serialize)]` (from the sibling `serde_derive` shim) works on
+//! structs with named fields, and the sibling `serde_json` shim renders the
+//! tree. That is the entire surface `probterm-bench` needs for its JSON
+//! reports.
+
+pub use serde_derive::Serialize;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any numeric value, rendered without a trailing `.0` when integral.
+    Num(f64),
+    /// An exact unsigned integer (kept separate so `u128` survives).
+    UInt(u128),
+    /// An exact signed integer.
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into an owned JSON value.
+    fn serialize(&self) -> Value;
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+    )+};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )+};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, u128, usize);
+impl_serialize_int!(i8, i16, i32, i64, i128, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(true.serialize(), Value::Bool(true));
+        assert_eq!(3u128.serialize(), Value::UInt(3));
+        assert_eq!((-4i64).serialize(), Value::Int(-4));
+        assert_eq!("hi".serialize(), Value::Str("hi".into()));
+        assert_eq!(None::<f64>.serialize(), Value::Null);
+        assert_eq!(Some(0.5f64).serialize(), Value::Num(0.5));
+        assert_eq!(
+            vec![1u64, 2].serialize(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` for structs with named fields, emitting an
+//! implementation of the shim `serde::Serialize` trait that builds a
+//! `serde::Value::Object` with one entry per field, in declaration order.
+//!
+//! The input is parsed with the bare `proc_macro` API (no `syn`/`quote` in
+//! this offline container): the parser scans for `struct <Name>`, then walks
+//! the brace group collecting the identifier immediately preceding each
+//! top-level `:`. Field types containing top-level commas inside angle
+//! brackets (e.g. `HashMap<K, V>`) are not supported — none of the derived
+//! structs in this workspace use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes and visibility until the `struct` keyword.
+    let mut name: Option<String> = None;
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            if ident.to_string() == "struct" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize): no `struct` keyword found");
+
+    // The next brace group holds the named fields.
+    let mut fields: Vec<String> = Vec::new();
+    for token in tokens {
+        if let TokenTree::Group(group) = token {
+            if group.delimiter() == Delimiter::Brace {
+                // A field name is the identifier directly before a top-level
+                // `:`; `expecting` is true from the start and after each `,`.
+                let mut expecting = true;
+                let mut candidate: Option<String> = None;
+                for t in group.stream() {
+                    match t {
+                        TokenTree::Ident(ident) => {
+                            if expecting {
+                                candidate = Some(ident.to_string());
+                            }
+                        }
+                        TokenTree::Punct(punct) => match punct.as_char() {
+                            ':' if expecting => {
+                                if let Some(field) = candidate.take() {
+                                    fields.push(field);
+                                }
+                                expecting = false;
+                            }
+                            ',' => expecting = true,
+                            _ => {}
+                        },
+                        _ => {}
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize(&self.{f}))"))
+        .collect();
+    let body = entries.join(", ");
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{body}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl must parse")
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for `serde_json`: renders the shim [`serde::Value`] tree
+//! produced by the shim `Serialize` trait as JSON text, compact
+//! ([`to_string`]) or indented ([`to_string_pretty`]).
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Error type for API compatibility; rendering owned values cannot fail.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialises `value` to an indented (2 spaces) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.serialize(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Num(n) => {
+            if n.is_finite() {
+                if *n == n.trunc() && n.abs() < 1e15 {
+                    out.push_str(&format!("{:.1}", n));
+                } else {
+                    out.push_str(&n.to_string());
+                }
+            } else {
+                // JSON has no NaN/Infinity; serde_json uses null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => push_json_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                render(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, level + 1, out);
+                push_json_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, level + 1, out);
+            }
+            newline_indent(indent, level, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn push_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    struct Row;
+
+    impl Serialize for Row {
+        fn serialize(&self) -> Value {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str("geo(1/2)".to_string())),
+                ("pterm".to_string(), Value::Num(1.0)),
+                ("paths".to_string(), Value::UInt(12)),
+                ("missing".to_string(), Value::Null),
+            ])
+        }
+    }
+
+    #[test]
+    fn compact_and_pretty_render() {
+        let compact = to_string(&Row).unwrap();
+        assert_eq!(
+            compact,
+            "{\"name\":\"geo(1/2)\",\"pterm\":1.0,\"paths\":12,\"missing\":null}"
+        );
+        let pretty = to_string_pretty(&Row).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"geo(1/2)\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = to_string(&"a\"b\\c\n").unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn arrays_of_objects_render() {
+        let rows = vec![Row, Row];
+        let json = to_string(&rows).unwrap();
+        assert!(json.starts_with('['));
+        assert_eq!(json.matches("geo(1/2)").count(), 2);
+    }
+}

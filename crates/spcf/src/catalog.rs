@@ -308,7 +308,9 @@ mod tests {
         // Spot-check a few closed-form termination probabilities (cheap runs).
         let config = MonteCarloConfig {
             runs: 1_200,
-            max_steps: 8_000,
+            // Estimates are unchanged down from 8 000 steps; divergent runs
+            // dominate the cost and always burn the whole budget.
+            max_steps: 1_500,
             seed: 99,
             strategy: Strategy::CallByValue,
         };
@@ -332,7 +334,11 @@ mod tests {
     fn pedestrian_and_walks_terminate_in_simulation() {
         let config = MonteCarloConfig {
             runs: 200,
-            max_steps: 60_000,
+            // The pedestrian's fair continuous walk has a heavy hitting-time
+            // tail (P[T > n] ~ n^{-1/2}), so this budget cannot drop to the
+            // ~1 500 the other suites use without biasing the estimate; at
+            // 20 000 steps the truncated mass is ≈2% against a 0.9 threshold.
+            max_steps: 20_000,
             seed: 3,
             strategy: Strategy::CallByValue,
         };

@@ -256,6 +256,13 @@ pub struct Run {
 
 /// Runs `term` under `strategy` for at most `max_steps` small steps.
 ///
+/// Since the environment machine landed ([`crate::machine`]), this delegates
+/// to [`crate::run_machine`], which performs the same reduction sequence with
+/// O(1)-amortized steps instead of re-substituting the whole term each step.
+/// The substitution-based loop survives as [`run_substitution`], the
+/// executable reference semantics the machine is differentially tested
+/// against.
+///
 /// # Examples
 ///
 /// ```
@@ -269,6 +276,22 @@ pub struct Run {
 /// assert_eq!(result.samples, 2);
 /// ```
 pub fn run(
+    strategy: Strategy,
+    term: &Term,
+    sampler: &mut dyn Sampler,
+    max_steps: usize,
+) -> Run {
+    crate::machine::run_machine(strategy, term, sampler, max_steps)
+}
+
+/// Runs `term` by literal substitution-based small steps — the executable
+/// form of the paper's reduction relation (Fig. 2 / Fig. 8), `O(|term|)` per
+/// step.
+///
+/// This is the reference every faster evaluator is checked against; use
+/// [`run`] (the environment machine) for anything performance-sensitive.
+/// Outcome, step count and sample count agree exactly with [`run`].
+pub fn run_substitution(
     strategy: Strategy,
     term: &Term,
     sampler: &mut dyn Sampler,

@@ -10,8 +10,10 @@
 //! * the simple type system and inference ([`infer_type`], [`SimpleType`]),
 //! * a parser and pretty-printer for a small surface syntax ([`parse_term`]),
 //! * the call-by-name and call-by-value sampling-style small-step semantics
-//!   ([`run`], [`Strategy`]) over explicit traces ([`FixedTrace`]) or random
-//!   samplers ([`RandomSampler`]),
+//!   over explicit traces ([`FixedTrace`]) or random samplers
+//!   ([`RandomSampler`]): [`run`] executes on an O(1)-per-step environment
+//!   machine ([`machine`]), with the literal substitution stepper kept as
+//!   the reference semantics ([`run_substitution`]),
 //! * a Monte-Carlo reference estimator ([`estimate_termination`]) used to
 //!   cross-validate the exact analyses,
 //! * the catalogue of benchmark programs used in the paper's evaluation
@@ -39,6 +41,7 @@ mod ast;
 pub mod catalog;
 mod eval;
 mod lexer;
+pub mod machine;
 mod montecarlo;
 mod oracle;
 mod parser;
@@ -47,7 +50,10 @@ mod trace;
 mod types;
 
 pub use ast::{fresh_ident, ident, Ident, Prim, Term};
-pub use eval::{run, step, terminates_on_trace, Outcome, Run, Step, Strategy, StuckReason};
+pub use eval::{
+    run, run_substitution, step, terminates_on_trace, Outcome, Run, Step, Strategy, StuckReason,
+};
+pub use machine::{run_machine, run_machine_summary, RunSummary, SummaryOutcome};
 pub use lexer::{tokenize, LexError, Token, TokenKind};
 pub use oracle::{
     branching_behaviour, oracle_string, run_with_oracle, Direction, Oracle, OracleRun,

@@ -1,0 +1,712 @@
+//! Environment-based abstract machine for SPCF: O(1)-amortized small steps.
+//!
+//! # Why a machine
+//!
+//! The reference semantics in [`crate::eval`] implements the paper's
+//! reduction relation literally: every small step clones the whole term,
+//! substitutes, and plugs the evaluation context back together, so a run of
+//! `n` steps costs `O(n · |term|)` — and for non-affine terms (whose pending
+//! recursive calls make the term grow linearly with the step count) a
+//! truncated run costs `O(n²)`. This module replaces textual substitution
+//! with the standard environment/closure technique (a CEK-style machine):
+//! configurations carry a *control* (a pointer into the original term plus an
+//! environment), an *environment* (a persistent cons-list of bindings shared
+//! via [`Rc`]), and a *continuation* (a stack of evaluation-context frames).
+//! No term is ever cloned or rebuilt on the hot path, so each transition is
+//! O(1) amortized (variable lookup walks the lexical environment, whose depth
+//! is bounded by the binder nesting of the source program, not by the run).
+//!
+//! # Correspondence with the paper's configurations `⟨M, s⟩`
+//!
+//! The trace semantics (paper §2.3, Def. 2.1) reduces configurations
+//! `⟨M, s⟩` of a closed term and a trace. A machine state
+//! `⟨C, E, K⟩ × sampler` represents `⟨M, s⟩` as follows:
+//!
+//! * the term `M` is recovered by *readback*: substitute the environment `E`
+//!   into the control `C` (innermost bindings first) and plug the result into
+//!   the continuation frames `K` from top to bottom — see [`Machine::residualize`];
+//! * the trace `s` is exactly the unconsumed suffix of the sampler.
+//!
+//! Readback is invariant under the machine's administrative moves and is only
+//! materialised when a result must be reported (termination value, stuck
+//! configuration, or fuel exhaustion), so it costs one `O(|term|)` pass per
+//! *run* instead of per *step*.
+//!
+//! # Step accounting
+//!
+//! Machine transitions split into *administrative* moves (focusing into a
+//! subterm, returning a value to a frame, entering a thunk) and *redex
+//! firings*. Only the latter increment `steps`, and they correspond 1:1 to
+//! the paper's reduction rules, so the reported count equals the reference
+//! stepper's `#s↓(M)` (§2.4) exactly:
+//!
+//! | counted transition | paper rule (Fig. 2 / Fig. 8) |
+//! |---|---|
+//! | β-apply a `λ` closure | `(λx. M) N → M[N/x]` |
+//! | unroll a `μ` closure | `(μφ x. M) N → M[N/x][μφ x. M/φ]` |
+//! | branch on a numeral | `if(r, N, P) → N` or `P` |
+//! | draw a sample | `⟨sample, r·s⟩ → ⟨r, s⟩` |
+//! | pass a non-negative score | `score(r) → r` |
+//! | evaluate a primitive | `f(r₁, …, r_k) → f(r₁, …, r_k)` |
+//!
+//! `samples` counts exactly the draws the sampler served, as in the
+//! reference semantics, so [`run_machine`] is a drop-in replacement for the
+//! substitution-based `run` (and is what [`crate::run`] now calls). The
+//! reference stepper remains available as [`crate::run_substitution`]; the
+//! differential tests below and in `tests/machine_differential.rs` check the
+//! two agree on outcome, steps and samples across the whole catalogue, for
+//! both strategies.
+//!
+//! # Call-by-name and call-by-value
+//!
+//! Both strategies of the paper share the machine; they differ only in how an
+//! application consumes its argument:
+//!
+//! * **CbN** (Fig. 2): the argument is suspended as a *thunk* (term +
+//!   environment, Krivine-style, never memoised — re-evaluating a duplicated
+//!   `sample` thunk must draw twice);
+//! * **CbV** (Fig. 8): the argument is evaluated to a value first, and
+//!   environments bind values.
+
+use crate::ast::{Ident, Prim, Term};
+use crate::eval::{Outcome, Run, StuckReason, Strategy};
+use crate::trace::Sampler;
+use probterm_numerics::Rational;
+use std::rc::Rc;
+
+/// A machine value: a numeral, a function closure, or (call-by-value only) a
+/// free variable that flowed into value position of an *open* term.
+#[derive(Clone)]
+enum Value<'a> {
+    Num(Rational),
+    /// `fun` is a `Term::Lam` or `Term::Fix` node of the source program.
+    Closure { fun: &'a Term, env: Env<'a> },
+    /// Free variables are values of the paper's grammar; CbV must carry them
+    /// through argument position without failing eagerly (the reference
+    /// semantics only gets stuck when the variable is *used*).
+    Free(Ident),
+}
+
+/// A persistent environment: a cons-list shared through `Rc`, so extending
+/// costs O(1) and closures alias their defining environment.
+type Env<'a> = Option<Rc<EnvNode<'a>>>;
+
+struct EnvNode<'a> {
+    name: Ident,
+    binding: Binding<'a>,
+    next: Env<'a>,
+}
+
+impl Drop for EnvNode<'_> {
+    /// Environment chains grow linearly with the recursion depth of a run;
+    /// the default recursive drop glue would overflow the stack tearing down
+    /// a chain from a long (e.g. fuel-truncated) run, so unlink iteratively.
+    fn drop(&mut self) {
+        let mut next = self.next.take();
+        while let Some(node) = next {
+            match Rc::try_unwrap(node) {
+                // Sole owner: keep unlinking this chain. The node's own
+                // binding may hold an environment, but that is (a suffix of)
+                // a chain still alive here or a short side chain, so its
+                // drop does not recurse deeply.
+                Ok(mut node) => next = node.next.take(),
+                // Shared tail: someone else keeps it alive; stop here.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Binding<'a> {
+    /// Call-by-name suspension: un-memoised term + captured environment.
+    Thunk { term: &'a Term, env: Env<'a> },
+    /// An evaluated value (call-by-value arguments, and `φ` under both
+    /// strategies, which is always bound to the recursive closure itself).
+    Val(Value<'a>),
+}
+
+fn bind<'a>(env: &Env<'a>, name: &Ident, binding: Binding<'a>) -> Env<'a> {
+    Some(Rc::new(EnvNode {
+        name: name.clone(),
+        binding,
+        next: env.clone(),
+    }))
+}
+
+fn lookup<'a>(env: &Env<'a>, name: &Ident) -> Option<Binding<'a>> {
+    let mut current = env;
+    while let Some(node) = current {
+        if node.name == *name {
+            return Some(node.binding.clone());
+        }
+        current = &node.next;
+    }
+    None
+}
+
+/// One frame of the continuation (the paper's evaluation context `E`, split
+/// into its layers).
+enum Frame<'a> {
+    /// `[·] N` — the argument is pending; under CbN it will be thunked, under
+    /// CbV it is evaluated next.
+    AppArg { arg: &'a Term, env: Env<'a> },
+    /// `V [·]` — call-by-value only: the function is evaluated, the hole is
+    /// the argument.
+    AppFun { fun: Value<'a> },
+    /// `if([·], N, P)`.
+    If { then: &'a Term, els: &'a Term, env: Env<'a> },
+    /// `score([·])`.
+    Score,
+    /// `f(r₁, …, [·], M, …)` — evaluated prefix in `done`, the hole is
+    /// `args[done.len()]`, the suffix is still un-focused.
+    Prim { prim: Prim, args: &'a [Term], done: Vec<Rational>, env: Env<'a> },
+}
+
+/// The control: either evaluating a source subterm in an environment, or
+/// returning a value to the topmost frame.
+enum Control<'a> {
+    Eval { term: &'a Term, env: Env<'a> },
+    Return(Value<'a>),
+}
+
+struct Machine<'a> {
+    strategy: Strategy,
+    /// `Some` between transitions; taken by `drive` while one fires.
+    control: Option<Control<'a>>,
+    stack: Vec<Frame<'a>>,
+    steps: usize,
+    samples: usize,
+}
+
+/// Runs `term` on the environment machine for at most `max_steps` counted
+/// steps, drawing from `sampler`.
+///
+/// Outcome, step count and sample count agree exactly with the
+/// substitution-based reference semantics ([`crate::run_substitution`]); see
+/// the module docs for the accounting rule. On fuel exhaustion the machine
+/// state is *residualized* back into the term the reference semantics would
+/// be holding, so even `Outcome::OutOfFuel` payloads line up.
+///
+/// # Examples
+///
+/// ```
+/// use probterm_spcf::{parse_term, run_machine, FixedTrace, Strategy};
+///
+/// let geo = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+/// let mut trace = FixedTrace::from_ratios(&[(7, 10), (1, 5)]);
+/// let result = run_machine(Strategy::CallByName, &geo, &mut trace, 1_000);
+/// assert!(result.outcome.is_terminated());
+/// assert_eq!(result.samples, 2);
+/// ```
+pub fn run_machine(
+    strategy: Strategy,
+    term: &Term,
+    sampler: &mut dyn Sampler,
+    max_steps: usize,
+) -> Run {
+    let mut machine = Machine::new(strategy, term);
+    let end = machine.drive(sampler, max_steps);
+    let outcome = match end {
+        End::Value(value) => Outcome::Terminated(Readback::default().value(&value)),
+        End::Stuck(reason) => Outcome::Stuck(reason),
+        End::Fuel => Outcome::OutOfFuel(machine.residualize()),
+    };
+    Run { outcome, steps: machine.steps, samples: machine.samples }
+}
+
+/// The outcome of a [`run_machine_summary`] run, with no materialised terms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SummaryOutcome {
+    /// Evaluation reached a value.
+    Terminated,
+    /// Evaluation got stuck.
+    Stuck(StuckReason),
+    /// The step budget was exhausted before reaching a value.
+    OutOfFuel,
+}
+
+/// A completed (or truncated) evaluation, without the result/residual term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Final outcome (terms elided).
+    pub outcome: SummaryOutcome,
+    /// Number of small steps performed (the quantity `#s↓(M)` of §2.4).
+    pub steps: usize,
+    /// Number of samples consumed.
+    pub samples: usize,
+}
+
+/// Like [`run_machine`], but reports only outcome kind, steps and samples —
+/// no terminal value and no `OutOfFuel` residual term.
+///
+/// Monte-Carlo estimation discards the terms anyway, and *materialising*
+/// them is the only super-constant cost a truncated run has: readback is an
+/// `O(|residual term|)` pass, and the residual of a long run is a deep tree
+/// whose eventual (recursive) drop glue can even exhaust the stack. The
+/// summary path skips all of it; steps and samples are identical to
+/// [`run_machine`]'s.
+pub fn run_machine_summary(
+    strategy: Strategy,
+    term: &Term,
+    sampler: &mut dyn Sampler,
+    max_steps: usize,
+) -> RunSummary {
+    let mut machine = Machine::new(strategy, term);
+    let end = machine.drive(sampler, max_steps);
+    let outcome = match end {
+        End::Value(_) => SummaryOutcome::Terminated,
+        End::Stuck(reason) => SummaryOutcome::Stuck(reason),
+        End::Fuel => SummaryOutcome::OutOfFuel,
+    };
+    RunSummary { outcome, steps: machine.steps, samples: machine.samples }
+}
+
+/// How a drive ended; terms are only materialised by the caller if wanted.
+enum End<'a> {
+    Value(Value<'a>),
+    Stuck(StuckReason),
+    Fuel,
+}
+
+impl<'a> Machine<'a> {
+    fn new(strategy: Strategy, term: &'a Term) -> Machine<'a> {
+        Machine {
+            strategy,
+            control: Some(Control::Eval { term, env: None }),
+            stack: Vec::new(),
+            steps: 0,
+            samples: 0,
+        }
+    }
+
+    fn drive(&mut self, sampler: &mut dyn Sampler, max_steps: usize) -> End<'a> {
+        loop {
+            // The reference `run` checks fuel *before* every step, so a term
+            // that needs exactly `max_steps` steps reports OutOfFuel even if
+            // the final state is a value; administrative moves never change
+            // the readback, so checking here is equivalent.
+            if self.steps >= max_steps {
+                return End::Fuel;
+            }
+            match self.control.take().expect("machine control invariant") {
+                Control::Eval { term, env } => {
+                    if let Some(end) = self.eval(term, env, sampler) {
+                        return end;
+                    }
+                }
+                Control::Return(value) => {
+                    if let Some(end) = self.apply(value) {
+                        return end;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Focus transition: decompose `term` or fire a leaf redex.
+    /// Returns `Some` when the run ends here.
+    fn eval(&mut self, term: &'a Term, env: Env<'a>, sampler: &mut dyn Sampler) -> Option<End<'a>> {
+        match term {
+            Term::Num(r) => self.control = Some(Control::Return(Value::Num(r.clone()))),
+            Term::Lam(_, _) | Term::Fix(_, _, _) => {
+                self.control = Some(Control::Return(Value::Closure { fun: term, env }));
+            }
+            Term::Var(x) => match lookup(&env, x) {
+                Some(Binding::Thunk { term, env }) => {
+                    // Entering a thunk is administrative: the readback of the
+                    // variable *is* the readback of its thunk.
+                    self.control = Some(Control::Eval { term, env });
+                }
+                Some(Binding::Val(value)) => self.control = Some(Control::Return(value)),
+                None => match self.strategy {
+                    // CbN only focuses variables in use position, where the
+                    // reference semantics is stuck on a free variable.
+                    Strategy::CallByName => {
+                        return Some(End::Stuck(StuckReason::FreeVariable(x.to_string())));
+                    }
+                    // CbV also focuses variables in argument position, where
+                    // the reference semantics treats them as values.
+                    Strategy::CallByValue => {
+                        self.control = Some(Control::Return(Value::Free(x.clone())));
+                    }
+                },
+            },
+            Term::App(fun, arg) => {
+                self.stack.push(Frame::AppArg { arg: &**arg, env: env.clone() });
+                self.control = Some(Control::Eval { term: &**fun, env });
+            }
+            Term::If(guard, then, els) => {
+                self.stack.push(Frame::If { then: &**then, els: &**els, env: env.clone() });
+                self.control = Some(Control::Eval { term: &**guard, env });
+            }
+            Term::Score(inner) => {
+                self.stack.push(Frame::Score);
+                self.control = Some(Control::Eval { term: &**inner, env });
+            }
+            Term::Sample => match sampler.next_sample() {
+                Some(r) => {
+                    self.samples += 1;
+                    self.steps += 1; // counted: the sample rule
+                    self.control = Some(Control::Return(Value::Num(r)));
+                }
+                None => return Some(End::Stuck(StuckReason::TraceExhausted)),
+            },
+            Term::Prim(prim, args) => match args.first() {
+                Some(first) => {
+                    self.stack.push(Frame::Prim {
+                        prim: *prim,
+                        args: args.as_slice(),
+                        done: Vec::with_capacity(args.len()),
+                        env: env.clone(),
+                    });
+                    self.control = Some(Control::Eval { term: first, env });
+                }
+                // Nullary applications cannot be written in the surface
+                // syntax; `Prim::eval` rejects them like the reference does.
+                None => match prim.eval(&[]) {
+                    Some(r) => {
+                        self.steps += 1; // counted: the primitive rule
+                        self.control = Some(Control::Return(Value::Num(r)));
+                    }
+                    None => return Some(End::Stuck(StuckReason::PrimDomain(*prim))),
+                },
+            },
+        }
+        None
+    }
+
+    /// Return transition: deliver `value` to the topmost frame (or finish).
+    fn apply(&mut self, value: Value<'a>) -> Option<End<'a>> {
+        let Some(frame) = self.stack.pop() else {
+            return Some(match value {
+                // A lone free variable is stuck, not a result (the reference
+                // `run` refuses to treat open terms as terminated).
+                Value::Free(x) => End::Stuck(StuckReason::FreeVariable(x.to_string())),
+                value => End::Value(value),
+            });
+        };
+        match frame {
+            Frame::AppArg { arg, env: arg_env } => match self.strategy {
+                Strategy::CallByName => {
+                    let binding = Binding::Thunk { term: arg, env: arg_env };
+                    self.beta(value, binding)
+                }
+                Strategy::CallByValue => {
+                    self.stack.push(Frame::AppFun { fun: value });
+                    self.control = Some(Control::Eval { term: arg, env: arg_env });
+                    None
+                }
+            },
+            Frame::AppFun { fun } => self.beta(fun, Binding::Val(value)),
+            Frame::If { then, els, env } => match value {
+                Value::Num(r) => {
+                    self.steps += 1; // counted: the conditional rule
+                    let taken = if r.is_positive() { els } else { then };
+                    self.control = Some(Control::Eval { term: taken, env });
+                    None
+                }
+                other => Some(self.stuck_value(other, StuckReason::NotANumeral)),
+            },
+            Frame::Score => match value {
+                Value::Num(r) => {
+                    if r.is_negative() {
+                        return Some(End::Stuck(StuckReason::NegativeScore(r)));
+                    }
+                    self.steps += 1; // counted: the score rule
+                    self.control = Some(Control::Return(Value::Num(r)));
+                    None
+                }
+                other => Some(self.stuck_value(other, StuckReason::NotANumeral)),
+            },
+            Frame::Prim { prim, args, mut done, env } => match value {
+                Value::Num(r) => {
+                    done.push(r);
+                    if done.len() == args.len() {
+                        match prim.eval(&done) {
+                            Some(result) => {
+                                self.steps += 1; // counted: the primitive rule
+                                self.control = Some(Control::Return(Value::Num(result)));
+                                None
+                            }
+                            // A domain error is stuck *without* reducing, so
+                            // it does not count as a step (like the reference).
+                            None => Some(End::Stuck(StuckReason::PrimDomain(prim))),
+                        }
+                    } else {
+                        let next = &args[done.len()];
+                        self.stack.push(Frame::Prim { prim, args, done, env: env.clone() });
+                        self.control = Some(Control::Eval { term: next, env });
+                        None
+                    }
+                }
+                other => Some(self.stuck_value(other, StuckReason::NotANumeral)),
+            },
+        }
+    }
+
+    /// Applies the function value to the argument binding — the β /
+    /// fix-unrolling redexes, the only transitions that extend environments.
+    fn beta(&mut self, fun: Value<'a>, argument: Binding<'a>) -> Option<End<'a>> {
+        match fun {
+            Value::Closure { fun: Term::Lam(x, body), env } => {
+                self.steps += 1; // counted: β
+                let env = bind(&env, x, argument);
+                self.control = Some(Control::Eval { term: &**body, env });
+                None
+            }
+            Value::Closure { fun: fix @ Term::Fix(phi, x, body), env } => {
+                self.steps += 1; // counted: fix unrolling
+                // Mirrors `body.subst(x, arg).subst(phi, fix)`: the inner
+                // substitution (x) shadows the outer one (φ) on name clashes.
+                let recursive = Value::Closure { fun: fix, env: env.clone() };
+                let env = bind(&env, phi, Binding::Val(recursive));
+                let env = bind(&env, x, argument);
+                self.control = Some(Control::Eval { term: &**body, env });
+                None
+            }
+            Value::Closure { .. } => unreachable!("closures wrap Lam or Fix nodes only"),
+            other => Some(self.stuck_value(other, StuckReason::NotAFunction)),
+        }
+    }
+
+    /// Mirrors `eval::stuck_value`: free variables take precedence as the
+    /// reported stuck reason.
+    fn stuck_value(&mut self, value: Value<'a>, otherwise: StuckReason) -> End<'a> {
+        let reason = match value {
+            Value::Free(x) => StuckReason::FreeVariable(x.to_string()),
+            _ => otherwise,
+        };
+        End::Stuck(reason)
+    }
+
+    /// Reads the whole machine state back into the term the reference
+    /// semantics would be holding: readback the control, then plug it into
+    /// the continuation frames from the innermost outwards.
+    fn residualize(&self) -> Term {
+        let mut readback = Readback::default();
+        let mut term = match self.control.as_ref().expect("machine control invariant") {
+            Control::Eval { term, env } => readback.term(term, env),
+            Control::Return(value) => readback.value(value),
+        };
+        for frame in self.stack.iter().rev() {
+            term = match frame {
+                Frame::AppArg { arg, env } => Term::app(term, readback.term(arg, env)),
+                Frame::AppFun { fun } => Term::app(readback.value(fun), term),
+                Frame::If { then, els, env } => {
+                    Term::ite(term, readback.term(then, env), readback.term(els, env))
+                }
+                Frame::Score => Term::score(term),
+                Frame::Prim { prim, args, done, env } => {
+                    let mut full: Vec<Term> =
+                        done.iter().cloned().map(Term::Num).collect();
+                    full.push(term);
+                    for arg in &args[done.len() + 1..] {
+                        full.push(readback.term(arg, env));
+                    }
+                    Term::Prim(*prim, full)
+                }
+            };
+        }
+        term
+    }
+}
+
+/// Reads machine structures back into source terms.
+///
+/// The replacement term of every environment node is computed once (the memo
+/// is keyed by the node's address, which is stable because nodes live behind
+/// `Rc`), and the dependency walk over the environment DAG is iterative — a
+/// call-by-name run that suspends thunk-inside-thunk chains thousands deep
+/// (e.g. a truncated `fix phi x. phi x` run) must not overflow the stack.
+#[derive(Default)]
+struct Readback {
+    memo: std::collections::HashMap<*const (), Term>,
+}
+
+impl Readback {
+    /// Converts a machine value back into a source term.
+    fn value(&mut self, value: &Value<'_>) -> Term {
+        match value {
+            Value::Num(r) => Term::Num(r.clone()),
+            Value::Closure { fun, env } => self.term(fun, env),
+            Value::Free(x) => Term::Var(x.clone()),
+        }
+    }
+
+    /// Substitutes an environment into a source subterm, innermost bindings
+    /// first, recovering the term of the paper's configuration. Only called
+    /// when a result is reported, never on the hot path.
+    fn term(&mut self, term: &Term, env: &Env<'_>) -> Term {
+        self.resolve(env);
+        self.apply(term, env)
+    }
+
+    /// Substitutes the (already resolved) replacements of `env` into `term`.
+    fn apply(&self, term: &Term, env: &Env<'_>) -> Term {
+        let mut result = term.clone();
+        let mut current = env;
+        while let Some(node) = current {
+            let replacement = &self.memo[&node_key(node)];
+            result = result.subst(&node.name, replacement);
+            current = &node.next;
+        }
+        result
+    }
+
+    /// Resolves the replacement term of every node reachable from `env`,
+    /// dependencies first, without recursion.
+    fn resolve(&mut self, env: &Env<'_>) {
+        let mut work: Vec<(&EnvNode<'_>, bool)> = Vec::new();
+        let mut current = env;
+        while let Some(node) = current {
+            work.push((node, false));
+            current = &node.next;
+        }
+        while let Some((node, dependencies_ready)) = work.pop() {
+            if self.memo.contains_key(&node_key(node)) {
+                continue;
+            }
+            let dependency_env = match &node.binding {
+                Binding::Thunk { env, .. } => env,
+                Binding::Val(Value::Closure { env, .. }) => env,
+                Binding::Val(_) => &None,
+            };
+            if dependencies_ready {
+                let replacement = match &node.binding {
+                    Binding::Thunk { term, env } => self.apply(term, env),
+                    Binding::Val(Value::Num(r)) => Term::Num(r.clone()),
+                    Binding::Val(Value::Closure { fun, env }) => self.apply(fun, env),
+                    Binding::Val(Value::Free(x)) => Term::Var(x.clone()),
+                };
+                self.memo.insert(node_key(node), replacement);
+            } else {
+                work.push((node, true));
+                let mut current = dependency_env;
+                while let Some(dependency) = current {
+                    if !self.memo.contains_key(&node_key(dependency)) {
+                        work.push((dependency, false));
+                    }
+                    current = &dependency.next;
+                }
+            }
+        }
+    }
+}
+
+fn node_key(node: &EnvNode<'_>) -> *const () {
+    node as *const EnvNode<'_> as *const ()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::eval::run_substitution;
+    use crate::parser::parse_term;
+    use crate::trace::FixedTrace;
+
+    fn both(strategy: Strategy, term: &Term, ratios: &[(i64, i64)], max_steps: usize) -> (Run, Run) {
+        let mut t1 = FixedTrace::from_ratios(ratios);
+        let mut t2 = FixedTrace::from_ratios(ratios);
+        (
+            run_machine(strategy, term, &mut t1, max_steps),
+            run_substitution(strategy, term, &mut t2, max_steps),
+        )
+    }
+
+    fn assert_agree(strategy: Strategy, src: &str, ratios: &[(i64, i64)], max_steps: usize) {
+        let term = parse_term(src).unwrap();
+        let (machine, reference) = both(strategy, &term, ratios, max_steps);
+        assert_eq!(machine, reference, "{strategy:?} disagreement on `{src}`");
+    }
+
+    #[test]
+    fn agrees_on_arithmetic_and_conditionals() {
+        for strategy in [Strategy::CallByName, Strategy::CallByValue] {
+            assert_agree(strategy, "1 + 2 * 3", &[], 1_000);
+            assert_agree(strategy, "abs(-3) + min(2, 5) + max(0, exp(0))", &[], 1_000);
+            assert_agree(strategy, "if 0 then 10 else 20", &[], 1_000);
+            assert_agree(strategy, "if 1 <= 2 then 10 else 20", &[], 1_000);
+            assert_agree(strategy, "score(0.25) + 1", &[], 1_000);
+        }
+    }
+
+    #[test]
+    fn agrees_on_thunk_duplication() {
+        // CbN duplicates the unevaluated sample; CbV draws once.
+        let src = "(lam x. x + x) sample";
+        assert_agree(Strategy::CallByName, src, &[(1, 4), (1, 2)], 1_000);
+        assert_agree(Strategy::CallByValue, src, &[(1, 4)], 1_000);
+    }
+
+    #[test]
+    fn agrees_on_stuck_configurations() {
+        for strategy in [Strategy::CallByName, Strategy::CallByValue] {
+            assert_agree(strategy, "score(0 - 1)", &[], 1_000);
+            assert_agree(strategy, "sample", &[], 1_000);
+            assert_agree(strategy, "log(0)", &[], 1_000);
+            assert_agree(strategy, "1 2", &[], 1_000);
+            assert_agree(strategy, "x + 1", &[], 1_000);
+            assert_agree(strategy, "x", &[], 1_000);
+            assert_agree(strategy, "(lam y. 42) x", &[], 1_000);
+            assert_agree(strategy, "(lam y. x) 0", &[], 1_000);
+            assert_agree(strategy, "x (1 + 1)", &[], 1_000);
+        }
+    }
+
+    #[test]
+    fn agrees_on_fuel_exhaustion_with_residual_term() {
+        // The OutOfFuel payloads must be syntactically equal terms.
+        for strategy in [Strategy::CallByName, Strategy::CallByValue] {
+            assert_agree(strategy, "(fix phi x. phi x) 0", &[], 100);
+            assert_agree(
+                strategy,
+                "(fix phi x. if sample <= 1/2 then x else phi (phi (phi x))) 0",
+                &[(9, 10); 40],
+                100,
+            );
+        }
+        // Fuel boundary: exactly enough steps to finish still reports
+        // OutOfFuel, like the reference loop.
+        assert_agree(Strategy::CallByName, "1 + 1", &[], 1);
+        assert_agree(Strategy::CallByName, "1 + 1", &[], 0);
+    }
+
+    #[test]
+    fn differential_whole_catalogue_on_seeded_random_traces() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut all = catalog::table1_benchmarks();
+        all.extend(catalog::table2_benchmarks());
+        all.push(catalog::triangle_example());
+        let mut rng = StdRng::seed_from_u64(0xD1FF);
+        for benchmark in &all {
+            for case in 0..6 {
+                let len = rng.gen_range(0usize..24);
+                let ratios: Vec<(i64, i64)> =
+                    (0..len).map(|_| (rng.gen_range(0i64..1000), 1000)).collect();
+                for strategy in [Strategy::CallByName, Strategy::CallByValue] {
+                    let (machine, reference) = both(strategy, &benchmark.term, &ratios, 700);
+                    assert_eq!(
+                        machine, reference,
+                        "{}: {strategy:?} case {case} trace {ratios:?}",
+                        benchmark.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn environment_depth_stays_bounded_while_terms_grow() {
+        // gr on an all-failing trace grows its residual term linearly, but
+        // the machine's per-step cost stays flat: run a large budget and make
+        // sure the step count is exact (would time out quadratically before).
+        let gr = catalog::golden_ratio().term;
+        let mut trace = FixedTrace::from_ratios(&vec![(9, 10); 20_000]);
+        let result = run_machine(Strategy::CallByValue, &gr, &mut trace, 20_000);
+        assert!(matches!(result.outcome, Outcome::OutOfFuel(_)));
+        assert_eq!(result.steps, 20_000);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based differential testing of the environment machine against the
+//! substitution-based reference semantics (via the seeded `proptest` shim).
+//!
+//! For random catalogue terms × random finite traces × both strategies, the
+//! machine and the reference stepper must agree on the *entire* [`Run`]:
+//! outcome (including stuck reasons and `OutOfFuel` residual terms), step
+//! count and sample count. Trace prefixes of a terminating run exercise the
+//! `TraceExhausted` path; tight step budgets exercise residualization.
+
+use probterm_spcf::{catalog, run_machine, run_substitution, FixedTrace, Run, Strategy, Term};
+use proptest::prelude::*;
+
+fn catalogue() -> Vec<Term> {
+    let mut all = catalog::table1_benchmarks();
+    all.extend(catalog::table2_benchmarks());
+    all.push(catalog::triangle_example());
+    all.into_iter().map(|b| b.term).collect()
+}
+
+fn run_both(
+    strategy: Strategy,
+    term: &Term,
+    ratios: &[(i64, i64)],
+    max_steps: usize,
+) -> (Run, Run) {
+    let mut machine_trace = FixedTrace::from_ratios(ratios);
+    let mut reference_trace = FixedTrace::from_ratios(ratios);
+    (
+        run_machine(strategy, term, &mut machine_trace, max_steps),
+        run_substitution(strategy, term, &mut reference_trace, max_steps),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Machine ≡ reference on random catalogue terms and traces, both
+    /// strategies, with a budget comfortably above most terminating runs.
+    #[test]
+    fn machine_matches_reference_on_random_traces(
+        term_index in 0usize..16,
+        numerators in proptest::collection::vec(0i64..=1000, 0..24),
+    ) {
+        let terms = catalogue();
+        let term = &terms[term_index % terms.len()];
+        let ratios: Vec<(i64, i64)> = numerators.iter().map(|n| (*n, 1001)).collect();
+        for strategy in [Strategy::CallByName, Strategy::CallByValue] {
+            let (machine, reference) = run_both(strategy, term, &ratios, 600);
+            prop_assert_eq!(
+                &machine, &reference,
+                "{:?} diverged on term #{} trace {:?}",
+                strategy, term_index, ratios
+            );
+        }
+    }
+
+    /// Tight, randomised step budgets force fuel exhaustion mid-redex, so the
+    /// machine's residualized `OutOfFuel` term must equal the reference's
+    /// current term at the same step count.
+    #[test]
+    fn residual_terms_match_under_random_budgets(
+        term_index in 0usize..16,
+        budget in 0usize..120,
+        seed_num in 0i64..=1000,
+    ) {
+        let terms = catalogue();
+        let term = &terms[term_index % terms.len()];
+        // A repeating above-half/below-half trace drives a mix of branches.
+        let ratios: Vec<(i64, i64)> = (0..40)
+            .map(|i| if i % 3 == 0 { (seed_num, 1001) } else { (900, 1000) })
+            .collect();
+        for strategy in [Strategy::CallByName, Strategy::CallByValue] {
+            let (machine, reference) = run_both(strategy, term, &ratios, budget);
+            prop_assert_eq!(
+                &machine, &reference,
+                "{:?} diverged on term #{} at budget {}",
+                strategy, term_index, budget
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the probterm workspace.
+#
+# `cargo test` alone stops at the first failing test *binary*, silently
+# skipping every alphabetically-later suite; `--no-fail-fast` makes a red run
+# report the full picture. The release build comes first so optimized
+# artifacts exist for benchmarking even when a test fails.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+# --workspace is load-bearing: the root manifest is a workspace *and* a
+# package, so a bare `cargo test` silently tests only the root package.
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace --offline || status=$?
+
+echo "== cargo test -q --workspace --no-fail-fast =="
+cargo test -q --workspace --offline --no-fail-fast || status=$?
+
+if [ "$status" -ne 0 ]; then
+    echo "CI: FAILED (status $status)"
+else
+    echo "CI: OK"
+fi
+exit "$status"
