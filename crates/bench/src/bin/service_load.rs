@@ -1,0 +1,186 @@
+//! Load driver for `probterm-service`: fires mixed concurrent request
+//! streams at an in-process TCP server and records throughput to
+//! `BENCH_service.json` (run from the workspace root, e.g.
+//! `cargo run --release -p probterm-bench --bin service_load`).
+//!
+//! Three scenarios bracket the service's operating envelope:
+//!
+//! * **hot** — every client rotates through α-renamings of the same two
+//!   programs, so after warm-up every request is a content-addressed cache
+//!   hit: this measures the transport + canonicalisation ceiling.
+//! * **cold** — every request submits a distinct program for AST
+//!   verification, so every request runs the full §6 engine: this measures
+//!   verification-heavy traffic with a useless cache.
+//! * **mixed** — 4:1 hot:cold interleaving, the expected production shape.
+
+use probterm_service::{Server, ServerConfig};
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Serialize)]
+struct ScenarioRow {
+    scenario: String,
+    clients: usize,
+    workers: usize,
+    requests: u64,
+    errors: u64,
+    elapsed_ms: u128,
+    requests_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to load server");
+        stream.set_nodelay(true).expect("set nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { reader, writer: stream }
+    }
+
+    /// Lock-step request/reply; returns `true` iff the reply is `ok`.
+    fn request(&mut self, line: &str) -> bool {
+        let framed = format!("{line}\n");
+        self.writer.write_all(framed.as_bytes()).expect("send request");
+        self.writer.flush().expect("flush request");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        reply.contains("\"ok\":true")
+    }
+}
+
+/// α-renamings of the fair non-affine printer (Ex. 1.1 (2), p = 1/2): all
+/// share one canonical key, so they exercise the cache-hit path under
+/// differently-spelled requests.
+fn hot_verify_request(id: usize) -> String {
+    let names = [
+        ("phi", "x"),
+        ("loop", "n"),
+        ("retry", "copies"),
+        ("f", "k"),
+        ("print", "backlog"),
+        ("g", "y"),
+    ];
+    let (f, x) = names[id % names.len()];
+    format!(
+        r#"{{"id":{id},"op":"verify","program":"(fix {f} {x}. if sample <= 1/2 then {x} else {f} ({f} ({x} + 1))) 1"}}"#
+    )
+}
+
+fn hot_lower_request(id: usize) -> String {
+    let names = [("phi", "x"), ("walk", "pos"), ("h", "z")];
+    let (f, x) = names[id % names.len()];
+    format!(
+        r#"{{"id":{id},"op":"lower","program":"(fix {f} {x}. if sample <= 1/4 then {x} else {f} ({f} ({x} + 1))) 1","depth":30}}"#
+    )
+}
+
+/// A verification request for a program no other request ever submits: the
+/// non-affine printer at a fresh success probability per (client, index).
+fn cold_verify_request(client: usize, index: usize) -> String {
+    // Injective in (client, index) for index < 500 — covering every scenario
+    // below — so no two cold requests ever share a canonical key, and the
+    // numerator stays below the denominator (a genuine probability).
+    let numerator = 1 + client * 500 + index;
+    format!(
+        r#"{{"id":"c{client}-{index}","op":"verify","program":"(fix phi x. if sample <= {numerator}/10000 then x else phi (phi (x + 1))) 1"}}"#
+    )
+}
+
+fn run_scenario(
+    name: &str,
+    clients: usize,
+    per_client: usize,
+    request: impl Fn(usize, usize) -> String + Send + Sync + Copy + 'static,
+) -> ScenarioRow {
+    let workers = 2;
+    let server = Server::new(ServerConfig { workers, ..Default::default() });
+    let running = server.spawn_tcp("127.0.0.1:0").expect("bind loopback");
+    let addr = running.addr;
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|client_index| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut errors = 0u64;
+                for index in 0..per_client {
+                    if !client.request(&request(client_index, index)) {
+                        errors += 1;
+                    }
+                }
+                errors
+            })
+        })
+        .collect();
+    let errors: u64 = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let elapsed = started.elapsed();
+
+    let stats = running.state().stats();
+    Client::connect(addr).request(r#"{"op":"shutdown"}"#);
+    running.join().expect("clean shutdown");
+
+    let requests = (clients * per_client) as u64;
+    ScenarioRow {
+        scenario: name.to_string(),
+        clients,
+        workers,
+        requests,
+        errors,
+        elapsed_ms: elapsed.as_millis(),
+        requests_per_sec: requests as f64 / elapsed.as_secs_f64(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    }
+}
+
+fn main() {
+    let rows = vec![
+        run_scenario("hot", 4, 1500, |client, index| {
+            let id = client * 10_000 + index;
+            if index % 2 == 0 {
+                hot_verify_request(id)
+            } else {
+                hot_lower_request(id)
+            }
+        }),
+        run_scenario("cold", 4, 150, cold_verify_request),
+        run_scenario("mixed", 4, 500, |client, index| {
+            if index % 5 == 4 {
+                cold_verify_request(client, index)
+            } else {
+                hot_verify_request(client * 10_000 + index)
+            }
+        }),
+    ];
+
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8}",
+        "scenario", "clients", "reqs", "errors", "t (ms)", "req/s", "hits", "misses"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12.1} {:>8} {:>8}",
+            r.scenario,
+            r.clients,
+            r.requests,
+            r.errors,
+            r.elapsed_ms,
+            r.requests_per_sec,
+            r.cache_hits,
+            r.cache_misses
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("serialise rows");
+    std::fs::write("BENCH_service.json", json + "\n").expect("write BENCH_service.json");
+    eprintln!("wrote BENCH_service.json");
+}

@@ -1,0 +1,180 @@
+//! Bounded, content-addressed LRU cache for analysis results.
+//!
+//! Keys combine the α-invariant canonical hash of the program
+//! ([`probterm_core::spcf::Term::canonical_key`]) with the analysis tag and a
+//! rendered configuration string, so syntactically distinct but α-equivalent
+//! resubmissions of the same request are cache hits. Values are the `result`
+//! payloads of successful replies (error replies are never cached).
+//!
+//! Recency is tracked with a monotone tick per entry; eviction scans for the
+//! minimum tick. That makes `insert` O(capacity) in the worst case, which is
+//! fine for the bounded sizes the service uses (default 1024) — the entries
+//! being displaced each cost an engine run that is orders of magnitude more
+//! expensive than the scan.
+
+use serde::Value;
+use std::collections::HashMap;
+
+/// The content address of one analysis result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// α-invariant canonical hash of the analysed term.
+    pub term: u128,
+    /// Analysis tag (the request op).
+    pub analysis: &'static str,
+    /// Rendered analysis configuration (depth, runs, seed, strategy, ...).
+    pub config: String,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Value,
+    tick: u64,
+}
+
+/// A bounded LRU map from [`CacheKey`] to result payloads, with hit/miss
+/// counters. Capacity 0 disables storage (every lookup is a miss).
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(4096)),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks a result up, bumping its recency and the hit/miss counters.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Value> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.tick = self.tick;
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry when full.
+    pub fn put(&mut self, key: CacheKey, value: Value) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, Entry { value, tick: self.tick });
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(term: u128, config: &str) -> CacheKey {
+        CacheKey { term, analysis: "lower", config: config.to_string() }
+    }
+
+    fn payload(n: u128) -> Value {
+        Value::UInt(n)
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache = ResultCache::new(4);
+        assert_eq!(cache.get(&key(1, "d=40")), None);
+        cache.put(key(1, "d=40"), payload(10));
+        assert_eq!(cache.get(&key(1, "d=40")), Some(payload(10)));
+        // Same term, different config: distinct entry.
+        assert_eq!(cache.get(&key(1, "d=80")), None);
+        // Same config, different analysis tag: distinct entry.
+        let other = CacheKey { term: 1, analysis: "verify", config: "d=40".into() };
+        assert_eq!(cache.get(&other), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let mut cache = ResultCache::new(2);
+        cache.put(key(1, ""), payload(1));
+        cache.put(key(2, ""), payload(2));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.get(&key(1, "")).is_some());
+        cache.put(key(3, ""), payload(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1, "")).is_some());
+        assert!(cache.get(&key(2, "")).is_none(), "LRU entry must be gone");
+        assert!(cache.get(&key(3, "")).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache = ResultCache::new(2);
+        cache.put(key(1, ""), payload(1));
+        cache.put(key(2, ""), payload(2));
+        cache.put(key(2, ""), payload(22));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(2, "")), Some(payload(22)));
+        assert!(cache.get(&key(1, "")).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = ResultCache::new(0);
+        cache.put(key(1, ""), payload(1));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1, "")), None);
+        assert_eq!(cache.misses(), 1);
+    }
+}

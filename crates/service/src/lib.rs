@@ -1,0 +1,47 @@
+//! `probterm-service` — a concurrent analysis server for the `probterm`
+//! workspace.
+//!
+//! The service exposes every exact engine of the Beutner–Ong reproduction
+//! (Monte-Carlo simulation, interval-semantics lower bounds, counting-based
+//! AST verification, and the combined report) behind one long-lived,
+//! batching, caching front end:
+//!
+//! * **wire protocol** ([`protocol`]): newline-delimited JSON over stdio or
+//!   `std::net` TCP, with structured machine-readable error replies,
+//! * **worker pool** ([`server`]): a fixed number of worker threads popping a
+//!   shared queue, so one slow verification cannot monopolise the transport,
+//! * **deadlines** — per-request `deadline_ms` budgets enforced between
+//!   Monte-Carlo chunks and at engine boundaries; exceeding one yields a
+//!   `budget_exceeded` error and the worker lives on,
+//! * **content-addressed caching** ([`cache`]): results are keyed by the
+//!   α-invariant canonical hash of the submitted program
+//!   ([`probterm_core::spcf::Term::canonical_key`]) plus the analysis and its
+//!   configuration, so α-equivalent resubmissions are cache hits (observable
+//!   via the `stats` op).
+//!
+//! Everything is std-only: like the rest of the workspace, the crate builds
+//! offline with path-only dependencies.
+//!
+//! # Example (in-process)
+//!
+//! ```
+//! use probterm_service::{Server, ServerConfig};
+//!
+//! let server = Server::new(ServerConfig::default());
+//! let reply = server
+//!     .handle_line(r#"{"id":1,"op":"simulate","program":"sample","runs":50}"#)
+//!     .unwrap();
+//! assert!(reply.contains("\"ok\":true"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, ResultCache};
+pub use protocol::{ErrorCode, Op, Request, ServiceError};
+pub use server::{
+    handle_line, RunningServer, Server, ServerConfig, ServerState, StatsSnapshot,
+};

@@ -1,0 +1,867 @@
+//! The analysis server: shared state, request dispatch, a fixed worker
+//! thread pool, and NDJSON serving over stdio and TCP.
+//!
+//! Architecture: connection readers (one thread per TCP connection, or the
+//! calling thread for stdio) frame the byte stream into lines and push jobs
+//! onto one shared MPSC queue; `workers` pool threads pop jobs, run the
+//! analysis and write the reply to the originating stream under a per-stream
+//! mutex. All analyses go through the content-addressed
+//! [`ResultCache`](crate::cache::ResultCache), so α-equivalent resubmissions
+//! are served without re-running an engine.
+//!
+//! Deadlines: `deadline_ms` is enforced cooperatively — between Monte-Carlo
+//! chunks for `simulate`, and before/after the (internally budgeted) symbolic
+//! engines for `lower`/`verify`/`analyze`. A request that exceeds its budget
+//! gets a structured `budget_exceeded` error; the worker survives and picks
+//! up the next job. An engine run that *completed* before the final check is
+//! cached anyway, so an identical (or α-equivalent) retry is an instant hit
+//! rather than another doomed recomputation.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::protocol::{
+    error_reply, ok_reply, parse_request, ErrorCode, Op, Request, ServiceError,
+};
+use probterm_core::spcf::{
+    catalog, parse_term, try_estimate_termination, MonteCarloConfig, Strategy, Term,
+};
+use probterm_core::{analyze_ast, analyze_lower_bound, try_analyze, AnalysisConfig};
+use serde::Value;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs and hard per-request caps.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads popping the shared request queue.
+    pub workers: usize,
+    /// Capacity of the content-addressed result cache (0 disables it).
+    pub cache_capacity: usize,
+    /// Hard cap on the `depth` of `lower`/`analyze` requests.
+    pub max_depth: usize,
+    /// Hard cap on the `runs` of `simulate`/`analyze` requests.
+    pub max_runs: usize,
+    /// Hard cap on the per-run `steps` budget.
+    pub max_steps: usize,
+    /// Hard cap on the byte length of submitted programs.
+    pub max_program_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            cache_capacity: 1024,
+            max_depth: 400,
+            max_runs: 1_000_000,
+            max_steps: 1_000_000,
+            max_program_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server counters (the `stats` reply).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Milliseconds since the server state was created.
+    pub uptime_ms: u128,
+    /// Total requests handled (including control ops and errors).
+    pub served: u64,
+    /// Result-cache lookups that found an entry.
+    pub hits: u64,
+    /// Result-cache lookups that found nothing.
+    pub misses: u64,
+    /// Engine requests currently being computed by workers.
+    pub inflight: u64,
+    /// Entries currently in the result cache.
+    pub cache_entries: usize,
+    /// Capacity of the result cache.
+    pub cache_capacity: usize,
+    /// Number of worker threads.
+    pub workers: usize,
+}
+
+/// Shared server state: configuration, result cache and counters.
+#[derive(Debug)]
+pub struct ServerState {
+    config: ServerConfig,
+    cache: Mutex<ResultCache>,
+    served: AtomicU64,
+    inflight: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl ServerState {
+    fn new(config: ServerConfig) -> ServerState {
+        ServerState {
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            config,
+            served: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    /// `true` once a `shutdown` request has been processed.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Snapshots every counter the `stats` op reports.
+    pub fn stats(&self) -> StatsSnapshot {
+        let cache = self.cache.lock().expect("cache lock");
+        StatsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis(),
+            served: self.served.load(Ordering::SeqCst),
+            hits: cache.hits(),
+            misses: cache.misses(),
+            inflight: self.inflight.load(Ordering::SeqCst),
+            cache_entries: cache.len(),
+            cache_capacity: cache.capacity(),
+            workers: self.config.workers,
+        }
+    }
+}
+
+/// A cooperative wall-clock budget for one request.
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    started: Instant,
+    limit: Option<Duration>,
+}
+
+impl Deadline {
+    fn new(deadline_ms: Option<u64>) -> Deadline {
+        Deadline {
+            started: Instant::now(),
+            limit: deadline_ms.map(Duration::from_millis),
+        }
+    }
+
+    fn exceeded(&self) -> bool {
+        self.limit.is_some_and(|limit| self.started.elapsed() > limit)
+    }
+
+    fn check(&self, phase: &str) -> Result<(), ServiceError> {
+        if self.exceeded() {
+            Err(ServiceError::new(
+                ErrorCode::BudgetExceeded,
+                format!(
+                    "deadline of {} ms exceeded {phase} ({} ms elapsed)",
+                    self.limit.map(|l| l.as_millis()).unwrap_or(0),
+                    self.started.elapsed().as_millis()
+                ),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+// ------------------------------------------------------------------ dispatch
+
+/// What processing one line produced (pool-internal).
+struct LineOutcome {
+    reply: Option<String>,
+    shutdown: bool,
+}
+
+/// Handles one NDJSON request line; returns the reply line (without trailing
+/// newline), or `None` for blank input lines.
+///
+/// This is the full service pipeline minus the transport, usable directly by
+/// tests and in-process embedders. A `shutdown` request sets the state's
+/// shutdown flag as a side effect.
+pub fn handle_line(state: &ServerState, line: &str) -> Option<String> {
+    let outcome = process_line(state, line);
+    if outcome.shutdown {
+        state.shutdown.store(true, Ordering::SeqCst);
+    }
+    outcome.reply
+}
+
+fn process_line(state: &ServerState, line: &str) -> LineOutcome {
+    if line.trim().is_empty() {
+        return LineOutcome { reply: None, shutdown: false };
+    }
+    state.served.fetch_add(1, Ordering::SeqCst);
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err((id, e)) => {
+            return LineOutcome { reply: Some(error_reply(&id, &e)), shutdown: false }
+        }
+    };
+    let id = request.id.clone();
+    let op = request.op;
+    let started = Instant::now();
+    let shutdown = op == Op::Shutdown;
+    let reply = match dispatch(state, &request) {
+        Ok((result, cache_tag)) => {
+            ok_reply(&id, op, cache_tag, started.elapsed().as_millis(), result)
+        }
+        Err(e) => error_reply(&id, &e),
+    };
+    LineOutcome { reply: Some(reply), shutdown }
+}
+
+type DispatchResult = Result<(Value, Option<&'static str>), ServiceError>;
+
+fn dispatch(state: &ServerState, request: &Request) -> DispatchResult {
+    match request.op {
+        Op::Catalog => Ok((catalog_payload(), None)),
+        Op::Stats => Ok((stats_payload(&state.stats()), None)),
+        Op::Shutdown => Ok((Value::Object(vec![]), None)),
+        Op::Simulate | Op::Lower | Op::Verify | Op::Analyze => engine_op(state, request),
+    }
+}
+
+fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
+    let config = &state.config;
+    let source = request.program.as_deref().expect("validated by parse_request");
+    if source.len() > config.max_program_bytes {
+        return Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!(
+                "program of {} bytes exceeds the {}-byte cap",
+                source.len(),
+                config.max_program_bytes
+            ),
+        ));
+    }
+    let term = parse_term(source)
+        .map_err(|e| ServiceError::new(ErrorCode::ParseError, format!("parse error: {e}")))?;
+
+    // CLI-parity defaults, then hard caps. `analyze` defaults its
+    // Monte-Carlo cross-check off, like `probterm analyze` does.
+    let depth = request.depth.unwrap_or(120);
+    let runs = request
+        .runs
+        .unwrap_or(if request.op == Op::Analyze { 0 } else { 10_000 });
+    let steps = request.steps.unwrap_or(20_000);
+    let seed = request.seed.unwrap_or(2021);
+    let cap = |what: &str, value: usize, max: usize| -> Result<(), ServiceError> {
+        if value > max {
+            Err(ServiceError::new(
+                ErrorCode::BadRequest,
+                format!("{what} {value} exceeds the server cap {max}"),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    cap("depth", depth, config.max_depth)?;
+    cap("runs", runs, config.max_runs)?;
+    cap("steps", steps, config.max_steps)?;
+
+    let cache_key = CacheKey {
+        term: term.canonical_key(),
+        analysis: request.op.as_str(),
+        config: match request.op {
+            Op::Simulate => format!(
+                "runs={runs};steps={steps};seed={seed};strategy={}",
+                strategy_str(request.strategy)
+            ),
+            Op::Lower => format!("depth={depth}"),
+            Op::Verify => String::new(),
+            Op::Analyze => format!("depth={depth};runs={runs};steps={steps};seed={seed}"),
+            _ => unreachable!("engine_op is only called for engine ops"),
+        },
+    };
+    if let Some(cached) = state.cache.lock().expect("cache lock").get(&cache_key) {
+        return Ok((cached, Some("hit")));
+    }
+
+    let deadline = Deadline::new(request.deadline_ms);
+    state.inflight.fetch_add(1, Ordering::SeqCst);
+    let computed = catch_unwind(AssertUnwindSafe(|| match request.op {
+        Op::Simulate => simulate_payload(&term, runs, steps, seed, request.strategy, &deadline),
+        Op::Lower => lower_payload(&term, depth, &deadline),
+        Op::Verify => verify_payload(&term, &deadline),
+        Op::Analyze => analyze_payload(&term, depth, runs, steps, seed, &deadline),
+        _ => unreachable!("engine_op is only called for engine ops"),
+    }));
+    state.inflight.fetch_sub(1, Ordering::SeqCst);
+    let payload = computed
+        .map_err(|panic| {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "engine panicked".to_string());
+            ServiceError::new(ErrorCode::Internal, format!("engine failure: {message}"))
+        })
+        .and_then(|r| r)?;
+    // Cache before the final deadline check: a result that finished late is
+    // still a result, and caching it makes an identical retry an instant hit
+    // instead of a doomed recomputation.
+    state
+        .cache
+        .lock()
+        .expect("cache lock")
+        .put(cache_key, payload.clone());
+    deadline.check("after the engine completed")?;
+    Ok((payload, Some("miss")))
+}
+
+fn strategy_str(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::CallByName => "cbn",
+        Strategy::CallByValue => "cbv",
+    }
+}
+
+/// Monte-Carlo estimation via the library estimator, with cooperative
+/// deadline checks between chunks of runs.
+///
+/// This is [`probterm_core::spcf::try_estimate_termination`] — the very loop
+/// behind [`probterm_core::spcf::estimate_termination`] — so the reply
+/// carries exactly the numbers the library call produces.
+fn simulate_payload(
+    term: &Term,
+    runs: usize,
+    max_steps: usize,
+    seed: u64,
+    strategy: Strategy,
+    deadline: &Deadline,
+) -> Result<Value, ServiceError> {
+    const CHUNK: usize = 32;
+    let config = MonteCarloConfig { runs, max_steps, seed, strategy };
+    let estimate = try_estimate_termination(term, &config, |i| {
+        if i % CHUNK == 0 {
+            deadline.check(&format!("after {i}/{runs} Monte-Carlo runs"))
+        } else {
+            Ok(())
+        }
+    })?;
+    Ok(Value::Object(vec![
+        ("runs".into(), Value::UInt(estimate.runs as u128)),
+        ("terminated".into(), Value::UInt(estimate.terminated as u128)),
+        ("stuck".into(), Value::UInt(estimate.stuck as u128)),
+        ("out_of_fuel".into(), Value::UInt(estimate.out_of_fuel as u128)),
+        ("probability".into(), Value::Num(estimate.probability())),
+        ("confidence_99".into(), Value::Num(estimate.confidence_99())),
+        ("mean_steps".into(), Value::Num(estimate.mean_steps)),
+        ("mean_samples".into(), Value::Num(estimate.mean_samples)),
+        ("steps".into(), Value::UInt(max_steps as u128)),
+        ("seed".into(), Value::UInt(seed as u128)),
+        ("strategy".into(), Value::Str(strategy_str(strategy).into())),
+    ]))
+}
+
+fn lower_payload(term: &Term, depth: usize, deadline: &Deadline) -> Result<Value, ServiceError> {
+    deadline.check("before the lower-bound engine started")?;
+    let result = analyze_lower_bound(term, depth);
+    Ok(Value::Object(vec![
+        ("probability".into(), Value::Str(result.probability.to_decimal_string(10))),
+        ("probability_f64".into(), Value::Num(result.probability.to_f64())),
+        ("expected_steps_lb".into(), Value::Num(result.expected_steps.to_f64())),
+        ("paths".into(), Value::UInt(result.paths as u128)),
+        ("unexplored_paths".into(), Value::UInt(result.unexplored_paths as u128)),
+        ("stuck_paths".into(), Value::UInt(result.stuck_paths as u128)),
+        ("depth".into(), Value::UInt(depth as u128)),
+        ("engine_ms".into(), Value::UInt(result.elapsed.as_millis())),
+    ]))
+}
+
+fn verify_payload(term: &Term, deadline: &Deadline) -> Result<Value, ServiceError> {
+    deadline.check("before the AST verifier started")?;
+    let v = analyze_ast(term)
+        .map_err(|e| ServiceError::new(ErrorCode::NotApplicable, e.to_string()))?;
+    Ok(Value::Object(vec![
+        ("verified".into(), Value::Bool(v.verified_ast)),
+        ("papprox".into(), Value::Str(v.papprox.to_string())),
+        ("strategies".into(), Value::UInt(v.strategies as u128)),
+        ("env_nodes".into(), Value::UInt(v.env_nodes as u128)),
+        ("sample_variables".into(), Value::UInt(v.sample_variables as u128)),
+        ("rank".into(), Value::UInt(v.rank as u128)),
+        ("corollary_5_13".into(), Value::Bool(v.verified_by_corollary_5_13)),
+        ("engine_ms".into(), Value::UInt(v.elapsed.as_millis())),
+    ]))
+}
+
+fn analyze_payload(
+    term: &Term,
+    depth: usize,
+    runs: usize,
+    steps: usize,
+    seed: u64,
+    deadline: &Deadline,
+) -> Result<Value, ServiceError> {
+    deadline.check("before the combined analysis started")?;
+    let report = try_analyze(
+        term,
+        &AnalysisConfig {
+            lower_bound_depth: depth,
+            monte_carlo_runs: runs,
+            monte_carlo_steps: steps,
+            seed,
+        },
+    )
+    .map_err(|e| ServiceError::new(ErrorCode::NotApplicable, e.to_string()))?;
+    let monte_carlo = match &report.monte_carlo {
+        None => Value::Null,
+        Some(mc) => Value::Object(vec![
+            ("runs".into(), Value::UInt(mc.runs as u128)),
+            ("terminated".into(), Value::UInt(mc.terminated as u128)),
+            ("probability".into(), Value::Num(mc.probability())),
+            ("confidence_99".into(), Value::Num(mc.confidence_99())),
+            ("mean_steps".into(), Value::Num(mc.mean_steps)),
+        ]),
+    };
+    Ok(Value::Object(vec![
+        ("type".into(), Value::Str(report.simple_type.to_string())),
+        (
+            "lower".into(),
+            Value::Object(vec![
+                (
+                    "probability".into(),
+                    Value::Str(report.lower_bound.probability.to_decimal_string(10)),
+                ),
+                ("probability_f64".into(), Value::Num(report.lower_bound.probability.to_f64())),
+                ("paths".into(), Value::UInt(report.lower_bound.paths as u128)),
+                ("depth".into(), Value::UInt(depth as u128)),
+            ]),
+        ),
+        (
+            "ast_verified".into(),
+            match report.ast_verified {
+                Some(b) => Value::Bool(b),
+                None => Value::Null,
+            },
+        ),
+        (
+            "papprox".into(),
+            match &report.papprox {
+                Some(p) => Value::Str(p.to_string()),
+                None => Value::Null,
+            },
+        ),
+        (
+            "ast_skipped".into(),
+            match &report.ast_skipped {
+                Some(reason) => Value::Str(reason.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("monte_carlo".into(), monte_carlo),
+    ]))
+}
+
+fn catalog_payload() -> Value {
+    fn rows(benchmarks: &[catalog::Benchmark]) -> Value {
+        Value::Array(
+            benchmarks
+                .iter()
+                .map(|b| {
+                    Value::Object(vec![
+                        ("name".into(), Value::Str(b.name.clone())),
+                        ("description".into(), Value::Str(b.description.clone())),
+                        ("program".into(), Value::Str(b.term.to_string())),
+                        (
+                            "pterm".into(),
+                            b.expected_pterm.map_or(Value::Null, Value::Num),
+                        ),
+                        (
+                            "ast".into(),
+                            b.expected_ast.map_or(Value::Null, Value::Bool),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+    Value::Object(vec![
+        ("table1".into(), rows(&catalog::table1_benchmarks())),
+        ("table2".into(), rows(&catalog::table2_benchmarks())),
+    ])
+}
+
+fn stats_payload(stats: &StatsSnapshot) -> Value {
+    Value::Object(vec![
+        ("uptime_ms".into(), Value::UInt(stats.uptime_ms)),
+        ("served".into(), Value::UInt(stats.served as u128)),
+        ("hits".into(), Value::UInt(stats.hits as u128)),
+        ("misses".into(), Value::UInt(stats.misses as u128)),
+        ("inflight".into(), Value::UInt(stats.inflight as u128)),
+        ("cache_entries".into(), Value::UInt(stats.cache_entries as u128)),
+        ("cache_capacity".into(), Value::UInt(stats.cache_capacity as u128)),
+        ("workers".into(), Value::UInt(stats.workers as u128)),
+    ])
+}
+
+// ---------------------------------------------------------------- transport
+
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    line: String,
+    out: SharedWriter,
+}
+
+fn spawn_workers(
+    state: &Arc<ServerState>,
+    count: usize,
+) -> (mpsc::Sender<Job>, Vec<thread::JoinHandle<()>>) {
+    let (sender, receiver) = mpsc::channel::<Job>();
+    let receiver = Arc::new(Mutex::new(receiver));
+    let handles = (0..count.max(1))
+        .map(|i| {
+            let state = Arc::clone(state);
+            let receiver = Arc::clone(&receiver);
+            thread::Builder::new()
+                .name(format!("probterm-worker-{i}"))
+                .spawn(move || loop {
+                    // Hold the queue lock only for the pop, never the job.
+                    let job = match receiver.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(job) = job else { break };
+                    let outcome = process_line(&state, &job.line);
+                    if let Some(mut reply) = outcome.reply {
+                        reply.push('\n');
+                        if let Ok(mut out) = job.out.lock() {
+                            // One write per reply: two small writes would
+                            // interact with Nagle + delayed ACKs and cost
+                            // ~10 ms per lock-step request on TCP.
+                            let _ = out.write_all(reply.as_bytes());
+                            let _ = out.flush();
+                        }
+                    }
+                    // The flag is set only after the reply is flushed, so a
+                    // `shutdown` reply is on the wire before the accept loop
+                    // can exit.
+                    if outcome.shutdown {
+                        state.shutdown.store(true, Ordering::SeqCst);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+    (sender, handles)
+}
+
+/// The analysis server. Cheap to clone; clones share state (and cache).
+#[derive(Debug, Clone)]
+pub struct Server {
+    state: Arc<ServerState>,
+}
+
+/// A server accepting TCP connections on a background thread.
+#[derive(Debug)]
+pub struct RunningServer {
+    /// The actual bound address (useful with a `:0` request).
+    pub addr: SocketAddr,
+    state: Arc<ServerState>,
+    handle: thread::JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The shared server state (for counters in tests and benchmarks).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Waits for the accept loop to exit (i.e. for a `shutdown` request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors.
+    pub fn join(self) -> io::Result<()> {
+        self.handle.join().unwrap_or_else(|_| {
+            Err(io::Error::other("server thread panicked"))
+        })
+    }
+}
+
+impl Server {
+    /// Creates a server with the given configuration.
+    pub fn new(config: ServerConfig) -> Server {
+        Server { state: Arc::new(ServerState::new(config)) }
+    }
+
+    /// The shared state (counters, shutdown flag).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Processes one request line in the calling thread (no pool).
+    pub fn handle_line(&self, line: &str) -> Option<String> {
+        handle_line(&self.state, line)
+    }
+
+    /// Serves newline-delimited JSON over stdin/stdout until EOF or a
+    /// `shutdown` request, dispatching to the worker pool. Replies may
+    /// interleave out of request order; clients correlate by `id`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stdin read errors.
+    pub fn serve_stdio(&self) -> io::Result<()> {
+        let (sender, workers) = spawn_workers(&self.state, self.state.config.workers);
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
+        // Read stdin on a helper thread: a blocked `read_line` cannot be
+        // interrupted portably, so the serving loop polls the shutdown flag
+        // between received lines instead. After a `shutdown` request the
+        // reader thread may stay parked in its final read; it is detached and
+        // dies with the process, which exits as soon as this returns.
+        let (line_sender, line_receiver) = mpsc::channel::<io::Result<String>>();
+        thread::Builder::new()
+            .name("probterm-stdin".into())
+            .spawn(move || {
+                for line in io::stdin().lock().lines() {
+                    let failed = line.is_err();
+                    if line_sender.send(line).is_err() || failed {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn stdin reader thread");
+        let mut read_error = None;
+        while !self.state.shutdown_requested() {
+            match line_receiver.recv_timeout(Duration::from_millis(25)) {
+                Ok(Ok(line)) => {
+                    if sender.send(Job { line, out: Arc::clone(&out) }).is_err() {
+                        break;
+                    }
+                }
+                Ok(Err(e)) => {
+                    read_error = Some(e);
+                    break;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        match read_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Serves newline-delimited JSON over TCP until a `shutdown` request.
+    ///
+    /// One reader thread per connection; replies go out on the same
+    /// connection the request came in on, possibly out of request order.
+    /// After shutdown the accept loop returns promptly; queued requests from
+    /// still-connected clients are not drained (clients should stop sending
+    /// and disconnect once they have read the shutdown reply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors (other than transient would-block/timeouts).
+    pub fn serve_listener(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let (sender, _workers) = spawn_workers(&self.state, self.state.config.workers);
+        while !self.state.shutdown_requested() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    // BSD-derived platforms make accepted sockets inherit the
+                    // listener's O_NONBLOCK; the per-connection reader wants
+                    // plain blocking reads.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    let reader = stream.try_clone()?;
+                    let out: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
+                    let sender = sender.clone();
+                    thread::Builder::new()
+                        .name("probterm-conn".into())
+                        .spawn(move || {
+                            let mut reader = BufReader::new(reader);
+                            let mut line = String::new();
+                            loop {
+                                line.clear();
+                                match reader.read_line(&mut line) {
+                                    Ok(0) | Err(_) => break,
+                                    Ok(_) => {
+                                        let job = Job {
+                                            line: line.trim_end_matches(['\r', '\n']).to_string(),
+                                            out: Arc::clone(&out),
+                                        };
+                                        if sender.send(job).is_err() {
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        })
+                        .expect("spawn connection thread");
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds `addr` and serves it on a background thread; returns the bound
+    /// address (pass port `:0` to let the OS pick) and a join handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn_tcp(&self, addr: impl ToSocketAddrs) -> io::Result<RunningServer> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let server = self.clone();
+        let handle = thread::Builder::new()
+            .name("probterm-accept".into())
+            .spawn(move || server.serve_listener(listener))?;
+        Ok(RunningServer { addr: bound, state: Arc::clone(&self.state), handle })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(ServerConfig { workers: 1, ..Default::default() })
+    }
+
+    fn result_of(reply: &str) -> Value {
+        let v = serde_json::from_str(reply).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{reply}");
+        v.get("result").unwrap().clone()
+    }
+
+    fn error_code_of(reply: &str) -> String {
+        let v = serde_json::from_str(reply).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{reply}");
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn blank_lines_produce_no_reply() {
+        let s = server();
+        assert_eq!(s.handle_line(""), None);
+        assert_eq!(s.handle_line("   \t"), None);
+    }
+
+    #[test]
+    fn simulate_matches_the_library_estimator() {
+        use probterm_core::spcf::{estimate_termination, MonteCarloConfig};
+        let s = server();
+        let src = "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0";
+        let reply = s
+            .handle_line(&format!(
+                r#"{{"id":1,"op":"simulate","program":"{src}","runs":200,"steps":400,"seed":7}}"#
+            ))
+            .unwrap();
+        let result = result_of(&reply);
+        let direct = estimate_termination(
+            &parse_term(src).unwrap(),
+            &MonteCarloConfig {
+                runs: 200,
+                max_steps: 400,
+                seed: 7,
+                strategy: Strategy::CallByName,
+            },
+        );
+        assert_eq!(
+            result.get("terminated").and_then(Value::as_u64),
+            Some(direct.terminated as u64)
+        );
+        assert_eq!(
+            result.get("probability").and_then(Value::as_f64),
+            Some(direct.probability())
+        );
+        assert_eq!(
+            result.get("mean_steps").and_then(Value::as_f64),
+            Some(direct.mean_steps)
+        );
+    }
+
+    #[test]
+    fn alpha_equivalent_resubmission_hits_the_cache() {
+        let s = server();
+        let a = r#"{"op":"lower","program":"(fix phi x. if sample <= 1/4 then x else phi (phi (x + 1))) 1","depth":30}"#;
+        let b = r#"{"op":"lower","program":"(fix loop n. if sample <= 1/4 then n else loop (loop (n + 1))) 1","depth":30}"#;
+        let first = s.handle_line(a).unwrap();
+        let second = s.handle_line(b).unwrap();
+        let v1 = serde_json::from_str(&first).unwrap();
+        let v2 = serde_json::from_str(&second).unwrap();
+        assert_eq!(v1.get("cache").and_then(Value::as_str), Some("miss"));
+        assert_eq!(v2.get("cache").and_then(Value::as_str), Some("hit"));
+        assert_eq!(v1.get("result"), v2.get("result"));
+        let stats = s.state().stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // A different depth is a different cache entry.
+        let c = s
+            .handle_line(
+                r#"{"op":"lower","program":"(fix phi x. if sample <= 1/4 then x else phi (phi (x + 1))) 1","depth":31}"#,
+            )
+            .unwrap();
+        let v3 = serde_json::from_str(&c).unwrap();
+        assert_eq!(v3.get("cache").and_then(Value::as_str), Some("miss"));
+    }
+
+    #[test]
+    fn deadline_exceeded_is_structured_and_worker_survives() {
+        let s = server();
+        let reply = s
+            .handle_line(
+                r#"{"id":9,"op":"simulate","program":"(fix phi x. phi x) 0","runs":500000,"steps":3000,"deadline_ms":30}"#,
+            )
+            .unwrap();
+        assert_eq!(error_code_of(&reply), "budget_exceeded");
+        // The same state keeps serving.
+        let next = s.handle_line(r#"{"op":"stats"}"#).unwrap();
+        let stats = result_of(&next);
+        assert_eq!(stats.get("inflight").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn verify_not_applicable_and_parse_errors() {
+        let s = server();
+        let reply = s
+            .handle_line(r#"{"op":"verify","program":"if sample <= 1/2 then 0 else 1"}"#)
+            .unwrap();
+        assert_eq!(error_code_of(&reply), "not_applicable");
+        let reply = s.handle_line(r#"{"op":"lower","program":"((("}"#).unwrap();
+        assert_eq!(error_code_of(&reply), "parse_error");
+        let reply = s.handle_line("{not json").unwrap();
+        assert_eq!(error_code_of(&reply), "parse_error");
+        let reply = s
+            .handle_line(r#"{"op":"lower","program":"0","depth":100000}"#)
+            .unwrap();
+        assert_eq!(error_code_of(&reply), "bad_request");
+    }
+
+    #[test]
+    fn catalog_stats_and_shutdown() {
+        let s = server();
+        let catalog_reply = result_of(&s.handle_line(r#"{"op":"catalog"}"#).unwrap());
+        assert_eq!(
+            catalog_reply.get("table1").and_then(Value::as_array).map(<[Value]>::len),
+            Some(10)
+        );
+        assert_eq!(
+            catalog_reply.get("table2").and_then(Value::as_array).map(<[Value]>::len),
+            Some(5)
+        );
+        assert!(!s.state().shutdown_requested());
+        let reply = s.handle_line(r#"{"id":"bye","op":"shutdown"}"#).unwrap();
+        let v = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(s.state().shutdown_requested());
+    }
+}

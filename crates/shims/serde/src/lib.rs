@@ -30,6 +30,86 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks a key up in an [`Value::Object`] (first occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if the value is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if the value is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns any numeric value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a `u64` if it is a non-negative integer (exact
+    /// integral floats included, mirroring `serde_json::Value::as_u64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => u64::try_from(*u).ok(),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::Num(n) if *n >= 0.0 && *n == n.trunc() && *n < u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Int(i) => i64::try_from(*i).ok(),
+            Value::Num(n) if *n == n.trunc() && n.abs() < i64::MAX as f64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the element slice if the value is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the entry slice if the value is a [`Value::Object`].
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` iff the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Types convertible to a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into an owned JSON value.
@@ -119,6 +199,30 @@ impl<T: Serialize + ?Sized> Serialize for &T {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("s".into(), Value::Str("hi".into())),
+            ("n".into(), Value::Num(3.0)),
+            ("u".into(), Value::UInt(7)),
+            ("i".into(), Value::Int(-2)),
+            ("b".into(), Value::Bool(true)),
+            ("a".into(), Value::Array(vec![Value::Null])),
+        ]);
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("u").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("i").and_then(Value::as_i64), Some(-2));
+        assert_eq!(v.get("i").and_then(Value::as_u64), None);
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(<[Value]>::len), Some(1));
+        assert!(v.get("a").unwrap().as_array().unwrap()[0].is_null());
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("s"), None);
+        assert!(v.as_object().is_some());
+    }
 
     #[test]
     fn primitives_serialize() {

@@ -1,0 +1,234 @@
+//! Canonical (α-invariant) forms and content hashes of SPCF terms.
+//!
+//! Two terms have the same [`Term::canonical_form`] — and hence the same
+//! [`Term::canonical_key`] — exactly when they are α-equivalent: bound
+//! variables are replaced by de Bruijn indices, free variables are kept by
+//! name, and every node is rendered with an unambiguous tag/delimiter scheme.
+//! The 128-bit key is what the analysis service uses to content-address its
+//! result cache, so syntactically distinct but α-equivalent resubmissions of
+//! the same program are cache hits.
+
+use crate::ast::{Ident, Term};
+
+/// FNV-1a offset basis, 128-bit variant.
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a prime, 128-bit variant.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+fn fnv128(bytes: &[u8]) -> u128 {
+    let mut hash = FNV128_OFFSET;
+    for &b in bytes {
+        hash ^= b as u128;
+        hash = hash.wrapping_mul(FNV128_PRIME);
+    }
+    hash
+}
+
+fn push_canonical(t: &Term, binders: &mut Vec<Ident>, out: &mut String) {
+    match t {
+        Term::Var(x) => {
+            // Innermost binder first: the de Bruijn index is the distance
+            // from the top of the binder stack, which also resolves
+            // shadowing the way substitution does.
+            match binders.iter().rev().position(|b| b == x) {
+                Some(index) => {
+                    out.push('b');
+                    out.push_str(&index.to_string());
+                }
+                None => {
+                    // Free variables stay named: α-equivalence never renames
+                    // them. The length prefix keeps the encoding injective.
+                    out.push('f');
+                    out.push_str(&x.len().to_string());
+                    out.push(':');
+                    out.push_str(x);
+                }
+            }
+            out.push(';');
+        }
+        Term::Num(r) => {
+            // Rationals are kept normalised, so their display is canonical.
+            out.push('n');
+            out.push_str(&r.to_string());
+            out.push(';');
+        }
+        Term::Sample => out.push_str("s;"),
+        Term::Score(m) => {
+            out.push_str("w(");
+            push_canonical(m, binders, out);
+            out.push(')');
+        }
+        Term::Lam(x, body) => {
+            out.push_str("l(");
+            binders.push(x.clone());
+            push_canonical(body, binders, out);
+            binders.pop();
+            out.push(')');
+        }
+        Term::Fix(phi, x, body) => {
+            out.push_str("m(");
+            binders.push(phi.clone());
+            binders.push(x.clone());
+            push_canonical(body, binders, out);
+            binders.pop();
+            binders.pop();
+            out.push(')');
+        }
+        Term::App(f, a) => {
+            out.push_str("a(");
+            push_canonical(f, binders, out);
+            push_canonical(a, binders, out);
+            out.push(')');
+        }
+        Term::If(g, then, els) => {
+            out.push_str("i(");
+            push_canonical(g, binders, out);
+            push_canonical(then, binders, out);
+            push_canonical(els, binders, out);
+            out.push(')');
+        }
+        Term::Prim(p, args) => {
+            out.push_str("p(");
+            out.push_str(p.name());
+            for arg in args {
+                push_canonical(arg, binders, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+impl Term {
+    /// The canonical (de Bruijn) rendering of the term: two terms have equal
+    /// canonical forms iff they are α-equivalent.
+    pub fn canonical_form(&self) -> String {
+        let mut out = String::with_capacity(self.size() * 4);
+        push_canonical(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// A 128-bit α-invariant structural hash (FNV-1a over
+    /// [`Term::canonical_form`]), suitable as a content-address for caches:
+    /// α-equivalent terms always collide, α-distinct terms collide with
+    /// probability ~2⁻¹²⁸.
+    pub fn canonical_key(&self) -> u128 {
+        fnv128(self.canonical_form().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::parser::parse_term;
+
+    fn t(src: &str) -> Term {
+        parse_term(src).unwrap()
+    }
+
+    #[test]
+    fn alpha_renamings_share_a_key() {
+        let pairs = [
+            ("lam x. x", "lam y. y"),
+            (
+                "(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 1",
+                "(fix loop n. if sample <= 1/2 then n else loop (loop (n + 1))) 1",
+            ),
+            ("let x = sample in x * x", "let draw = sample in draw * draw"),
+            ("lam x. lam x. x", "lam a. lam b. b"),
+        ];
+        for (a, b) in pairs {
+            let (ta, tb) = (t(a), t(b));
+            assert!(ta.alpha_eq(&tb), "{a} vs {b}");
+            assert_eq!(ta.canonical_form(), tb.canonical_form(), "{a} vs {b}");
+            assert_eq!(ta.canonical_key(), tb.canonical_key(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_keys() {
+        let sources = [
+            "lam x. x",
+            "lam x. lam y. x",
+            "lam x. lam y. y",
+            "fix phi x. phi x",
+            "sample",
+            "score(sample)",
+            "0",
+            "1",
+            "1/2",
+            "-1/2",
+            "1 + 2",
+            "2 + 1",
+            "1 - 2",
+            "if 0 then 1 else 2",
+            "if 0 then 2 else 1",
+            "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0",
+            "(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 0",
+            "y",
+            "z",
+        ];
+        let mut seen = std::collections::HashMap::new();
+        for src in sources {
+            let key = t(src).canonical_key();
+            if let Some(previous) = seen.insert(key, src) {
+                panic!("collision between `{previous}` and `{src}`");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_matches_alpha_eq_on_shadowing_cases() {
+        // `lam x. lam y. x` vs `lam y. lam x. y`: α-equivalent.
+        let a = t("lam x. lam y. x");
+        let b = t("lam y. lam x. y");
+        assert!(a.alpha_eq(&b));
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        // Shadowed binder: `lam x. lam x. x` is NOT α-equivalent to
+        // `lam a. lam b. a`.
+        let c = t("lam x. lam x. x");
+        let d = t("lam a. lam b. a");
+        assert!(!c.alpha_eq(&d));
+        assert_ne!(c.canonical_form(), d.canonical_form());
+    }
+
+    #[test]
+    fn free_variables_are_kept_by_name() {
+        assert_ne!(t("y").canonical_key(), t("z").canonical_key());
+        assert_eq!(
+            t("lam x. x + y").canonical_key(),
+            t("lam q. q + y").canonical_key()
+        );
+        assert_ne!(
+            t("lam x. x + y").canonical_key(),
+            t("lam x. x + z").canonical_key()
+        );
+    }
+
+    #[test]
+    fn fix_binders_canonicalise_like_substitution_resolves_them() {
+        // φ is index 1, x index 0 inside the body.
+        let a = t("fix phi x. phi x");
+        let b = t("fix f y. f y");
+        assert_eq!(a.canonical_form(), b.canonical_form());
+        let swapped = t("fix phi x. x phi");
+        assert_ne!(a.canonical_form(), swapped.canonical_form());
+    }
+
+    #[test]
+    fn keys_are_stable_across_the_catalogue() {
+        let mut all = catalog::table1_benchmarks();
+        all.extend(catalog::table2_benchmarks());
+        for b in &all {
+            let k1 = b.term.canonical_key();
+            let k2 = b.term.clone().canonical_key();
+            assert_eq!(k1, k2, "{}", b.name);
+        }
+        // All catalogue terms are pairwise α-distinct except the one shared
+        // between Table 1 and Table 2 (the fair non-affine printer).
+        let mut keys: Vec<u128> = all.iter().map(|b| b.term.canonical_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), all.len() - 1);
+    }
+}

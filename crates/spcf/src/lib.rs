@@ -6,7 +6,9 @@
 //! provides:
 //!
 //! * the abstract syntax and capture-avoiding substitution ([`Term`],
-//!   [`Prim`]),
+//!   [`Prim`]), plus α-invariant canonical forms and 128-bit content hashes
+//!   ([`Term::canonical_form`], [`Term::canonical_key`]) used by the analysis
+//!   service to content-address its result cache,
 //! * the simple type system and inference ([`infer_type`], [`SimpleType`]),
 //! * a parser and pretty-printer for a small surface syntax ([`parse_term`]),
 //! * the call-by-name and call-by-value sampling-style small-step semantics
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+mod canon;
 pub mod catalog;
 mod eval;
 mod lexer;
@@ -58,7 +61,9 @@ pub use lexer::{tokenize, LexError, Token, TokenKind};
 pub use oracle::{
     branching_behaviour, oracle_string, run_with_oracle, Direction, Oracle, OracleRun,
 };
-pub use montecarlo::{estimate_termination, MonteCarloConfig, MonteCarloEstimate};
+pub use montecarlo::{
+    estimate_termination, try_estimate_termination, MonteCarloConfig, MonteCarloEstimate,
+};
 pub use parser::{parse_term, ParseError};
 pub use trace::{trace_len, FixedTrace, RandomSampler, Sampler, Trace};
 pub use types::{infer_type, infer_type_in, is_first_order_fixpoint, is_program, SimpleType, TypeError};

@@ -98,20 +98,33 @@ struct EnvNode<'a> {
 }
 
 impl Drop for EnvNode<'_> {
-    /// Environment chains grow linearly with the recursion depth of a run;
-    /// the default recursive drop glue would overflow the stack tearing down
-    /// a chain from a long (e.g. fuel-truncated) run, so unlink iteratively.
+    /// Environment chains grow linearly with the recursion depth of a run,
+    /// and they nest not only through `next` but also through *bindings*:
+    /// each recursive unfolding stores the previous environment inside the
+    /// `φ` closure, so e.g. `(fix phi x. phi x) 0` builds a chain that is
+    /// deep through `Binding::Val(Closure)` links. The default recursive
+    /// drop glue (and a `next`-only unlink) would overflow the stack tearing
+    /// down a long truncated run, so unlink with an explicit worklist that
+    /// harvests every environment handle a node owns.
     fn drop(&mut self) {
-        let mut next = self.next.take();
-        while let Some(node) = next {
-            match Rc::try_unwrap(node) {
-                // Sole owner: keep unlinking this chain. The node's own
-                // binding may hold an environment, but that is (a suffix of)
-                // a chain still alive here or a short side chain, so its
-                // drop does not recurse deeply.
-                Ok(mut node) => next = node.next.take(),
-                // Shared tail: someone else keeps it alive; stop here.
-                Err(_) => break,
+        fn harvest<'a>(binding: &mut Binding<'a>, work: &mut Vec<Rc<EnvNode<'a>>>) {
+            let env = match binding {
+                Binding::Thunk { env, .. } => env.take(),
+                Binding::Val(Value::Closure { env, .. }) => env.take(),
+                Binding::Val(_) => None,
+            };
+            work.extend(env);
+        }
+        let mut work: Vec<Rc<EnvNode<'_>>> = Vec::new();
+        harvest(&mut self.binding, &mut work);
+        work.extend(self.next.take());
+        while let Some(handle) = work.pop() {
+            // Sole owner: strip the node's env handles onto the worklist;
+            // its own drop then has nothing left to recurse into. A shared
+            // handle is kept alive by someone else — leave it alone.
+            if let Ok(mut node) = Rc::try_unwrap(handle) {
+                harvest(&mut node.binding, &mut work);
+                work.extend(node.next.take());
             }
         }
     }
@@ -695,6 +708,21 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn deep_divergent_runs_tear_down_without_overflowing_the_stack() {
+        // `(fix phi x. phi x) 0` nests environments through the φ closure
+        // *binding* (not the `next` pointer), so this is the regression test
+        // for the worklist in `EnvNode::drop`: tearing down the state of a
+        // few-hundred-thousand-step truncated run must not recurse.
+        let term = parse_term("(fix phi x. phi x) 0").unwrap();
+        for strategy in [Strategy::CallByName, Strategy::CallByValue] {
+            let mut trace = FixedTrace::from_ratios(&[]);
+            let result = run_machine_summary(strategy, &term, &mut trace, 300_000);
+            assert_eq!(result.outcome, SummaryOutcome::OutOfFuel);
+            assert_eq!(result.steps, 300_000);
         }
     }
 

@@ -100,12 +100,35 @@ impl MonteCarloEstimate {
 /// assert!(estimate.probability() > 0.95);
 /// ```
 pub fn estimate_termination(term: &Term, config: &MonteCarloConfig) -> MonteCarloEstimate {
+    match try_estimate_termination(term, config, |_| Ok::<(), std::convert::Infallible>(())) {
+        Ok(estimate) => estimate,
+        Err(never) => match never {},
+    }
+}
+
+/// Like [`estimate_termination`], but calls `check(i)` before run `i` and
+/// aborts with its error if it fails — the cooperative-interruption hook the
+/// analysis service uses to enforce per-request deadlines between runs.
+///
+/// Run `i` always draws from `StdRng::seed_from_u64(seed + i)`, so an
+/// uninterrupted call returns exactly what [`estimate_termination`] does
+/// (which is implemented on top of this with an infallible `check`).
+///
+/// # Errors
+///
+/// Returns the first error produced by `check`, discarding the partial tally.
+pub fn try_estimate_termination<E>(
+    term: &Term,
+    config: &MonteCarloConfig,
+    mut check: impl FnMut(usize) -> Result<(), E>,
+) -> Result<MonteCarloEstimate, E> {
     let mut terminated = 0usize;
     let mut stuck = 0usize;
     let mut out_of_fuel = 0usize;
     let mut total_steps = 0usize;
     let mut total_samples = 0usize;
     for i in 0..config.runs {
+        check(i)?;
         let rng = StdRng::seed_from_u64(config.seed.wrapping_add(i as u64));
         let mut sampler = RandomSampler::new(rng);
         // The summary entry point skips materialising result/residual terms
@@ -122,14 +145,14 @@ pub fn estimate_termination(term: &Term, config: &MonteCarloConfig) -> MonteCarl
         }
     }
     let denom = terminated.max(1) as f64;
-    MonteCarloEstimate {
+    Ok(MonteCarloEstimate {
         runs: config.runs,
         terminated,
         stuck,
         out_of_fuel,
         mean_steps: total_steps as f64 / denom,
         mean_samples: total_samples as f64 / denom,
-    }
+    })
 }
 
 #[cfg(test)]

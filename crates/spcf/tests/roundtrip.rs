@@ -1,0 +1,183 @@
+//! Seeded property tests: the pretty-printer and the parser are mutually
+//! inverse up to α-equivalence, with the canonical hash as the equality.
+//!
+//! `parse_term(pretty(t))` must re-parse every catalogue term and every
+//! randomly generated term to a term that is α-equivalent to `t` — checked
+//! both with [`Term::alpha_eq`] and with [`Term::canonical_key`], which also
+//! cross-validates that the two equivalence checks agree.
+
+use probterm_spcf::{catalog, parse_term, Prim, Term};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Binder-name pools. Generating the same structure with two different pools
+/// produces α-equivalent (usually syntactically distinct) terms.
+const POOL_A: [&str; 4] = ["x", "y", "phi", "acc"];
+const POOL_B: [&str; 4] = ["u", "v", "loop", "state"];
+
+/// Generates a random term with at most `depth` nested constructors.
+/// `scope` tracks the bound variables available at this point; `pool` names
+/// new binders (reusing pool names on purpose, to exercise shadowing).
+fn random_term(rng: &mut StdRng, depth: usize, scope: &mut Vec<String>, pool: &[&str]) -> Term {
+    // At depth zero only leaves are available.
+    let choice = if depth == 0 { rng.gen_range(0usize..3) } else { rng.gen_range(0usize..10) };
+    match choice {
+        0 => Term::Num(probterm_numerics_ratio(rng)),
+        1 => Term::Sample,
+        2 => {
+            if scope.is_empty() {
+                Term::Num(probterm_numerics_ratio(rng))
+            } else {
+                let index = rng.gen_range(0usize..scope.len());
+                Term::var(&scope[index])
+            }
+        }
+        3 => {
+            let name = pool[rng.gen_range(0usize..pool.len())];
+            scope.push(name.to_string());
+            let body = random_term(rng, depth - 1, scope, pool);
+            scope.pop();
+            Term::lam(name, body)
+        }
+        4 => {
+            let f = pool[rng.gen_range(0usize..pool.len())];
+            let x = pool[rng.gen_range(0usize..pool.len())];
+            scope.push(f.to_string());
+            scope.push(x.to_string());
+            let body = random_term(rng, depth - 1, scope, pool);
+            scope.pop();
+            scope.pop();
+            Term::fix(f, x, body)
+        }
+        5 => Term::app(
+            random_term(rng, depth - 1, scope, pool),
+            random_term(rng, depth - 1, scope, pool),
+        ),
+        6 => Term::ite(
+            random_term(rng, depth - 1, scope, pool),
+            random_term(rng, depth - 1, scope, pool),
+            random_term(rng, depth - 1, scope, pool),
+        ),
+        7 => Term::score(random_term(rng, depth - 1, scope, pool)),
+        8 => {
+            let prims = [
+                Prim::Add,
+                Prim::Sub,
+                Prim::Mul,
+                Prim::Neg,
+                Prim::Abs,
+                Prim::Min,
+                Prim::Max,
+                Prim::Exp,
+                Prim::Log,
+                Prim::Sig,
+                Prim::Floor,
+            ];
+            let prim = prims[rng.gen_range(0usize..prims.len())];
+            let args = (0..prim.arity())
+                .map(|_| random_term(rng, depth - 1, scope, pool))
+                .collect();
+            Term::Prim(prim, args)
+        }
+        _ => {
+            let name = pool[rng.gen_range(0usize..pool.len())];
+            let bound = random_term(rng, depth - 1, scope, pool);
+            scope.push(name.to_string());
+            let body = random_term(rng, depth - 1, scope, pool);
+            scope.pop();
+            Term::let_in(name, bound, body)
+        }
+    }
+}
+
+/// A small random rational (numerals, including negative ones).
+fn probterm_numerics_ratio(rng: &mut StdRng) -> probterm_numerics::Rational {
+    probterm_numerics::Rational::from_ratio(rng.gen_range(-20i64..21), rng.gen_range(1i64..8))
+}
+
+fn assert_roundtrip(term: &Term, context: &str) -> Result<(), String> {
+    let printed = term.to_string();
+    let reparsed = parse_term(&printed)
+        .map_err(|e| format!("{context}: `{printed}` does not re-parse: {e}"))?;
+    if !term.alpha_eq(&reparsed) {
+        return Err(format!("{context}: `{printed}` re-parses to an α-distinct term"));
+    }
+    if term.canonical_key() != reparsed.canonical_key() {
+        return Err(format!(
+            "{context}: canonical keys disagree after the `{printed}` roundtrip"
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn every_catalogue_term_roundtrips_through_the_printer() {
+    let mut all = catalog::table1_benchmarks();
+    all.extend(catalog::table2_benchmarks());
+    all.push(catalog::triangle_example());
+    for b in &all {
+        assert_roundtrip(&b.term, &b.name).unwrap();
+        // Roundtripping an α-renamed variant must preserve the key too.
+        let renamed = match &b.term {
+            Term::App(f, a) => Term::app(
+                rename_binders(f),
+                (**a).clone(),
+            ),
+            other => rename_binders(other),
+        };
+        assert!(renamed.alpha_eq(&b.term), "{}", b.name);
+        assert_eq!(renamed.canonical_key(), b.term.canonical_key(), "{}", b.name);
+    }
+}
+
+/// α-renames the outermost binder of `t` via capture-avoiding substitution.
+fn rename_binders(t: &Term) -> Term {
+    match t {
+        Term::Lam(x, body) => {
+            let fresh = "renamed_binder";
+            Term::lam(fresh, body.subst(x, &Term::var(fresh)))
+        }
+        Term::Fix(phi, x, body) => {
+            let (f2, x2) = ("renamed_phi", "renamed_arg");
+            Term::fix(f2, x2, body.subst(phi, &Term::var(f2)).subst(x, &Term::var(x2)))
+        }
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random terms (closed and open, with deliberate shadowing) round-trip
+    /// through the printer up to α-equivalence.
+    #[test]
+    fn random_terms_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = 2 + (seed % 4) as usize;
+        let term = random_term(&mut rng, depth, &mut Vec::new(), &POOL_A);
+        if let Err(message) = assert_roundtrip(&term, "random term") {
+            prop_assert!(false, "seed {seed}: {message}");
+        }
+    }
+
+    /// Generating the same structure with two binder-name pools yields
+    /// α-equivalent terms with equal canonical keys — and α-distinct draws
+    /// (from different seeds) almost never collide.
+    #[test]
+    fn canonical_key_is_alpha_invariant_on_random_terms(seed in any::<u64>()) {
+        let depth = 2 + (seed % 4) as usize;
+        let a = random_term(&mut StdRng::seed_from_u64(seed), depth, &mut Vec::new(), &POOL_A);
+        let b = random_term(&mut StdRng::seed_from_u64(seed), depth, &mut Vec::new(), &POOL_B);
+        prop_assert!(a.alpha_eq(&b), "same-seed terms must be α-equivalent");
+        prop_assert_eq!(a.canonical_key(), b.canonical_key());
+        // A structurally different draw must not collide.
+        let c = random_term(
+            &mut StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15),
+            depth,
+            &mut Vec::new(),
+            &POOL_A,
+        );
+        prop_assert_eq!(a.alpha_eq(&c), a.canonical_key() == c.canonical_key());
+    }
+}

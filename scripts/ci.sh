@@ -19,6 +19,69 @@ cargo build --release --workspace --offline || status=$?
 echo "== cargo test -q --workspace --no-fail-fast =="
 cargo test -q --workspace --offline --no-fail-fast || status=$?
 
+# ---------------------------------------------------------------------------
+# Service smoke test: boot `probterm serve` on a loopback port, drive a short
+# mixed batch over bash's /dev/tcp (valid requests, a deliberate parse error,
+# a deadline-exceeded request), check each reply line, and assert a graceful
+# shutdown with exit code 0.
+echo "== service smoke test =="
+smoke_status=0
+if [ -x target/release/probterm ]; then
+    port=$((21000 + RANDOM % 20000))
+    target/release/probterm serve --addr "127.0.0.1:$port" --workers 2 &
+    server_pid=$!
+    # Wait for the listener to come up.
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            break
+        fi
+        sleep 0.1
+    done
+    smoke_request() { # smoke_request <request-json> <required-substring>
+        local reply
+        if ! exec 3<>"/dev/tcp/127.0.0.1/$port"; then
+            echo "smoke: cannot connect for: $1"
+            smoke_status=1
+            return
+        fi
+        printf '%s\n' "$1" >&3
+        IFS= read -r -t 30 reply <&3 || reply=""
+        exec 3>&- 3<&-
+        case "$reply" in
+            *"$2"*) echo "smoke ok: $2" ;;
+            *)
+                echo "smoke FAILED: request $1"
+                echo "  wanted substring: $2"
+                echo "  got reply:        $reply"
+                smoke_status=1
+                ;;
+        esac
+    }
+    smoke_request '{"id":1,"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":30}' '"ok":true'
+    smoke_request '{"id":2,"op":"verify","program":"(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 1"}' '"verified":true'
+    smoke_request '{"id":3,"op":"simulate","program":"(fix phi x. phi x) 0","runs":400000,"steps":2500,"deadline_ms":40}' '"code":"budget_exceeded"'
+    smoke_request '{"id":4,"op":"lower","program":"((("}' '"code":"parse_error"'
+    smoke_request 'this is not json' '"code":"parse_error"'
+    smoke_request '{"id":5,"op":"stats"}' '"misses":'
+    smoke_request '{"id":6,"op":"shutdown"}' '"ok":true'
+    if wait "$server_pid"; then
+        echo "smoke ok: graceful shutdown (exit 0)"
+    else
+        echo "smoke FAILED: server exited non-zero"
+        smoke_status=1
+    fi
+else
+    echo "smoke FAILED: target/release/probterm missing (release build failed?)"
+    smoke_status=1
+fi
+if [ "$smoke_status" -ne 0 ]; then
+    echo "service smoke test: FAILED"
+    status=1
+else
+    echo "service smoke test: OK"
+fi
+
 if [ "$status" -ne 0 ]; then
     echo "CI: FAILED (status $status)"
 else

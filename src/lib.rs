@@ -6,4 +6,5 @@
 
 pub use probterm_core as core;
 pub use probterm_numerics as numerics;
+pub use probterm_service as service;
 pub use probterm_spcf as spcf;

@@ -1,17 +1,22 @@
 //! `probterm` — command-line interface to the termination analyses.
 //!
 //! ```text
-//! probterm analyze   (<file> | -e <program>)   [--depth N] [--mc RUNS]
+//! probterm analyze   (<file> | -e <program>)   [--depth N] [--mc RUNS] [--seed N]
 //! probterm lower     (<file> | -e <program>)   [--depth N]
 //! probterm verify    (<file> | -e <program>)
-//! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--cbv]
+//! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--seed N] [--cbv]
+//! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N]
 //! probterm catalog
 //! ```
 //!
 //! Programs use the SPCF surface syntax, e.g.
 //! `(fix phi x. if sample <= 0.5 then x else phi (phi (x + 1))) 1`.
+//!
+//! `serve` speaks newline-delimited JSON over TCP when `--addr` is given and
+//! over stdin/stdout otherwise; see the README for the wire protocol.
 
 use probterm::core::{analyze, analyze_ast, analyze_lower_bound, AnalysisConfig};
+use probterm::service::{Server, ServerConfig};
 use probterm::spcf::{catalog, estimate_termination, parse_term, MonteCarloConfig, Strategy, Term};
 use std::process::ExitCode;
 
@@ -20,8 +25,13 @@ struct Options {
     inline: Option<String>,
     depth: usize,
     runs: usize,
+    runs_set: bool,
     steps: usize,
+    seed: u64,
     cbv: bool,
+    addr: Option<String>,
+    workers: usize,
+    cache: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -30,8 +40,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         inline: None,
         depth: 120,
         runs: 10_000,
+        runs_set: false,
         steps: 20_000,
+        seed: 2021,
         cbv: false,
+        addr: None,
+        workers: 2,
+        cache: 1024,
     };
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -54,6 +69,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| "--runs requires a number".to_string())?;
+                options.runs_set = true;
             }
             "--steps" => {
                 options.steps = iter
@@ -61,7 +77,33 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| "--steps requires a number".to_string())?;
             }
+            "--seed" => {
+                options.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--seed requires a number".to_string())?;
+            }
             "--cbv" => options.cbv = true,
+            "--addr" => {
+                options.addr = Some(
+                    iter.next()
+                        .ok_or_else(|| "--addr requires HOST:PORT".to_string())?
+                        .clone(),
+                );
+            }
+            "--workers" => {
+                options.workers = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| "--workers requires a positive number".to_string())?;
+            }
+            "--cache" => {
+                options.cache = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--cache requires a number".to_string())?;
+            }
             other => options.positional.push(other.to_string()),
         }
     }
@@ -80,11 +122,15 @@ fn load_program(options: &Options) -> Result<Term, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: probterm <analyze|lower|verify|simulate|catalog> [<file> | -e '<program>'] [options]\n\
+    "usage: probterm <analyze|lower|verify|simulate|serve|catalog> [<file> | -e '<program>'] [options]\n\
      options: --depth N   exploration depth for the lower-bound engine (default 120)\n\
               --runs N    Monte-Carlo runs for `simulate` (default 10000)\n\
               --steps N   step budget per Monte-Carlo run (default 20000)\n\
-              --cbv       simulate with call-by-value instead of call-by-name"
+              --seed N    RNG seed for Monte-Carlo runs (default 2021)\n\
+              --cbv       simulate with call-by-value instead of call-by-name\n\
+     serve:   --addr H:P  serve NDJSON over TCP on H:P (default: stdin/stdout)\n\
+              --workers N worker threads (default 2)\n\
+              --cache N   result-cache capacity, 0 disables (default 1024)"
 }
 
 fn main() -> ExitCode {
@@ -113,6 +159,36 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "serve" => {
+            let server = Server::new(ServerConfig {
+                workers: options.workers,
+                cache_capacity: options.cache,
+                ..Default::default()
+            });
+            let served = match &options.addr {
+                Some(addr) => match std::net::TcpListener::bind(addr) {
+                    Ok(listener) => {
+                        match listener.local_addr() {
+                            Ok(bound) => eprintln!("probterm-service listening on {bound}"),
+                            Err(_) => eprintln!("probterm-service listening on {addr}"),
+                        }
+                        server.serve_listener(listener)
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot bind {addr}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => server.serve_stdio(),
+            };
+            match served {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "analyze" | "lower" | "verify" | "simulate" => {
             let term = match load_program(&options) {
                 Ok(t) => t,
@@ -127,9 +203,12 @@ fn main() -> ExitCode {
                         &term,
                         &AnalysisConfig {
                             lower_bound_depth: options.depth,
-                            monte_carlo_runs: 0,
+                            // `--mc RUNS` opts the cross-check in; it is off
+                            // by default because it can dwarf the exact
+                            // analyses on divergent programs.
+                            monte_carlo_runs: if options.runs_set { options.runs } else { 0 },
                             monte_carlo_steps: options.steps,
-                            seed: 2021,
+                            seed: options.seed,
                         },
                     );
                     print!("{report}");
@@ -157,7 +236,7 @@ fn main() -> ExitCode {
                         &MonteCarloConfig {
                             runs: options.runs,
                             max_steps: options.steps,
-                            seed: 2021,
+                            seed: options.seed,
                             strategy: if options.cbv {
                                 Strategy::CallByValue
                             } else {

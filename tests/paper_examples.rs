@@ -122,9 +122,18 @@ fn guard_independence_across_the_catalogue() {
 /// Soundness sanity check across the whole Table 1 catalogue: the exact lower
 /// bound never exceeds the known termination probability, and the Monte-Carlo
 /// estimate is consistent with both.
+///
+/// Run counts are tuned per benchmark now that machine runs are cheap:
+/// thin-tailed programs (geometric retries, biased/subcritical recursion)
+/// get 4× the runs of the old 400×6000 budget at a trimmed step budget —
+/// tighter statistical slack at roughly equal wall-clock — while the three
+/// heavy-tailed ones (the fair continuous walks and the critical printer,
+/// whose hitting times have polynomial tails) keep the full step budget so
+/// truncation bias stays small.
 #[test]
 fn table1_lower_bounds_are_sound_and_consistent_with_simulation() {
     use probterm::core::spcf::{estimate_termination, MonteCarloConfig, Strategy};
+    let heavy_tailed = ["pedestrian", "1dRW(1/2,1)", "Ex1.1(2) p=1/2"];
     for b in catalog::table1_benchmarks() {
         let depth = if b.name == "pedestrian" { 25 } else { 40 };
         let result = lower_bound(&b.term, &LowerBoundConfig::with_depth(depth));
@@ -137,23 +146,24 @@ fn table1_lower_bounds_are_sound_and_consistent_with_simulation() {
                 p
             );
         }
+        let (runs, max_steps, slack) = if heavy_tailed.contains(&b.name.as_str()) {
+            (600, 6_000, 0.12)
+        } else {
+            (1_600, 2_500, 0.07)
+        };
         let estimate = estimate_termination(
             &b.term,
-            &MonteCarloConfig {
-                runs: 400,
-                max_steps: 6_000,
-                seed: 13,
-                strategy: Strategy::CallByName,
-            },
+            &MonteCarloConfig { runs, max_steps, seed: 13, strategy: Strategy::CallByName },
         );
         // The Monte-Carlo estimate can only undershoot the truth by truncation,
         // so the exact lower bound must not exceed it by more than noise.
         assert!(
-            result.probability.to_f64() <= estimate.probability() + 0.12,
-            "{}: lower bound {} vs estimate {}",
+            result.probability.to_f64() <= estimate.probability() + slack,
+            "{}: lower bound {} vs estimate {} ({} runs)",
             b.name,
             result.probability.to_f64(),
-            estimate.probability()
+            estimate.probability(),
+            runs
         );
     }
 }
@@ -166,11 +176,12 @@ fn papprox_lower_bounds_the_counting_pattern() {
     let b = catalog::three_print(r(2, 3));
     let v = verify_ast(&b.term).unwrap();
     let Term::App(fix, _) = &b.term else { panic!() };
-    let empirical = empirical_counting_pattern(fix, &Rational::from_int(1), 5_000, 3)
+    // 12 000 one-shot body samples (up from 5 000 — machine runs are cheap)
+    // support halving the statistical slack on the cumulative weights.
+    let empirical = empirical_counting_pattern(fix, &Rational::from_int(1), 12_000, 3)
         .unwrap()
         .to_distribution();
-    // Allow a little statistical slack on the empirical cumulative weights.
-    let slack = r(1, 20);
+    let slack = r(1, 40);
     for n in 0..=3u64 {
         assert!(
             v.papprox.cumulative(n) <= empirical.cumulative(n) + &slack,
