@@ -15,7 +15,7 @@
 //! argument (Theorem 6.2); if its shift is AST (Theorem 5.4) the program is
 //! AST on every argument (Theorem 5.9).
 
-use crate::tree::{build_tree, ExecTree, SymbolicTree, TreeError};
+use crate::tree::{try_build_tree, ExecTree, SymbolicTree, TreeError};
 use probterm_numerics::Rational;
 use probterm_polytope::UnitCubePolytope;
 use probterm_rwalk::{epsilon_ra_implies_ast, CountingDistribution, StepDistribution};
@@ -34,6 +34,9 @@ pub enum VerifyError {
     NonLinearGuard(String),
     /// There are too many Environment nodes to enumerate all strategies.
     TooManyEnvironmentNodes(usize),
+    /// The cooperative check of [`try_verify_ast`] cancelled the verification
+    /// (e.g. the analysis service enforcing a per-request deadline).
+    Interrupted,
 }
 
 impl fmt::Display for VerifyError {
@@ -44,9 +47,10 @@ impl fmt::Display for VerifyError {
                 f,
                 "probabilistic guard `{g}` is not affine in the sample variables"
             ),
-            VerifyError::TooManyEnvironmentNodes(n) =>
-
-                write!(f, "too many Environment nodes ({n}) to enumerate strategies"),
+            VerifyError::TooManyEnvironmentNodes(n) => {
+                write!(f, "too many Environment nodes ({n}) to enumerate strategies")
+            }
+            VerifyError::Interrupted => write!(f, "AST verification was interrupted"),
         }
     }
 }
@@ -265,12 +269,31 @@ const MAX_ENV_NODES: usize = 20;
 /// assert_eq!(result.papprox.probability(2), Rational::from_ratio(1, 2));
 /// ```
 pub fn verify_ast(term: &Term) -> Result<AstVerification, VerifyError> {
+    try_verify_ast(term, &mut || Ok(()))
+}
+
+/// Like [`verify_ast`], but calls `check` periodically — inside the symbolic
+/// execution tree construction and between Environment strategies — and
+/// aborts with [`VerifyError::Interrupted`] when it fails. This is the hook
+/// through which the analysis service enforces `deadline_ms` *inside* a
+/// running verification instead of only before/after it.
+///
+/// # Errors
+///
+/// As [`verify_ast`], plus [`VerifyError::Interrupted`].
+pub fn try_verify_ast(
+    term: &Term,
+    check: &mut dyn FnMut() -> Result<(), ()>,
+) -> Result<AstVerification, VerifyError> {
     let start = Instant::now();
     let SymbolicTree {
         tree,
         sample_count,
         env_count,
-    } = build_tree(term)?;
+    } = try_build_tree(term, check).map_err(|e| match e {
+        TreeError::Interrupted => VerifyError::Interrupted,
+        other => VerifyError::Tree(other),
+    })?;
     if env_count > MAX_ENV_NODES {
         return Err(VerifyError::TooManyEnvironmentNodes(env_count));
     }
@@ -280,6 +303,7 @@ pub fn verify_ast(term: &Term) -> Result<AstVerification, VerifyError> {
     // Pre-compute, per strategy, the (volume, μ-count, stuck) triple of each path.
     let mut per_strategy: Vec<Vec<(Rational, u64, bool)>> = Vec::with_capacity(strategies.len());
     for strategy in &strategies {
+        check().map_err(|()| VerifyError::Interrupted)?;
         let paths = collect_paths(&tree, sample_count, strategy)?;
         per_strategy.push(
             paths

@@ -13,9 +13,19 @@
 //! mention `⊛`/`★` become *Environment* branch nodes, to be resolved
 //! adversarially by a strategy (§6.2). The resulting finite binary tree is the
 //! object depicted in Fig. 6a.
+//!
+//! Construction drives the shared environment machine
+//! ([`probterm_spcf::absmachine`]) instantiated at [`GuardValue`] literals:
+//! `φ` is bound to a marker atom whose application pauses the machine
+//! ([`Event::AtomApplied`] → `μ`-node), the recursion argument is bound to
+//! the literal `⊛`, and nested fixpoints are abstracted to `⊛` via the
+//! machine's opaque-`fix` mode. Branching forks the paused machine — no term
+//! is ever substituted or rebuilt, so deep recursion bodies execute in time
+//! linear in their step count.
 
 use probterm_numerics::Rational;
-use probterm_spcf::{Ident, Prim, Term};
+use probterm_spcf::absmachine::{DomainSpec, Event, Machine, Stuck, Value};
+use probterm_spcf::{Prim, Strategy, Term};
 use std::fmt;
 
 /// A symbolic value appearing in guards: constants, sample variables, the
@@ -241,6 +251,9 @@ pub enum TreeError {
     BodyDidNotNormalise,
     /// An ill-formed application was encountered during symbolic execution.
     IllFormed(String),
+    /// The cooperative check of [`try_build_tree`] cancelled the construction
+    /// (the analysis service enforcing a deadline).
+    Interrupted,
 }
 
 impl fmt::Display for TreeError {
@@ -253,6 +266,9 @@ impl fmt::Display for TreeError {
                 write!(f, "the recursion body did not normalise within the step budget")
             }
             TreeError::IllFormed(what) => write!(f, "ill-formed symbolic execution: {what}"),
+            TreeError::Interrupted => {
+                write!(f, "symbolic execution tree construction was interrupted")
+            }
         }
     }
 }
@@ -270,88 +286,22 @@ pub struct SymbolicTree {
     pub env_count: usize,
 }
 
-// Internal symbolic CbV terms.
-#[derive(Debug, Clone, PartialEq)]
-enum ATerm {
-    Val(GuardValue),
-    RecMarker,
-    Var(Ident),
-    Lam(Ident, Box<ATerm>),
-    App(Box<ATerm>, Box<ATerm>),
-    If(Box<ATerm>, Box<ATerm>, Box<ATerm>),
-    Prim(Prim, Vec<ATerm>),
-    Sample,
-    Score(Box<ATerm>),
+/// The atom bound to `φ`: applying it is the recursive-call event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RecMarker;
+
+fn guard_const(r: &Rational) -> GuardValue {
+    GuardValue::Const(r.clone())
 }
 
-impl ATerm {
-    fn embed(t: &Term, phi: &Ident, x: &Ident) -> ATerm {
-        match t {
-            Term::Var(y) if y == phi => ATerm::RecMarker,
-            Term::Var(y) if y == x => ATerm::Val(GuardValue::Unknown),
-            Term::Var(y) => ATerm::Var(y.clone()),
-            Term::Num(r) => ATerm::Val(GuardValue::Const(r.clone())),
-            Term::Lam(y, b) => {
-                let inner_phi = if y == phi { probterm_spcf::ident("#shadow-phi") } else { phi.clone() };
-                let inner_x = if y == x { probterm_spcf::ident("#shadow-x") } else { x.clone() };
-                ATerm::Lam(y.clone(), Box::new(ATerm::embed(b, &inner_phi, &inner_x)))
-            }
-            Term::Fix(_, _, _) => ATerm::Val(GuardValue::Unknown),
-            Term::App(f, a) => ATerm::App(
-                Box::new(ATerm::embed(f, phi, x)),
-                Box::new(ATerm::embed(a, phi, x)),
-            ),
-            Term::If(g, t1, t2) => ATerm::If(
-                Box::new(ATerm::embed(g, phi, x)),
-                Box::new(ATerm::embed(t1, phi, x)),
-                Box::new(ATerm::embed(t2, phi, x)),
-            ),
-            Term::Prim(p, args) => {
-                ATerm::Prim(*p, args.iter().map(|a| ATerm::embed(a, phi, x)).collect())
-            }
-            Term::Sample => ATerm::Sample,
-            Term::Score(m) => ATerm::Score(Box::new(ATerm::embed(m, phi, x))),
-        }
-    }
-
-    fn is_value(&self) -> bool {
-        matches!(
-            self,
-            ATerm::Val(_) | ATerm::RecMarker | ATerm::Var(_) | ATerm::Lam(_, _)
-        )
-    }
-
-    fn subst(&self, x: &Ident, replacement: &ATerm) -> ATerm {
-        match self {
-            ATerm::Var(y) => {
-                if y == x {
-                    replacement.clone()
-                } else {
-                    self.clone()
-                }
-            }
-            ATerm::Val(_) | ATerm::RecMarker | ATerm::Sample => self.clone(),
-            ATerm::Lam(y, b) => {
-                if y == x {
-                    self.clone()
-                } else {
-                    ATerm::Lam(y.clone(), Box::new(b.subst(x, replacement)))
-                }
-            }
-            ATerm::App(f, a) => ATerm::App(
-                Box::new(f.subst(x, replacement)),
-                Box::new(a.subst(x, replacement)),
-            ),
-            ATerm::If(g, t, e) => ATerm::If(
-                Box::new(g.subst(x, replacement)),
-                Box::new(t.subst(x, replacement)),
-                Box::new(e.subst(x, replacement)),
-            ),
-            ATerm::Prim(p, args) => {
-                ATerm::Prim(*p, args.iter().map(|a| a.subst(x, replacement)).collect())
-            }
-            ATerm::Score(m) => ATerm::Score(Box::new(m.subst(x, replacement))),
-        }
+fn tree_spec() -> DomainSpec<GuardValue, RecMarker> {
+    DomainSpec {
+        strategy: Strategy::CallByValue,
+        lit_of_num: guard_const,
+        atom_of_free: None,
+        // Nested fixpoints are abstracted as the unknown value `⊛`.
+        opaque_fix: true,
+        value_first: true,
     }
 }
 
@@ -359,8 +309,11 @@ impl ATerm {
 struct Builder {
     samples: usize,
     env_nodes: usize,
+    /// Remaining *global* step budget, shared by all branches of the tree.
     fuel: usize,
 }
+
+const TREE_FUEL: usize = 1_000_000;
 
 /// Builds the symbolic execution tree of a first-order fixpoint term
 /// (`μφ x. M`, possibly applied to an argument which is ignored — the analysis
@@ -371,6 +324,21 @@ struct Builder {
 /// Returns a [`TreeError`] if the shape is unsupported or the body does not
 /// normalise within an internal step budget.
 pub fn build_tree(term: &Term) -> Result<SymbolicTree, TreeError> {
+    try_build_tree(term, &mut || Ok(()))
+}
+
+/// Like [`build_tree`], but calls `check` periodically during construction
+/// and aborts with [`TreeError::Interrupted`] when it fails — the hook
+/// through which the analysis service enforces per-request deadlines inside
+/// the verifier.
+///
+/// # Errors
+///
+/// As [`build_tree`], plus [`TreeError::Interrupted`].
+pub fn try_build_tree(
+    term: &Term,
+    check: &mut dyn FnMut() -> Result<(), ()>,
+) -> Result<SymbolicTree, TreeError> {
     let fixpoint = match term {
         Term::App(f, _) if matches!(**f, Term::Fix(_, _, _)) => &**f,
         other => other,
@@ -381,13 +349,15 @@ pub fn build_tree(term: &Term) -> Result<SymbolicTree, TreeError> {
     if !probterm_spcf::is_first_order_fixpoint(fixpoint) {
         return Err(TreeError::NotFirstOrderFixpoint);
     }
-    let initial = ATerm::embed(body, phi, x);
-    let mut builder = Builder {
-        samples: 0,
-        env_nodes: 0,
-        fuel: 1_000_000,
-    };
-    let tree = evaluate(initial, &mut builder)?;
+    let mut builder = Builder { samples: 0, env_nodes: 0, fuel: TREE_FUEL };
+    // The argument is the unknown `⊛`; `φ` is the recursion marker. `φ` has
+    // precedence on (pathological) name clashes, like the old embedding.
+    let bindings = vec![
+        (x.clone(), Value::Lit(GuardValue::Unknown)),
+        (phi.clone(), Value::Atom(RecMarker)),
+    ];
+    let mut machine = Machine::with_bindings(tree_spec(), body, builder.fuel, bindings);
+    let tree = drive_tree(&mut machine, &mut builder, check)?;
     Ok(SymbolicTree {
         tree,
         sample_count: builder.samples,
@@ -395,197 +365,128 @@ pub fn build_tree(term: &Term) -> Result<SymbolicTree, TreeError> {
     })
 }
 
-/// Evaluates an `ATerm` to an execution tree.
-fn evaluate(term: ATerm, builder: &mut Builder) -> Result<ExecTree, TreeError> {
-    let mut current = term;
-    loop {
-        if builder.fuel == 0 {
+/// What a linear segment of the evaluation wraps around its subtree.
+enum Wrap {
+    Mu,
+    Score(GuardValue),
+}
+
+/// Drives one machine until its path of the tree is complete, recursing at
+/// branch forks. `μ` and `score` nodes accumulate as wrappers around the
+/// eventual tip, exactly mirroring the old recursive substitution builder.
+fn drive_tree(
+    machine: &mut Machine<'_, GuardValue, RecMarker>,
+    builder: &mut Builder,
+    check: &mut dyn FnMut() -> Result<(), ()>,
+) -> Result<ExecTree, TreeError> {
+    let mut wraps: Vec<Wrap> = Vec::new();
+    let mut charged = machine.steps();
+    let tip = loop {
+        // Trees are small (the global fuel is a safety valve, not a working
+        // budget), so checking every event is cheap and keeps deadline
+        // latency tight.
+        check().map_err(|()| TreeError::Interrupted)?;
+        // Charge this machine's progress against the global budget so that
+        // runaway recursion in *any* branch exhausts construction as a whole.
+        let now = machine.steps();
+        let delta = now - charged;
+        charged = now;
+        if delta > builder.fuel {
             return Err(TreeError::BodyDidNotNormalise);
         }
-        builder.fuel -= 1;
-        if current.is_value() {
-            return Ok(ExecTree::Leaf);
-        }
-        match step_or_branch(current, builder)? {
-            Stepped::Continue(next) => current = next,
-            Stepped::Tree(tree) => return Ok(tree),
-        }
-    }
-}
-
-enum Stepped {
-    Continue(ATerm),
-    Tree(ExecTree),
-}
-
-/// One CbV symbolic step; branching constructs build tree nodes by recursively
-/// evaluating the continuations.
-fn step_or_branch(term: ATerm, builder: &mut Builder) -> Result<Stepped, TreeError> {
-    enum Frame {
-        AppFun(ATerm),
-        AppArg(ATerm),
-        If(ATerm, ATerm),
-        Score,
-        Prim(Prim, Vec<ATerm>, Vec<ATerm>),
-    }
-    fn plug(frames: &[Frame], mut t: ATerm) -> ATerm {
-        for frame in frames.iter().rev() {
-            t = match frame {
-                Frame::AppFun(arg) => ATerm::App(Box::new(t), Box::new(arg.clone())),
-                Frame::AppArg(fun) => ATerm::App(Box::new(fun.clone()), Box::new(t)),
-                Frame::If(a, b) => ATerm::If(Box::new(t), Box::new(a.clone()), Box::new(b.clone())),
-                Frame::Score => ATerm::Score(Box::new(t)),
-                Frame::Prim(p, prefix, suffix) => {
-                    let mut args = prefix.clone();
-                    args.push(t);
-                    args.extend(suffix.iter().cloned());
-                    ATerm::Prim(*p, args)
-                }
-            };
-        }
-        t
-    }
-    let mut frames: Vec<Frame> = Vec::new();
-    let mut current = term;
-    loop {
-        match current {
-            ATerm::App(fun, arg) => {
-                if !fun.is_value() {
-                    frames.push(Frame::AppFun(*arg));
-                    current = *fun;
-                } else if !arg.is_value() {
-                    frames.push(Frame::AppArg(*fun));
-                    current = *arg;
-                } else {
-                    match *fun {
-                        ATerm::Lam(ref x, ref body) => {
-                            return Ok(Stepped::Continue(plug(&frames, body.subst(x, &arg))));
-                        }
-                        // A recursive call: record a μ node, outcome is unknown.
-                        ATerm::RecMarker => {
-                            let continuation = plug(&frames, ATerm::Val(GuardValue::Unknown));
-                            let rest = evaluate(continuation, builder)?;
-                            return Ok(Stepped::Tree(ExecTree::Mu(Box::new(rest))));
-                        }
-                        _ => {
-                            return Err(TreeError::IllFormed(
-                                "application of a non-function value".into(),
-                            ))
-                        }
-                    }
-                }
-            }
-            ATerm::If(guard, then, els) => match *guard {
-                ATerm::Val(v) => {
-                    if let Some(r) = v.as_const() {
-                        let taken = if r.is_positive() { *els } else { *then };
-                        return Ok(Stepped::Continue(plug(&frames, taken)));
-                    }
-                    let then_term = plug(&frames, (*then).clone());
-                    let else_term = plug(&frames, *els);
-                    let then_tree = evaluate(then_term, builder)?;
-                    let else_tree = evaluate(else_term, builder)?;
-                    if v.mentions_unknown() {
-                        let id = builder.env_nodes;
-                        builder.env_nodes += 1;
-                        return Ok(Stepped::Tree(ExecTree::Env {
-                            id,
-                            guard: v,
-                            then: Box::new(then_tree),
-                            els: Box::new(else_tree),
-                        }));
-                    }
-                    return Ok(Stepped::Tree(ExecTree::Prob {
-                        guard: v,
-                        then: Box::new(then_tree),
-                        els: Box::new(else_tree),
-                    }));
-                }
-                ref g if g.is_value() => {
-                    return Err(TreeError::IllFormed("branching on a function value".into()))
-                }
-                _ => {
-                    frames.push(Frame::If(*then, *els));
-                    current = *guard;
-                }
-            },
-            ATerm::Score(inner) => match *inner {
-                ATerm::Val(v) => {
-                    if let Some(r) = v.as_const() {
-                        if r.is_negative() {
-                            return Ok(Stepped::Tree(ExecTree::Stuck));
-                        }
-                        return Ok(Stepped::Continue(plug(&frames, ATerm::Val(v))));
-                    }
-                    if v.mentions_unknown() {
-                        // A score whose success depends on an unknown value: be
-                        // conservative and treat the path as possibly failing.
-                        return Ok(Stepped::Tree(ExecTree::Stuck));
-                    }
-                    let rest_term = plug(&frames, ATerm::Val(v.clone()));
-                    let rest = evaluate(rest_term, builder)?;
-                    return Ok(Stepped::Tree(ExecTree::Score {
-                        value: v,
-                        rest: Box::new(rest),
-                    }));
-                }
-                ref m if m.is_value() => {
-                    return Err(TreeError::IllFormed("score of a function value".into()))
-                }
-                _ => {
-                    frames.push(Frame::Score);
-                    current = *inner;
-                }
-            },
-            ATerm::Sample => {
-                let v = GuardValue::Var(builder.samples);
-                builder.samples += 1;
-                return Ok(Stepped::Continue(plug(&frames, ATerm::Val(v))));
-            }
-            ATerm::Prim(p, mut args) => {
-                if args.iter().all(ATerm::is_value) {
-                    let values: Option<Vec<GuardValue>> = args
-                        .iter()
-                        .map(|a| match a {
-                            ATerm::Val(v) => Some(v.clone()),
-                            _ => None,
-                        })
-                        .collect();
-                    let Some(values) = values else {
-                        return Err(TreeError::IllFormed(
-                            "primitive applied to a function value".into(),
-                        ));
-                    };
-                    // Constant-fold where possible.
-                    let folded = if values.iter().all(|v| v.as_const().is_some()) {
-                        let concrete: Vec<Rational> =
-                            values.iter().map(|v| v.as_const().unwrap().clone()).collect();
-                        match p.eval(&concrete) {
-                            Some(r) => GuardValue::Const(r),
-                            None => return Ok(Stepped::Tree(ExecTree::Stuck)),
-                        }
-                    } else {
-                        GuardValue::Prim(p, values)
-                    };
-                    return Ok(Stepped::Continue(plug(&frames, ATerm::Val(folded))));
-                }
-                let i = args
-                    .iter()
-                    .position(|a| !a.is_value())
-                    .expect("some argument is not a value");
-                let suffix = args.split_off(i + 1);
-                let focus = args.pop().expect("argument at position i");
-                frames.push(Frame::Prim(p, args, suffix));
-                current = focus;
-            }
-            ATerm::Var(x) => {
+        builder.fuel -= delta;
+        machine.set_max_steps(now.saturating_add(builder.fuel));
+        match machine.next_event() {
+            Event::Done(_) => break ExecTree::Leaf,
+            Event::OutOfFuel => return Err(TreeError::BodyDidNotNormalise),
+            Event::Stuck(Stuck::FreeVariable(x)) => {
                 return Err(TreeError::IllFormed(format!("free variable {x}")));
             }
-            ATerm::Val(_) | ATerm::RecMarker | ATerm::Lam(_, _) => {
-                return Ok(Stepped::Continue(current));
+            Event::Stuck(Stuck::NotAFunction(_)) => {
+                return Err(TreeError::IllFormed(
+                    "application of a non-function value".into(),
+                ));
             }
+            Event::Stuck(Stuck::NotANumeral(_)) => {
+                return Err(TreeError::IllFormed(
+                    "a function value reached a first-order position".into(),
+                ));
+            }
+            Event::Sample => {
+                let v = GuardValue::Var(builder.samples);
+                builder.samples += 1;
+                machine.resume_lit(v);
+            }
+            Event::PrimReady(p, args) => {
+                // Constant-fold where possible.
+                if args.iter().all(|v| v.as_const().is_some()) {
+                    let concrete: Vec<Rational> =
+                        args.iter().map(|v| v.as_const().unwrap().clone()).collect();
+                    match p.eval(&concrete) {
+                        Some(r) => machine.resume_lit(GuardValue::Const(r)),
+                        None => break ExecTree::Stuck,
+                    }
+                } else {
+                    machine.resume_lit(GuardValue::Prim(p, args));
+                }
+            }
+            Event::BranchReady(guard) => {
+                if let Some(r) = guard.as_const() {
+                    let take_then = !r.is_positive();
+                    machine.resume_branch(take_then);
+                } else {
+                    // Fork: this machine continues into the then-branch, the
+                    // clone into the else-branch; Environment ids are
+                    // assigned post-order, like the old builder.
+                    let mut else_machine = machine.clone();
+                    machine.resume_branch(true);
+                    else_machine.resume_branch(false);
+                    let then_tree = drive_tree(machine, builder, check)?;
+                    let else_tree = drive_tree(&mut else_machine, builder, check)?;
+                    if guard.mentions_unknown() {
+                        let id = builder.env_nodes;
+                        builder.env_nodes += 1;
+                        break ExecTree::Env {
+                            id,
+                            guard,
+                            then: Box::new(then_tree),
+                            els: Box::new(else_tree),
+                        };
+                    }
+                    break ExecTree::Prob {
+                        guard,
+                        then: Box::new(then_tree),
+                        els: Box::new(else_tree),
+                    };
+                }
+            }
+            Event::ScoreReady(v) => {
+                if let Some(r) = v.as_const() {
+                    if r.is_negative() {
+                        break ExecTree::Stuck;
+                    }
+                    machine.resume_lit(v);
+                } else if v.mentions_unknown() {
+                    // A score whose success depends on an unknown value: be
+                    // conservative and treat the path as possibly failing.
+                    break ExecTree::Stuck;
+                } else {
+                    wraps.push(Wrap::Score(v.clone()));
+                    machine.resume_lit(v);
+                }
+            }
+            // A recursive call `φ V`: a μ node whose outcome is unknown.
+            Event::AtomApplied(RecMarker) => {
+                wraps.push(Wrap::Mu);
+                machine.resume_lit(GuardValue::Unknown);
+            }
+            Event::FixEncountered(_) => machine.resume_lit(GuardValue::Unknown),
         }
-    }
+    };
+    Ok(wraps.into_iter().rev().fold(tip, |tree, wrap| match wrap {
+        Wrap::Mu => ExecTree::Mu(Box::new(tree)),
+        Wrap::Score(value) => ExecTree::Score { value, rest: Box::new(tree) },
+    }))
 }
 
 #[cfg(test)]
@@ -664,6 +565,26 @@ mod tests {
         let tree = build_tree(&t).unwrap();
         let rendered = tree.tree.render();
         assert!(rendered.contains("stuck"));
+    }
+
+    #[test]
+    fn interruption_cancels_construction() {
+        let b = catalog::tired_printer(Rational::parse("0.6").unwrap());
+        let mut budget = 1usize;
+        let result = try_build_tree(&b.term, &mut || {
+            if budget == 0 {
+                Err(())
+            } else {
+                budget -= 1;
+                Ok(())
+            }
+        });
+        assert_eq!(result, Err(TreeError::Interrupted));
+        // An infallible check reproduces build_tree exactly.
+        assert_eq!(
+            try_build_tree(&b.term, &mut || Ok(())),
+            build_tree(&b.term)
+        );
     }
 
     #[test]

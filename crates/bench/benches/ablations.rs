@@ -21,10 +21,9 @@ fn bench_volume_vs_sweep(c: &mut Criterion) {
     let term = catalog::triangle_example().term;
     let exploration = explore(
         &term,
-        &ExplorationConfig {
-            max_steps_per_path: 25,
-            max_paths: 100,
-        },
+        &ExplorationConfig::default()
+            .with_max_steps_per_path(25)
+            .with_max_paths(100),
     );
     let path = exploration
         .terminated
@@ -51,7 +50,7 @@ fn bench_depth_scaling(c: &mut Criterion) {
     let geo = catalog::geometric(Rational::from_ratio(1, 2)).term;
     for depth in [20usize, 40, 80] {
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
-            b.iter(|| lower_bound(&geo, &LowerBoundConfig::with_depth(depth)))
+            b.iter(|| lower_bound(&geo, &LowerBoundConfig::default().with_depth(depth)))
         });
     }
     group.finish();

@@ -1,0 +1,102 @@
+//! Depth-scaling driver for symbolic exploration: measures the
+//! environment-machine explorer against the substitution-based reference
+//! stepper across doubling exploration depths (the `d` column of Table 1)
+//! and records the numbers to `BENCH_symbolic.json` (run from the workspace
+//! root, e.g. `cargo run --release -p probterm-bench --bin symbolic_scaling`).
+//!
+//! The substitution stepper rebuilds the whole term at every small step, and
+//! for recursive programs the unexplored recursion grows the term linearly
+//! with the path depth — so its per-path cost is quadratic in `d` and its
+//! per-depth-doubling time multiplies by ~4 (or worse once the path *count*
+//! also grows with depth). The machine's per-step cost is flat: doubling the
+//! depth should roughly double the per-path work.
+
+use probterm_intervalsem::{explore, explore_substitution, ExplorationConfig};
+use probterm_numerics::Rational;
+use probterm_spcf::{catalog, Term};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Serialize)]
+struct DepthRow {
+    benchmark: String,
+    depth: usize,
+    paths: usize,
+    machine_ns: u128,
+    substitution_ns: u128,
+    speedup: f64,
+}
+
+fn best_of<F: FnMut() -> usize>(repetitions: usize, mut run: F) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut paths = 0usize;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        paths = run();
+        best = best.min(start.elapsed());
+    }
+    (best, paths)
+}
+
+fn measure(name: &str, term: &Term, depths: &[usize], rows: &mut Vec<DepthRow>) {
+    for &depth in depths {
+        let config = ExplorationConfig::default()
+            .with_max_steps_per_path(depth)
+            .with_max_paths(20_000);
+        let (machine_time, machine_paths) =
+            best_of(3, || explore(term, &config).terminated.len());
+        let (substitution_time, substitution_paths) =
+            best_of(3, || explore_substitution(term, &config).terminated.len());
+        assert_eq!(
+            machine_paths, substitution_paths,
+            "{name} @ {depth}: differential mismatch"
+        );
+        let speedup =
+            substitution_time.as_secs_f64() / machine_time.as_secs_f64().max(1e-12);
+        eprintln!(
+            "{name:<16} d={depth:<5} paths={machine_paths:<6} machine={machine_time:?} \
+             substitution={substitution_time:?} speedup={speedup:.1}x"
+        );
+        rows.push(DepthRow {
+            benchmark: name.to_string(),
+            depth,
+            paths: machine_paths,
+            machine_ns: machine_time.as_nanos(),
+            substitution_ns: substitution_time.as_nanos(),
+            speedup,
+        });
+    }
+}
+
+fn main() {
+    let mut rows: Vec<DepthRow> = Vec::new();
+    // Recursive catalogue examples: geometric recursion (linear path count,
+    // linearly growing paths), the triangle example (two draws per
+    // unfolding) and the non-affine printer (branching recursion).
+    measure(
+        "geometric",
+        &catalog::geometric(Rational::from_ratio(1, 2)).term,
+        &[100, 200, 400, 800],
+        &mut rows,
+    );
+    measure(
+        "triangle",
+        &catalog::triangle_example().term,
+        &[100, 200, 400, 800],
+        &mut rows,
+    );
+    measure(
+        "printer_nonaffine",
+        &catalog::printer_nonaffine(Rational::from_ratio(1, 2)).term,
+        &[40, 80, 160],
+        &mut rows,
+    );
+
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|row| serde_json::to_string(row).expect("serialize row"))
+        .collect();
+    let payload = format!("[\n  {}\n]\n", rendered.join(",\n  "));
+    std::fs::write("BENCH_symbolic.json", &payload).expect("write BENCH_symbolic.json");
+    println!("wrote BENCH_symbolic.json ({} rows)", rows.len());
+}

@@ -65,7 +65,7 @@ pub fn scaled_depths(factor: usize) -> Vec<usize> {
 
 /// Computes one Table 1 row.
 pub fn table1_row(benchmark: &Benchmark, depth: usize) -> Table1Row {
-    let result = lower_bound(&benchmark.term, &LowerBoundConfig::with_depth(depth));
+    let result = lower_bound(&benchmark.term, &LowerBoundConfig::default().with_depth(depth));
     Table1Row {
         term: benchmark.name.clone(),
         pterm: benchmark.expected_pterm,

@@ -1,0 +1,52 @@
+//! Asserts symbolic exploration cost is roughly linear — not quadratic — in
+//! the exploration depth.
+//!
+//! On the geometric benchmark every extra unit of depth adds a constant
+//! amount of machine work per surviving path: the term no longer grows under
+//! the machine's environments, so doubling the depth multiplies total work
+//! by ~4 at most (2× paths × 2× average path length) — whereas the old
+//! whole-term-substitution stepper also paid a term that grows with depth,
+//! cubing the total. Wall-clock assertions are noisy on a busy single-CPU
+//! box, so each measurement takes the minimum of several repetitions and the
+//! accepted ratio (< 6× per doubling, vs ~8×+ for the substitution stepper)
+//! leaves slack.
+
+use probterm_intervalsem::{explore, ExplorationConfig};
+use probterm_numerics::Rational;
+use probterm_spcf::catalog;
+use std::time::{Duration, Instant};
+
+fn time_exploration(depth: usize) -> Duration {
+    let geo = catalog::geometric(Rational::from_ratio(1, 2)).term;
+    let config = ExplorationConfig::default()
+        .with_max_steps_per_path(depth)
+        .with_max_paths(20_000);
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let exploration = explore(&geo, &config);
+        let elapsed = start.elapsed();
+        // geo's k-th path terminates after ~5k steps, so a depth-d
+        // exploration finds ~d/5 paths.
+        assert!(exploration.terminated.len() > depth / 8, "exploration too shallow");
+        best = best.min(elapsed);
+    }
+    best
+}
+
+#[test]
+fn doubling_exploration_depth_scales_like_paths_not_quadratically_per_path() {
+    // Warm up allocators and caches.
+    let _ = time_exploration(50);
+    let base_depth = 200;
+    let base = time_exploration(base_depth);
+    let doubled = time_exploration(base_depth * 2);
+    let ratio = doubled.as_secs_f64() / base.as_secs_f64().max(1e-9);
+    assert!(
+        ratio < 6.0,
+        "doubling the exploration depth ({base_depth} -> {}) multiplied wall time by \
+         {ratio:.2} ({base:?} -> {doubled:?}); per-path exploration cost is super-linear \
+         in the depth",
+        base_depth * 2
+    );
+}

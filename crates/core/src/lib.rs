@@ -37,13 +37,13 @@ pub use probterm_polytope as polytope;
 pub use probterm_rwalk as rwalk;
 pub use probterm_spcf as spcf;
 
-use probterm_astver::{verify_ast, AstVerification, VerifyError};
-use probterm_intervalsem::{lower_bound, LowerBoundConfig, LowerBoundResult};
+use probterm_astver::{try_verify_ast, verify_ast, AstVerification, VerifyError};
+use probterm_intervalsem::{lower_bound, try_lower_bound, LowerBoundConfig, LowerBoundResult};
 use probterm_numerics::Rational;
 use probterm_rwalk::CountingDistribution;
 use probterm_spcf::{
-    estimate_termination, infer_type, MonteCarloConfig, MonteCarloEstimate, SimpleType, Strategy,
-    Term, TypeError,
+    infer_type, try_estimate_termination, MonteCarloConfig, MonteCarloEstimate, SimpleType,
+    Strategy, Term, TypeError,
 };
 use std::fmt;
 
@@ -140,7 +140,7 @@ impl std::error::Error for AnalysisError {}
 
 /// Computes a lower bound on the probability of termination (paper §3/§7.1).
 pub fn analyze_lower_bound(term: &Term, depth: usize) -> LowerBoundResult {
-    lower_bound(term, &LowerBoundConfig::with_depth(depth))
+    lower_bound(term, &LowerBoundConfig::default().with_depth(depth))
 }
 
 /// Runs the counting-based AST verifier (paper §5–§6/§7.2).
@@ -175,37 +175,104 @@ pub fn analyze(term: &Term, config: &AnalysisConfig) -> TerminationReport {
 /// Returns [`AnalysisError::IllTyped`] when the program is open or not simply
 /// typed.
 pub fn try_analyze(term: &Term, config: &AnalysisConfig) -> Result<TerminationReport, AnalysisError> {
+    try_analyze_budgeted(term, config, &mut || Ok(())).map(|analysis| {
+        debug_assert!(analysis.complete);
+        analysis.report
+    })
+}
+
+/// A combined analysis that may have been cut short by its budget check.
+#[derive(Debug, Clone)]
+pub struct BudgetedAnalysis {
+    /// The (possibly partial) report. The lower bound is always sound —
+    /// interruption only loses bound mass (Thm. 3.4); skipped stages are
+    /// explained by `ast_skipped` / a `None` Monte-Carlo estimate.
+    pub report: TerminationReport,
+    /// `false` when any stage was interrupted or skipped by the check.
+    pub complete: bool,
+}
+
+/// Like [`try_analyze`], but threads a cooperative interruption check through
+/// every stage: inside the symbolic exploration of the lower-bound engine,
+/// inside the AST verifier's tree construction and strategy enumeration, and
+/// between Monte-Carlo chunks. When the check fails, the remaining stages
+/// are skipped and the report degrades gracefully — the lower bound keeps the
+/// sound partial mass accumulated so far. This is the engine behind the
+/// analysis service's deadline-bounded `analyze` requests.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::IllTyped`] when the program is open or not simply
+/// typed.
+pub fn try_analyze_budgeted(
+    term: &Term,
+    config: &AnalysisConfig,
+    check: &mut dyn FnMut() -> Result<(), ()>,
+) -> Result<BudgetedAnalysis, AnalysisError> {
     let simple_type = infer_type(term).map_err(AnalysisError::IllTyped)?;
-    let lower = analyze_lower_bound(term, config.lower_bound_depth);
-    let (ast, ast_verified, papprox, ast_skipped) = match analyze_ast(term) {
-        Ok(v) => {
-            let verified = v.verified_ast;
-            let papprox = v.papprox.clone();
-            (Some(v), Some(verified), Some(papprox), None)
-        }
-        Err(e) => (None, None, None, Some(e.to_string())),
-    };
-    let monte_carlo = if config.monte_carlo_runs > 0 {
-        Some(estimate_termination(
-            term,
-            &MonteCarloConfig {
-                runs: config.monte_carlo_runs,
-                max_steps: config.monte_carlo_steps,
-                seed: config.seed,
-                strategy: Strategy::CallByName,
-            },
-        ))
+    let mut complete = true;
+
+    let lower_config = LowerBoundConfig::default().with_depth(config.lower_bound_depth);
+    let mut lower_check = |_work: usize| check();
+    let (lower, _interruption) = try_lower_bound(term, &lower_config, &mut lower_check);
+    complete &= !lower.interrupted;
+
+    let (ast, ast_verified, papprox, ast_skipped) = if check().is_err() {
+        complete = false;
+        (None, None, None, Some("interrupted before the AST verifier started".to_string()))
     } else {
-        None
+        match try_verify_ast(term, check) {
+            Ok(v) => {
+                let verified = v.verified_ast;
+                let papprox = v.papprox.clone();
+                (Some(v), Some(verified), Some(papprox), None)
+            }
+            Err(VerifyError::Interrupted) => {
+                complete = false;
+                (None, None, None, Some("the AST verifier was interrupted".to_string()))
+            }
+            Err(e) => (None, None, None, Some(e.to_string())),
+        }
     };
-    Ok(TerminationReport {
-        simple_type,
-        lower_bound: lower,
-        ast,
-        ast_verified,
-        papprox,
-        ast_skipped,
-        monte_carlo,
+
+    let monte_carlo = if config.monte_carlo_runs == 0 {
+        None
+    } else if check().is_err() {
+        complete = false;
+        None
+    } else {
+        let mc_config = MonteCarloConfig {
+            runs: config.monte_carlo_runs,
+            max_steps: config.monte_carlo_steps,
+            seed: config.seed,
+            strategy: Strategy::CallByName,
+        };
+        match try_estimate_termination(term, &mc_config, |i| {
+            if i % 32 == 0 {
+                check()
+            } else {
+                Ok(())
+            }
+        }) {
+            Ok(estimate) => Some(estimate),
+            Err(()) => {
+                complete = false;
+                None
+            }
+        }
+    };
+
+    Ok(BudgetedAnalysis {
+        report: TerminationReport {
+            simple_type,
+            lower_bound: lower,
+            ast,
+            ast_verified,
+            papprox,
+            ast_skipped,
+            monte_carlo,
+        },
+        complete,
     })
 }
 

@@ -10,9 +10,18 @@
 //! every numeral `r` becomes the point interval `[r, r]`; soundness
 //! (Theorem 3.4) says that the weights of pairwise-compatible terminating
 //! interval traces of `M^2ℑ` lower-bound `Pterm(M)`.
+//!
+//! [`run_interval`] executes the reduction on the shared environment machine
+//! ([`probterm_spcf::absmachine`]) instantiated at interval literals — the
+//! embedding happens implicitly as numerals are focused, so the reduction
+//! runs directly on the source [`Term`] in O(1) amortized per step. The
+//! [`ITerm`] datatype survives as the *specification* artifact: the paper's
+//! refinement relation `M ⊳ 𝕄` ([`ITerm::refines`]) and the rendered form of
+//! interval terms.
 
 use probterm_numerics::{Interval, Rational};
-use probterm_spcf::{Ident, Prim, Term};
+use probterm_spcf::absmachine::{DomainSpec, Event, Machine, NoAtom, Value};
+use probterm_spcf::{Ident, Prim, Strategy, Term};
 use std::fmt;
 
 /// A term of interval SPCF: identical to [`Term`] except that numerals are
@@ -74,48 +83,6 @@ impl ITerm {
         match self {
             ITerm::Num(iv) => Some(iv),
             _ => None,
-        }
-    }
-
-    /// Capture-avoiding substitution (callers only substitute closed terms, as
-    /// in the standard semantics).
-    pub fn subst(&self, x: &Ident, replacement: &ITerm) -> ITerm {
-        match self {
-            ITerm::Var(y) => {
-                if y == x {
-                    replacement.clone()
-                } else {
-                    self.clone()
-                }
-            }
-            ITerm::Num(_) | ITerm::Sample => self.clone(),
-            ITerm::Lam(y, b) => {
-                if y == x {
-                    self.clone()
-                } else {
-                    ITerm::Lam(y.clone(), Box::new(b.subst(x, replacement)))
-                }
-            }
-            ITerm::Fix(phi, y, b) => {
-                if phi == x || y == x {
-                    self.clone()
-                } else {
-                    ITerm::Fix(phi.clone(), y.clone(), Box::new(b.subst(x, replacement)))
-                }
-            }
-            ITerm::App(f, a) => ITerm::App(
-                Box::new(f.subst(x, replacement)),
-                Box::new(a.subst(x, replacement)),
-            ),
-            ITerm::If(g, t, e) => ITerm::If(
-                Box::new(g.subst(x, replacement)),
-                Box::new(t.subst(x, replacement)),
-                Box::new(e.subst(x, replacement)),
-            ),
-            ITerm::Prim(p, args) => {
-                ITerm::Prim(*p, args.iter().map(|a| a.subst(x, replacement)).collect())
-            }
-            ITerm::Score(m) => ITerm::Score(Box::new(m.subst(x, replacement))),
         }
     }
 
@@ -332,13 +299,33 @@ pub enum IStuck {
     IllFormed,
 }
 
+/// A terminal interval value (the result of a terminating interval run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IValue {
+    /// An interval numeral.
+    Num(Interval),
+    /// A function value (λ or fixpoint closure); base-type programs never
+    /// produce one.
+    Closure,
+}
+
+impl IValue {
+    /// Returns the interval if the value is an interval numeral.
+    pub fn as_num(&self) -> Option<&Interval> {
+        match self {
+            IValue::Num(iv) => Some(iv),
+            IValue::Closure => None,
+        }
+    }
+}
+
 /// The result of running the interval reduction to completion.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IOutcome {
     /// Reached a value with the trace fully consumed after the given number of steps.
     Terminated {
         /// The final interval value.
-        value: ITerm,
+        value: IValue,
         /// Number of reduction steps `#℘↓(M)`.
         steps: usize,
     },
@@ -357,138 +344,77 @@ impl IOutcome {
     }
 }
 
-/// Runs the CbN interval reduction of `term` on the interval trace `trace`
-/// (Fig. 9), with a step budget.
-///
-/// A result of [`IOutcome::Terminated`] certifies that `trace` belongs to
-/// `Tℑ_{M,term}`, so by Theorem 3.4 its weight is a sound contribution to a
-/// lower bound on `Pterm`.
-pub fn run_interval(term: &ITerm, trace: &IntervalTrace, max_steps: usize) -> IOutcome {
-    let mut current = term.clone();
-    let mut position = 0usize;
-    let mut steps = 0usize;
-    loop {
-        if current.is_value() {
-            return if position == trace.len() {
-                IOutcome::Terminated { value: current, steps }
-            } else {
-                IOutcome::LeftoverTrace
-            };
-        }
-        if steps >= max_steps {
-            return IOutcome::OutOfFuel;
-        }
-        match istep(&current, trace, &mut position) {
-            Ok(next) => {
-                current = next;
-                steps += 1;
-            }
-            Err(stuck) => return IOutcome::Stuck(stuck),
-        }
+fn interval_point(r: &Rational) -> Interval {
+    Interval::point(r.clone())
+}
+
+fn interval_spec() -> DomainSpec<Interval, NoAtom> {
+    DomainSpec {
+        strategy: Strategy::CallByName,
+        // The embedding `(·)^2ℑ` applied lazily: numerals become point
+        // intervals as they are focused.
+        lit_of_num: interval_point,
+        atom_of_free: None,
+        opaque_fix: false,
+        // The interval reference tests value-ness before fuel.
+        value_first: true,
     }
 }
 
-/// One CbN interval reduction step. `position` indexes the next unread
-/// interval of the trace and is advanced when a `sample` redex fires.
-fn istep(term: &ITerm, trace: &IntervalTrace, position: &mut usize) -> Result<ITerm, IStuck> {
-    enum Frame {
-        AppFun(ITerm),
-        If(ITerm, ITerm),
-        Score,
-        Prim(Prim, Vec<ITerm>, Vec<ITerm>),
-    }
-    fn plug(frames: Vec<Frame>, mut t: ITerm) -> ITerm {
-        for frame in frames.into_iter().rev() {
-            t = match frame {
-                Frame::AppFun(arg) => ITerm::App(Box::new(t), Box::new(arg)),
-                Frame::If(a, b) => ITerm::If(Box::new(t), Box::new(a), Box::new(b)),
-                Frame::Score => ITerm::Score(Box::new(t)),
-                Frame::Prim(p, mut prefix, suffix) => {
-                    prefix.push(t);
-                    prefix.extend(suffix);
-                    ITerm::Prim(p, prefix)
-                }
-            };
-        }
-        t
-    }
-    let mut frames: Vec<Frame> = Vec::new();
-    let mut current = term.clone();
+/// Runs the CbN interval reduction of `term^2ℑ` on the interval trace
+/// `trace` (Fig. 9), with a step budget.
+///
+/// A result of [`IOutcome::Terminated`] certifies that `trace` belongs to
+/// `Tℑ_{M,term}`, so by Theorem 3.4 its weight is a sound contribution to a
+/// lower bound on `Pterm`. Step counts agree with the standard reduction on
+/// every refining standard trace (Lemma B.2).
+pub fn run_interval(term: &Term, trace: &IntervalTrace, max_steps: usize) -> IOutcome {
+    let mut machine = Machine::new(interval_spec(), term, max_steps);
+    let mut position = 0usize;
     loop {
-        match current {
-            ITerm::App(fun, arg) => match *fun {
-                ITerm::Lam(ref x, ref body) => {
-                    return Ok(plug(frames, body.subst(x, &arg)));
+        match machine.next_event() {
+            Event::Done(value) => {
+                if position != trace.len() {
+                    return IOutcome::LeftoverTrace;
                 }
-                ITerm::Fix(ref phi, ref x, ref body) => {
-                    let unrolled = body.subst(x, &arg).subst(phi, &fun);
-                    return Ok(plug(frames, unrolled));
-                }
-                ref f if f.is_value() => return Err(IStuck::IllFormed),
-                _ => {
-                    frames.push(Frame::AppFun(*arg));
-                    current = *fun;
-                }
-            },
-            ITerm::If(guard, then, els) => match *guard {
-                ITerm::Num(ref iv) => {
-                    if iv.certainly_nonpositive() {
-                        return Ok(plug(frames, *then));
-                    }
-                    if iv.certainly_positive() {
-                        return Ok(plug(frames, *els));
-                    }
-                    return Err(IStuck::UndecidedBranch);
-                }
-                ref g if g.is_value() => return Err(IStuck::IllFormed),
-                _ => {
-                    frames.push(Frame::If(*then, *els));
-                    current = *guard;
-                }
-            },
-            ITerm::Score(inner) => match *inner {
-                ITerm::Num(iv) => {
-                    if iv.lo().is_negative() {
-                        return Err(IStuck::ScoreMaybeNegative);
-                    }
-                    return Ok(plug(frames, ITerm::Num(iv)));
-                }
-                ref m if m.is_value() => return Err(IStuck::IllFormed),
-                _ => {
-                    frames.push(Frame::Score);
-                    current = *inner;
-                }
-            },
-            ITerm::Sample => {
-                let Some(iv) = trace.intervals().get(*position) else {
-                    return Err(IStuck::TraceExhausted);
+                let value = match value {
+                    Value::Lit(iv) => IValue::Num(iv),
+                    Value::Closure { .. } => IValue::Closure,
+                    Value::Atom(atom) => match atom {},
                 };
-                *position += 1;
-                return Ok(plug(frames, ITerm::Num(iv.clone())));
+                return IOutcome::Terminated { value, steps: machine.steps() };
             }
-            ITerm::Prim(p, mut args) => {
-                match args.iter().position(|a| a.as_num().is_none()) {
-                    None => {
-                        let ivs: Vec<Interval> = args
-                            .iter()
-                            .map(|a| a.as_num().expect("all numerals").clone())
-                            .collect();
-                        return match prim_interval(p, &ivs) {
-                            Some(result) => Ok(plug(frames, ITerm::Num(result))),
-                            None => Err(IStuck::PrimDomain(p)),
-                        };
-                    }
-                    Some(i) if args[i].is_value() => return Err(IStuck::IllFormed),
-                    Some(i) => {
-                        let suffix = args.split_off(i + 1);
-                        let focus = args.pop().expect("argument at position i");
-                        frames.push(Frame::Prim(p, args, suffix));
-                        current = focus;
-                    }
+            Event::OutOfFuel => return IOutcome::OutOfFuel,
+            Event::Stuck(_) => return IOutcome::Stuck(IStuck::IllFormed),
+            Event::Sample => {
+                let Some(iv) = trace.intervals().get(position) else {
+                    return IOutcome::Stuck(IStuck::TraceExhausted);
+                };
+                position += 1;
+                machine.resume_lit(iv.clone());
+            }
+            Event::PrimReady(p, args) => match prim_interval(p, &args) {
+                Some(result) => machine.resume_lit(result),
+                None => return IOutcome::Stuck(IStuck::PrimDomain(p)),
+            },
+            Event::BranchReady(iv) => {
+                if iv.certainly_nonpositive() {
+                    machine.resume_branch(true);
+                } else if iv.certainly_positive() {
+                    machine.resume_branch(false);
+                } else {
+                    return IOutcome::Stuck(IStuck::UndecidedBranch);
                 }
             }
-            ITerm::Var(_) | ITerm::Num(_) | ITerm::Lam(_, _) | ITerm::Fix(_, _, _) => {
-                return Err(IStuck::IllFormed);
+            Event::ScoreReady(iv) => {
+                if iv.lo().is_negative() {
+                    return IOutcome::Stuck(IStuck::ScoreMaybeNegative);
+                }
+                machine.resume_lit(iv);
+            }
+            Event::AtomApplied(atom) => match atom {},
+            Event::FixEncountered(_) => {
+                unreachable!("opaque_fix is off for the interval reduction")
             }
         }
     }
@@ -499,8 +425,8 @@ mod tests {
     use super::*;
     use probterm_spcf::parse_term;
 
-    fn embed(src: &str) -> ITerm {
-        ITerm::embed(&parse_term(src).unwrap())
+    fn term(src: &str) -> Term {
+        parse_term(src).unwrap()
     }
 
     fn iv(a: i64, b: i64, c: i64, d: i64) -> Interval {
@@ -509,7 +435,7 @@ mod tests {
 
     #[test]
     fn embedding_produces_point_intervals() {
-        let t = embed("1 + 0.5");
+        let t = ITerm::embed(&term("1 + 0.5"));
         match t {
             ITerm::Prim(Prim::Add, args) => {
                 assert_eq!(args[0].as_num().unwrap(), &Interval::point(Rational::one()));
@@ -518,7 +444,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Embedding refines the original term.
-        let original = parse_term("(fix phi x. if sample <= 0.5 then x else phi (x+1)) 1").unwrap();
+        let original = term("(fix phi x. if sample <= 0.5 then x else phi (x+1)) 1");
         assert!(ITerm::embed(&original).refines(&original));
     }
 
@@ -569,8 +495,7 @@ mod tests {
 
     #[test]
     fn interval_reduction_on_deterministic_terms() {
-        let t = embed("1 + 2 * 3");
-        let out = run_interval(&t, &IntervalTrace::empty(), 100);
+        let out = run_interval(&term("1 + 2 * 3"), &IntervalTrace::empty(), 100);
         match out {
             IOutcome::Terminated { value, steps } => {
                 assert_eq!(value.as_num().unwrap(), &Interval::point(Rational::from_int(7)));
@@ -583,7 +508,7 @@ mod tests {
     #[test]
     fn interval_reduction_consumes_interval_traces() {
         // Example B.4: if(sample - 0.5, 0, 1) terminates on [0, 1/4] via the then branch.
-        let t = embed("if sample <= 0.5 then 0 else 1");
+        let t = term("if sample <= 0.5 then 0 else 1");
         let good = IntervalTrace::from_ratios(&[(0, 1, 1, 4)]);
         assert!(run_interval(&t, &good, 100).is_terminated());
         // The full unit interval cannot decide the branch (Ex. B.4).
@@ -610,7 +535,7 @@ mod tests {
         // stops. (The first interval must be strictly above 1/2: with the
         // interval [1/2, 1] the guard `sample − 1/2` would contain 0 and the
         // branch would be undecidable, cf. Fig. 9.)
-        let t = embed("(fix phi x. if sample <= 0.5 then x else phi (x + 1)) 0");
+        let t = term("(fix phi x. if sample <= 0.5 then x else phi (x + 1)) 0");
         let trace = IntervalTrace::from_ratios(&[(3, 4, 1, 1), (0, 1, 1, 2)]);
         let out = run_interval(&t, &trace, 1000);
         match out {
@@ -638,9 +563,9 @@ mod tests {
         // with the same step count (Lemma B.2) — check on a concrete instance.
         use probterm_spcf::{run, FixedTrace, Strategy};
         let src = "(fix phi x. if sample <= 0.5 then x else phi (x + 1)) 0";
-        let term = parse_term(src).unwrap();
+        let t = term(src);
         let itrace = IntervalTrace::from_ratios(&[(3, 4, 1, 1), (0, 1, 1, 2)]);
-        let iout = run_interval(&ITerm::embed(&term), &itrace, 1000);
+        let iout = run_interval(&t, &itrace, 1000);
         let IOutcome::Terminated { steps, .. } = iout else {
             panic!("interval run did not terminate");
         };
@@ -650,7 +575,7 @@ mod tests {
         ] {
             assert!(itrace.refined_by(&standard));
             let mut fixed = FixedTrace::new(standard);
-            let run_result = run(Strategy::CallByName, &term, &mut fixed, 1000);
+            let run_result = run(Strategy::CallByName, &t, &mut fixed, 1000);
             assert!(run_result.outcome.is_terminated());
             assert_eq!(run_result.steps, steps);
         }
@@ -658,15 +583,15 @@ mod tests {
 
     #[test]
     fn score_and_fuel_behaviour() {
-        let t = embed("score(sample)");
+        let t = term("score(sample)");
         let ok = IntervalTrace::from_ratios(&[(0, 1, 1, 2)]);
         assert!(run_interval(&t, &ok, 100).is_terminated());
-        let neg = embed("score(sample - 1)");
+        let neg = term("score(sample - 1)");
         assert_eq!(
             run_interval(&neg, &ok, 100),
             IOutcome::Stuck(IStuck::ScoreMaybeNegative)
         );
-        let diverge = embed("(fix phi x. phi x) 0");
+        let diverge = term("(fix phi x. phi x) 0");
         assert_eq!(
             run_interval(&diverge, &IntervalTrace::empty(), 50),
             IOutcome::OutOfFuel
@@ -674,8 +599,26 @@ mod tests {
     }
 
     #[test]
+    fn function_results_and_value_first_fuel_boundary() {
+        // A program evaluating to a λ terminates with an (opaque) closure.
+        let out = run_interval(&term("(lam f. f) (lam y. y)"), &IntervalTrace::empty(), 100);
+        match out {
+            IOutcome::Terminated { value, .. } => assert_eq!(value, IValue::Closure),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The interval reference checks value-ness before fuel: a run that
+        // needs exactly the budget still terminates.
+        let exact = run_interval(&term("1 + 1"), &IntervalTrace::empty(), 1);
+        assert!(exact.is_terminated(), "value-first fuel convention: {exact:?}");
+        assert_eq!(
+            run_interval(&term("1 + 1"), &IntervalTrace::empty(), 0),
+            IOutcome::OutOfFuel
+        );
+    }
+
+    #[test]
     fn display_formats() {
-        let t = embed("if sample <= 0.5 then 0 else score(1)");
+        let t = ITerm::embed(&term("if sample <= 0.5 then 0 else score(1)"));
         let rendered = t.to_string();
         assert!(rendered.contains("sample"));
         assert!(rendered.contains("score"));

@@ -24,7 +24,7 @@
 //!
 //! // Table 1, row "Ex 1.1, p = 1/4": the true termination probability is 1/3.
 //! let bench = catalog::printer_nonaffine(probterm_numerics::Rational::from_ratio(1, 4));
-//! let result = lower_bound(&bench.term, &LowerBoundConfig::with_depth(50));
+//! let result = lower_bound(&bench.term, &LowerBoundConfig::default().with_depth(50));
 //! assert!(result.probability.to_f64() <= 1.0 / 3.0 + 1e-12);
 //! assert!(result.probability.to_f64() > 0.29);
 //! ```
@@ -37,14 +37,17 @@ mod past;
 mod symbolic;
 
 pub use iterm::{
-    pairwise_compatible, prim_interval, run_interval, IOutcome, IStuck, ITerm, IntervalTrace,
+    pairwise_compatible, prim_interval, run_interval, IOutcome, IStuck, ITerm, IValue,
+    IntervalTrace,
 };
-pub use lowerbound::{lower_bound, lower_bound_profile, LowerBoundConfig, LowerBoundResult};
+pub use lowerbound::{
+    lower_bound, lower_bound_profile, try_lower_bound, LowerBoundConfig, LowerBoundResult,
+};
 pub use past::{
     divergence_ratio, expected_steps_profile, refute_past_bound, ExpectedStepsPoint, PastProbe,
     PastRefutation,
 };
 pub use symbolic::{
-    explore, Branch, ConstraintKind, Exploration, ExplorationConfig, SymConstraint,
-    SymValue, SymbolicPath,
+    explore, explore_substitution, try_explore, Branch, ConstraintKind, Exploration,
+    ExplorationConfig, SymConstraint, SymValue, SymbolicPath,
 };

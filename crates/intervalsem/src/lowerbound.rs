@@ -2,9 +2,10 @@
 //!
 //! The engine combines
 //!
-//! 1. bounded stochastic symbolic execution ([`crate::symbolic`]), which
-//!    enumerates the (countably many) branching behaviours `κ ∈ {L,R}*` and
-//!    the associated path constraints, with
+//! 1. bounded stochastic symbolic execution ([`crate::symbolic`], running on
+//!    the shared environment machine), which enumerates the (countably many)
+//!    branching behaviours `κ ∈ {L,R}*` and the associated path constraints,
+//!    with
 //! 2. exact polytope volumes for affine path constraints and an adaptive
 //!    box-splitting sweep (interval arithmetic) for the rest,
 //!
@@ -13,13 +14,22 @@
 //! expected number of reduction steps of terminating runs, exactly as
 //! justified by soundness of the interval semantics (Theorem 3.4) and made
 //! effective by its completeness (Theorem 3.8).
+//!
+//! Because every terminating symbolic path contributes *independently* sound
+//! mass, the engine is an **anytime algorithm**: [`try_lower_bound`] can be
+//! cancelled mid-exploration (the analysis service does so on `deadline_ms`)
+//! and the bound computed so far is still valid — merely smaller than what a
+//! completed run would certify.
 
-use crate::symbolic::{explore, ExplorationConfig, SymbolicPath};
+use crate::symbolic::{try_explore, ExplorationConfig, SymbolicPath};
 use probterm_numerics::Rational;
 use probterm_spcf::Term;
 use std::time::{Duration, Instant};
 
 /// Configuration of the lower-bound computation.
+///
+/// All defaults live here; the CLI, the analysis service and the benchmark
+/// harness derive their configurations through the `with_*` builders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LowerBoundConfig {
     /// Exploration depth: the maximum number of small steps per symbolic path
@@ -42,9 +52,32 @@ impl Default for LowerBoundConfig {
 }
 
 impl LowerBoundConfig {
-    /// A configuration with the given exploration depth and defaults otherwise.
-    pub fn with_depth(depth: usize) -> LowerBoundConfig {
-        LowerBoundConfig { depth, ..Default::default() }
+    /// Builder: sets the exploration depth.
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Builder: sets the symbolic-path budget.
+    #[must_use]
+    pub fn with_max_paths(mut self, max_paths: usize) -> Self {
+        self.max_paths = max_paths;
+        self
+    }
+
+    /// Builder: sets the box budget of the splitting sweep per non-linear path.
+    #[must_use]
+    pub fn with_boxes_per_path(mut self, boxes_per_path: usize) -> Self {
+        self.boxes_per_path = boxes_per_path;
+        self
+    }
+
+    /// The exploration configuration this lower-bound configuration induces.
+    pub fn exploration(&self) -> ExplorationConfig {
+        ExplorationConfig::default()
+            .with_max_steps_per_path(self.depth)
+            .with_max_paths(self.max_paths)
     }
 }
 
@@ -59,10 +92,15 @@ pub struct LowerBoundResult {
     pub expected_steps: Rational,
     /// Number of terminating symbolic paths found.
     pub paths: usize,
-    /// Number of paths abandoned because the step budget ran out.
+    /// Number of paths abandoned because the step budget ran out (or the
+    /// computation was interrupted).
     pub unexplored_paths: usize,
     /// Number of stuck paths (score failures, domain errors).
     pub stuck_paths: usize,
+    /// `true` when the computation was cancelled by the cooperative check of
+    /// [`try_lower_bound`] before it finished. The bounds are still sound —
+    /// partial explorations only lose mass (Thm. 3.4).
+    pub interrupted: bool,
     /// Wall-clock time of the computation.
     pub elapsed: Duration,
 }
@@ -86,34 +124,90 @@ impl LowerBoundResult {
 /// use probterm_spcf::parse_term;
 ///
 /// let geo = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
-/// let result = lower_bound(&geo, &LowerBoundConfig::with_depth(120));
+/// let result = lower_bound(&geo, &LowerBoundConfig::default().with_depth(120));
 /// assert!(result.probability > Rational::from_ratio(99, 100));
 /// assert!(result.probability < Rational::one());
 /// ```
 pub fn lower_bound(term: &Term, config: &LowerBoundConfig) -> LowerBoundResult {
+    let (result, interrupted) =
+        try_lower_bound::<std::convert::Infallible>(term, config, &mut |_| Ok(()));
+    debug_assert!(interrupted.is_none());
+    result
+}
+
+/// Like [`lower_bound`], but calls `check(work)` periodically — inside the
+/// symbolic exploration and between per-path volume computations — and stops
+/// early with its error when it fails.
+///
+/// The returned result then carries `interrupted: true` together with the
+/// **sound partial bound** accumulated so far: every terminating path found
+/// before the interruption certifies its probability mass (Thm. 3.4), so a
+/// deadline-bounded caller still gets a nonzero monotone lower bound instead
+/// of nothing. After the interruption, paths that already terminated are
+/// still measured when their constraint system is affine (exact volumes,
+/// bounded work); only the adaptive box sweep for non-affine paths — the one
+/// unbounded-ish cost left — is skipped, with those paths tallied as
+/// unexplored.
+pub fn try_lower_bound<E>(
+    term: &Term,
+    config: &LowerBoundConfig,
+    check: &mut dyn FnMut(usize) -> Result<(), E>,
+) -> (LowerBoundResult, Option<E>) {
     let start = Instant::now();
-    let exploration = explore(
-        term,
-        &ExplorationConfig {
-            max_steps_per_path: config.depth,
-            max_paths: config.max_paths,
-        },
-    );
+    let (exploration, mut interruption) = try_explore(term, &config.exploration(), check);
     let mut probability = Rational::zero();
     let mut expected_steps = Rational::zero();
-    for path in &exploration.terminated {
-        let p = path_probability(path, config);
-        expected_steps += &p * &Rational::from_int(path.steps as i64);
+    let mut measured = 0usize;
+    let mut unmeasured = 0usize;
+    let mut add = |p: Rational, steps: usize, measured: &mut usize| {
+        expected_steps += &p * &Rational::from_int(steps as i64);
         probability += p;
+        *measured += 1;
+    };
+    for (index, path) in exploration.terminated.iter().enumerate() {
+        if interruption.is_none() {
+            if let Err(e) = check(index) {
+                interruption = Some(e);
+            }
+        }
+        if interruption.is_some() {
+            // The exploration (the unbounded part of the work) is over, so
+            // measuring the already-terminated paths is bounded — but the
+            // adaptive box sweep for non-affine paths is the one knob that
+            // can still be expensive, so after an interruption only the
+            // exactly-measurable (affine) paths contribute; sweep-only paths
+            // are tallied as unexplored. Either way the accumulated mass
+            // stays a sound lower bound.
+            match path.exact_probability() {
+                Some(p) => add(p, path.steps, &mut measured),
+                None => unmeasured += 1,
+            }
+        } else {
+            add(path_probability(path, config), path.steps, &mut measured);
+        }
     }
-    LowerBoundResult {
+    if measured == 0 && interruption.is_some() {
+        // Nothing was exactly measurable (all terminated paths need the box
+        // sweep): sweep the first one with a tightly capped box budget so a
+        // partial reply is nonzero whenever any path terminated, without
+        // tying the caller up long past its expired deadline.
+        if let Some(path) = exploration.terminated.first() {
+            let p = path.probability(config.boxes_per_path.min(128));
+            add(p, path.steps, &mut measured);
+            unmeasured -= 1;
+        }
+    }
+    let unexplored = exploration.out_of_fuel + unmeasured;
+    let result = LowerBoundResult {
         probability,
         expected_steps,
-        paths: exploration.terminated.len(),
-        unexplored_paths: exploration.out_of_fuel,
+        paths: measured,
+        unexplored_paths: unexplored,
         stuck_paths: exploration.stuck,
+        interrupted: exploration.interrupted || interruption.is_some(),
         elapsed: start.elapsed(),
-    }
+    };
+    (result, interruption)
 }
 
 fn path_probability(path: &SymbolicPath, config: &LowerBoundConfig) -> Rational {
@@ -126,7 +220,7 @@ fn path_probability(path: &SymbolicPath, config: &LowerBoundConfig) -> Rational 
 pub fn lower_bound_profile(term: &Term, depths: &[usize]) -> Vec<(usize, LowerBoundResult)> {
     depths
         .iter()
-        .map(|d| (*d, lower_bound(term, &LowerBoundConfig::with_depth(*d))))
+        .map(|d| (*d, lower_bound(term, &LowerBoundConfig::default().with_depth(*d))))
         .collect()
 }
 
@@ -138,7 +232,7 @@ mod tests {
 
     fn lb(src: &str, depth: usize) -> LowerBoundResult {
         let term = parse_term(src).unwrap();
-        lower_bound(&term, &LowerBoundConfig::with_depth(depth))
+        lower_bound(&term, &LowerBoundConfig::default().with_depth(depth))
     }
 
     #[test]
@@ -147,6 +241,7 @@ mod tests {
         assert_eq!(r.probability, Rational::one());
         assert_eq!(r.paths, 1);
         assert_eq!(r.unexplored_paths, 0);
+        assert!(!r.interrupted);
     }
 
     #[test]
@@ -180,7 +275,7 @@ mod tests {
     fn nonaffine_printer_quarter_converges_to_one_third() {
         // Ex. 1.1 (2) with p = 1/4 has Pterm = 1/3 (CbN and CbV agree for this term).
         let b = catalog::printer_nonaffine(Rational::from_ratio(1, 4));
-        let r = lower_bound(&b.term, &LowerBoundConfig::with_depth(80));
+        let r = lower_bound(&b.term, &LowerBoundConfig::default().with_depth(80));
         assert!(r.probability < Rational::from_ratio(1, 3));
         assert!(
             r.probability > Rational::from_ratio(29, 100),
@@ -192,7 +287,7 @@ mod tests {
     #[test]
     fn triangle_example_gets_exact_volumes_per_path() {
         let b = catalog::triangle_example();
-        let r = lower_bound(&b.term, &LowerBoundConfig::with_depth(80));
+        let r = lower_bound(&b.term, &LowerBoundConfig::default().with_depth(80));
         // The first path alone contributes exactly 1/2; deeper paths add more.
         assert!(r.probability >= Rational::from_ratio(1, 2));
         assert!(r.probability < Rational::one());
@@ -208,7 +303,7 @@ mod tests {
             if matches!(b.name.as_str(), "pedestrian") {
                 continue; // slower: exercised in the bench harness and integration tests
             }
-            let r = lower_bound(&b.term, &LowerBoundConfig::with_depth(35));
+            let r = lower_bound(&b.term, &LowerBoundConfig::default().with_depth(35));
             if let Some(expected) = b.expected_pterm {
                 assert!(
                     r.probability.to_f64() <= expected + 1e-9,
@@ -236,5 +331,37 @@ mod tests {
         let r = lb("if sample <= 1/3 then 0 else 1", 50);
         assert_eq!(r.probability, Rational::one());
         assert_eq!(r.probability_decimal(10), "1.0000000000");
+    }
+
+    #[test]
+    fn interrupted_lower_bounds_are_nonzero_sound_partials() {
+        let geo = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+        let config = LowerBoundConfig::default().with_depth(300);
+        let full = lower_bound(&geo, &config);
+        // Cancel after a small fixed amount of exploration work.
+        let mut budget = 8usize;
+        let (partial, err) = try_lower_bound(&geo, &config, &mut |_| {
+            if budget == 0 {
+                Err("deadline exceeded")
+            } else {
+                budget -= 1;
+                Ok(())
+            }
+        });
+        assert_eq!(err, Some("deadline exceeded"));
+        assert!(partial.interrupted);
+        assert!(partial.probability > Rational::zero(), "partial bound must be nonzero");
+        // Every path that terminated before the cutoff is affine here, so the
+        // partial must carry the mass of all of them, not just the first.
+        assert!(partial.paths > 1, "all exactly-measurable terminated paths count");
+        assert!(partial.probability <= full.probability, "partial bounds are monotone");
+        assert!(partial.expected_steps <= full.expected_steps);
+        // Builders: defaults live in exactly one place.
+        assert_eq!(
+            LowerBoundConfig::default().with_depth(300),
+            LowerBoundConfig { depth: 300, ..Default::default() }
+        );
+        assert_eq!(config.exploration().max_steps_per_path, 300);
+        assert_eq!(config.exploration().max_paths, config.max_paths);
     }
 }

@@ -59,7 +59,7 @@ impl PastProbe {
 pub fn refute_past_bound(term: &Term, candidate: &Rational, depths: &[usize]) -> PastProbe {
     let mut best = Rational::zero();
     for &depth in depths {
-        let result = lower_bound(term, &LowerBoundConfig::with_depth(depth));
+        let result = lower_bound(term, &LowerBoundConfig::default().with_depth(depth));
         if result.expected_steps > best {
             best = result.expected_steps.clone();
         }
@@ -96,7 +96,7 @@ pub fn expected_steps_profile(term: &Term, depths: &[usize]) -> Vec<ExpectedStep
     depths
         .iter()
         .map(|&depth| {
-            let result: LowerBoundResult = lower_bound(term, &LowerBoundConfig::with_depth(depth));
+            let result: LowerBoundResult = lower_bound(term, &LowerBoundConfig::default().with_depth(depth));
             ExpectedStepsPoint {
                 depth,
                 probability: result.probability,

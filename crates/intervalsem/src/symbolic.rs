@@ -1,21 +1,42 @@
 //! Stochastic symbolic execution (paper App. B.5 and §7.1).
 //!
 //! Instead of evaluating a term on a fixed trace, symbolic execution
-//! substitutes a fresh *sample variable* `αᵢ` for the `i`-th `sample` redex
-//! and postpones primitive functions, producing *symbolic values*. Control
-//! flow is resolved by exploring both branches of every conditional whose
-//! guard is symbolic, recording the corresponding *symbolic constraint*
-//! (`V ≤ 0` or `V > 0`), which corresponds to fixing a conditional oracle
-//! `κ ∈ {L, R}*` (App. B.4).
+//! abstracts the `i`-th `sample` redex by a fresh *sample variable* `αᵢ` and
+//! postpones primitive functions, producing *symbolic values*. Control flow
+//! is resolved by exploring both branches of every conditional whose guard is
+//! symbolic, recording the corresponding *symbolic constraint* (`V ≤ 0` or
+//! `V > 0`), which corresponds to fixing a conditional oracle `κ ∈ {L, R}*`
+//! (App. B.4).
 //!
 //! Every terminating path therefore describes the set of standard traces
 //! `Sat_m(Δ) = T^{(κ)}_{M,term}` (Proposition B.8) on which the program
 //! terminates with that exact branching behaviour; the lower-bound engine
 //! measures these sets.
+//!
+//! # Execution substrate
+//!
+//! Exploration runs on the shared environment machine
+//! ([`probterm_spcf::absmachine`]) instantiated at symbolic literals: the
+//! machine pauses at each `sample`/primitive/branch/`score` redex and this
+//! module interprets the effect, *forking* the (cheaply clonable) machine at
+//! conditionals whose guard mentions sample variables. Each machine step is
+//! O(1) amortized, so exploring to depth `d` is linear in `d` per path — the
+//! historical whole-term-substitution stepper was quadratic (the unexplored
+//! recursion grows the term as the path deepens). That stepper survives as
+//! [`explore_substitution`], the reference the machine is differentially
+//! tested against (`tests/symbolic_differential.rs`).
+//!
+//! # Interruption
+//!
+//! [`try_explore`] threads a cooperative check through the exploration loop,
+//! so a caller (the analysis service enforcing `deadline_ms`) can cancel
+//! *mid-exploration* and still receive every path terminated so far — a
+//! sound, monotonically improvable partial result by Theorem 3.4.
 
 use probterm_numerics::{Interval, IntervalBox, Rational};
 use probterm_polytope::UnitCubePolytope;
-use probterm_spcf::{Ident, Prim, Term};
+use probterm_spcf::absmachine::{DomainSpec, Event, Machine, NoAtom};
+use probterm_spcf::{Ident, Prim, Strategy, Term};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -255,95 +276,6 @@ pub enum Branch {
     Else,
 }
 
-/// The internal symbolic term: SPCF with sample variables and postponed
-/// primitive applications.
-#[derive(Debug, Clone, PartialEq)]
-enum STerm {
-    Val(SymValue),
-    Var(Ident),
-    Lam(Ident, Box<STerm>),
-    Fix(Ident, Ident, Box<STerm>),
-    App(Box<STerm>, Box<STerm>),
-    If(Box<STerm>, Box<STerm>, Box<STerm>),
-    Prim(Prim, Vec<STerm>),
-    Sample,
-    Score(Box<STerm>),
-}
-
-impl STerm {
-    fn embed(term: &Term) -> STerm {
-        match term {
-            Term::Var(x) => STerm::Var(x.clone()),
-            Term::Num(r) => STerm::Val(SymValue::Const(r.clone())),
-            Term::Lam(x, b) => STerm::Lam(x.clone(), Box::new(STerm::embed(b))),
-            Term::Fix(p, x, b) => STerm::Fix(p.clone(), x.clone(), Box::new(STerm::embed(b))),
-            Term::App(f, a) => STerm::App(Box::new(STerm::embed(f)), Box::new(STerm::embed(a))),
-            Term::If(g, t, e) => STerm::If(
-                Box::new(STerm::embed(g)),
-                Box::new(STerm::embed(t)),
-                Box::new(STerm::embed(e)),
-            ),
-            Term::Prim(p, args) => STerm::Prim(*p, args.iter().map(STerm::embed).collect()),
-            Term::Sample => STerm::Sample,
-            Term::Score(m) => STerm::Score(Box::new(STerm::embed(m))),
-        }
-    }
-
-    fn is_value(&self) -> bool {
-        matches!(
-            self,
-            STerm::Val(_) | STerm::Var(_) | STerm::Lam(_, _) | STerm::Fix(_, _, _)
-        )
-    }
-
-    fn as_symvalue(&self) -> Option<&SymValue> {
-        match self {
-            STerm::Val(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn subst(&self, x: &Ident, replacement: &STerm) -> STerm {
-        match self {
-            STerm::Var(y) => {
-                if y == x {
-                    replacement.clone()
-                } else {
-                    self.clone()
-                }
-            }
-            STerm::Val(_) | STerm::Sample => self.clone(),
-            STerm::Lam(y, b) => {
-                if y == x {
-                    self.clone()
-                } else {
-                    STerm::Lam(y.clone(), Box::new(b.subst(x, replacement)))
-                }
-            }
-            STerm::Fix(phi, y, b) => {
-                if phi == x || y == x {
-                    self.clone()
-                } else {
-                    STerm::Fix(phi.clone(), y.clone(), Box::new(b.subst(x, replacement)))
-                }
-            }
-            STerm::App(f, a) => STerm::App(
-                Box::new(f.subst(x, replacement)),
-                Box::new(a.subst(x, replacement)),
-            ),
-            STerm::If(g, t, e) => STerm::If(
-                Box::new(g.subst(x, replacement)),
-                Box::new(t.subst(x, replacement)),
-                Box::new(e.subst(x, replacement)),
-            ),
-            STerm::Prim(p, args) => {
-                STerm::Prim(*p, args.iter().map(|a| a.subst(x, replacement)).collect())
-            }
-            STerm::Score(m) => STerm::Score(Box::new(m.subst(x, replacement))),
-        }
-    }
-}
-
 /// A terminating symbolic path: a conditional oracle together with the path
 /// constraint and bookkeeping information.
 #[derive(Debug, Clone, PartialEq)]
@@ -424,7 +356,7 @@ impl SymbolicPath {
             }
         }
         // Process each connected component separately.
-        let mut roots: Vec<usize> = (0..self.sample_count)
+        let roots: Vec<usize> = (0..self.sample_count)
             .map(|i| find(&mut parent, i))
             .collect();
         let mut distinct_roots: Vec<usize> = roots.clone();
@@ -471,8 +403,6 @@ impl SymbolicPath {
                 }
             }
         }
-        // Keep the borrow checker happy about `roots` being used after the loop.
-        roots.clear();
         Some(probability)
     }
 
@@ -534,10 +464,16 @@ impl SymbolicPath {
 pub struct Exploration {
     /// Paths that reached a value within the budget.
     pub terminated: Vec<SymbolicPath>,
-    /// Number of paths abandoned because the step budget ran out.
+    /// Number of paths abandoned because the step budget, the path budget or
+    /// an interruption cut them off.
     pub out_of_fuel: usize,
     /// Number of paths that got stuck.
     pub stuck: usize,
+    /// `true` when the exploration was cancelled by the cooperative check of
+    /// [`try_explore`]. The `terminated` paths collected up to that point are
+    /// still sound (Theorem 3.4): interruption only loses bound mass, never
+    /// adds unsound mass.
+    pub interrupted: bool,
 }
 
 /// Configuration of the symbolic exploration.
@@ -558,7 +494,292 @@ impl Default for ExplorationConfig {
     }
 }
 
-struct PathState {
+impl ExplorationConfig {
+    /// Builder: sets the exploration depth (max small steps per path).
+    #[must_use]
+    pub fn with_max_steps_per_path(mut self, max_steps_per_path: usize) -> Self {
+        self.max_steps_per_path = max_steps_per_path;
+        self
+    }
+
+    /// Builder: sets the total path budget.
+    #[must_use]
+    pub fn with_max_paths(mut self, max_paths: usize) -> Self {
+        self.max_paths = max_paths;
+        self
+    }
+}
+
+fn sym_const(r: &Rational) -> SymValue {
+    SymValue::Const(r.clone())
+}
+
+fn sym_spec() -> DomainSpec<SymValue, NoAtom> {
+    DomainSpec {
+        strategy: Strategy::CallByName,
+        lit_of_num: sym_const,
+        atom_of_free: None,
+        opaque_fix: false,
+        // The symbolic stepper tests value-ness before fuel.
+        value_first: true,
+    }
+}
+
+/// One in-flight path of the exploration: a paused machine plus the symbolic
+/// bookkeeping (sample counter, oracle, constraints).
+struct PathState<'a> {
+    machine: Machine<'a, SymValue, NoAtom>,
+    samples: usize,
+    branches: Vec<Branch>,
+    constraints: Vec<SymConstraint>,
+}
+
+/// Explores the CbN symbolic execution tree of a closed term breadth-first,
+/// collecting every path that reaches a value within the budget.
+pub fn explore(term: &Term, config: &ExplorationConfig) -> Exploration {
+    let (exploration, interrupted) =
+        try_explore::<std::convert::Infallible>(term, config, &mut |_| Ok(()));
+    debug_assert!(interrupted.is_none());
+    exploration
+}
+
+/// Like [`explore`], but calls `check(work)` with a monotone work counter —
+/// once before each path and periodically *within* long paths — and stops
+/// early with its error when it fails.
+///
+/// The returned [`Exploration`] contains every path that terminated before
+/// the interruption (a sound partial result); abandoned paths are tallied in
+/// `out_of_fuel` and `interrupted` is set. This is the hook through which the
+/// analysis service enforces per-request deadlines mid-exploration.
+pub fn try_explore<E>(
+    term: &Term,
+    config: &ExplorationConfig,
+    check: &mut dyn FnMut(usize) -> Result<(), E>,
+) -> (Exploration, Option<E>) {
+    let mut queue: VecDeque<PathState<'_>> = VecDeque::new();
+    queue.push_back(PathState {
+        machine: Machine::new(sym_spec(), term, config.max_steps_per_path),
+        samples: 0,
+        branches: Vec::new(),
+        constraints: Vec::new(),
+    });
+    let mut result = Exploration {
+        terminated: Vec::new(),
+        out_of_fuel: 0,
+        stuck: 0,
+        interrupted: false,
+    };
+    let mut processed = 0usize;
+    let mut work = 0usize;
+    let mut interruption: Option<E> = None;
+    'exploration: while let Some(mut path) = queue.pop_front() {
+        processed += 1;
+        if processed > config.max_paths {
+            result.out_of_fuel += 1 + queue.len();
+            break;
+        }
+        if let Err(e) = check(work) {
+            result.interrupted = true;
+            result.out_of_fuel += 1 + queue.len();
+            return (result, Some(e));
+        }
+        loop {
+            work += 1;
+            if work % 256 == 0 {
+                if let Err(e) = check(work) {
+                    result.interrupted = true;
+                    result.out_of_fuel += 1 + queue.len();
+                    interruption = Some(e);
+                    break 'exploration;
+                }
+            }
+            match path.machine.next_event() {
+                Event::Done(value) => {
+                    result.terminated.push(SymbolicPath {
+                        sample_count: path.samples,
+                        branches: path.branches,
+                        constraints: path.constraints,
+                        steps: path.machine.steps(),
+                        result: value.into_lit(),
+                    });
+                    break;
+                }
+                Event::OutOfFuel => {
+                    result.out_of_fuel += 1;
+                    break;
+                }
+                Event::Stuck(_) => {
+                    result.stuck += 1;
+                    break;
+                }
+                Event::Sample => {
+                    let v = SymValue::Var(path.samples);
+                    path.samples += 1;
+                    path.machine.resume_lit(v);
+                }
+                Event::PrimReady(p, args) => {
+                    // Constant-fold when every argument is a constant;
+                    // postpone the application otherwise.
+                    if args.iter().all(SymValue::is_constant) {
+                        let concrete: Option<Vec<Rational>> =
+                            args.iter().map(|v| v.eval(&[])).collect();
+                        match concrete.and_then(|c| p.eval(&c)) {
+                            Some(r) => path.machine.resume_lit(SymValue::Const(r)),
+                            None => {
+                                result.stuck += 1;
+                                break;
+                            }
+                        }
+                    } else {
+                        path.machine.resume_lit(SymValue::Prim(p, args));
+                    }
+                }
+                Event::BranchReady(guard) => {
+                    // Constant guards are decided outright; symbolic guards
+                    // fork the paused machine into both branches.
+                    if let SymValue::Const(r) = &guard {
+                        let take_then = !r.is_positive();
+                        path.machine.resume_branch(take_then);
+                    } else {
+                        let mut else_path = PathState {
+                            machine: path.machine.clone(),
+                            samples: path.samples,
+                            branches: path.branches.clone(),
+                            constraints: path.constraints.clone(),
+                        };
+                        path.machine.resume_branch(true);
+                        path.branches.push(Branch::Then);
+                        path.constraints.push(SymConstraint {
+                            value: guard.clone(),
+                            kind: ConstraintKind::NonPositive,
+                        });
+                        else_path.machine.resume_branch(false);
+                        else_path.branches.push(Branch::Else);
+                        else_path.constraints.push(SymConstraint {
+                            value: guard,
+                            kind: ConstraintKind::Positive,
+                        });
+                        queue.push_back(path);
+                        queue.push_back(else_path);
+                        break;
+                    }
+                }
+                Event::ScoreReady(v) => match &v {
+                    SymValue::Const(r) if r.is_negative() => {
+                        result.stuck += 1;
+                        break;
+                    }
+                    SymValue::Const(_) => path.machine.resume_lit(v),
+                    _ => {
+                        path.constraints.push(SymConstraint {
+                            value: v.clone(),
+                            kind: ConstraintKind::NonNegative,
+                        });
+                        path.machine.resume_lit(v);
+                    }
+                },
+                Event::AtomApplied(atom) => match atom {},
+                Event::FixEncountered(_) => {
+                    unreachable!("opaque_fix is off for symbolic exploration")
+                }
+            }
+        }
+    }
+    (result, interruption)
+}
+
+// --------------------------------------------------------------- reference
+
+/// The internal symbolic term of the substitution-based reference stepper:
+/// SPCF with sample variables and postponed primitive applications.
+#[derive(Debug, Clone, PartialEq)]
+enum STerm {
+    Val(SymValue),
+    Var(Ident),
+    Lam(Ident, Box<STerm>),
+    Fix(Ident, Ident, Box<STerm>),
+    App(Box<STerm>, Box<STerm>),
+    If(Box<STerm>, Box<STerm>, Box<STerm>),
+    Prim(Prim, Vec<STerm>),
+    Sample,
+    Score(Box<STerm>),
+}
+
+impl STerm {
+    fn embed(term: &Term) -> STerm {
+        match term {
+            Term::Var(x) => STerm::Var(x.clone()),
+            Term::Num(r) => STerm::Val(SymValue::Const(r.clone())),
+            Term::Lam(x, b) => STerm::Lam(x.clone(), Box::new(STerm::embed(b))),
+            Term::Fix(p, x, b) => STerm::Fix(p.clone(), x.clone(), Box::new(STerm::embed(b))),
+            Term::App(f, a) => STerm::App(Box::new(STerm::embed(f)), Box::new(STerm::embed(a))),
+            Term::If(g, t, e) => STerm::If(
+                Box::new(STerm::embed(g)),
+                Box::new(STerm::embed(t)),
+                Box::new(STerm::embed(e)),
+            ),
+            Term::Prim(p, args) => STerm::Prim(*p, args.iter().map(STerm::embed).collect()),
+            Term::Sample => STerm::Sample,
+            Term::Score(m) => STerm::Score(Box::new(STerm::embed(m))),
+        }
+    }
+
+    /// Symbolic values of the grammar. A lone free variable is *not* treated
+    /// as a terminated result (an open term carries no termination mass), so
+    /// the reference agrees with the environment machine on open inputs.
+    fn is_value(&self) -> bool {
+        matches!(self, STerm::Val(_) | STerm::Lam(_, _) | STerm::Fix(_, _, _))
+    }
+
+    fn as_symvalue(&self) -> Option<&SymValue> {
+        match self {
+            STerm::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn subst(&self, x: &Ident, replacement: &STerm) -> STerm {
+        match self {
+            STerm::Var(y) => {
+                if y == x {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            STerm::Val(_) | STerm::Sample => self.clone(),
+            STerm::Lam(y, b) => {
+                if y == x {
+                    self.clone()
+                } else {
+                    STerm::Lam(y.clone(), Box::new(b.subst(x, replacement)))
+                }
+            }
+            STerm::Fix(phi, y, b) => {
+                if phi == x || y == x {
+                    self.clone()
+                } else {
+                    STerm::Fix(phi.clone(), y.clone(), Box::new(b.subst(x, replacement)))
+                }
+            }
+            STerm::App(f, a) => STerm::App(
+                Box::new(f.subst(x, replacement)),
+                Box::new(a.subst(x, replacement)),
+            ),
+            STerm::If(g, t, e) => STerm::If(
+                Box::new(g.subst(x, replacement)),
+                Box::new(t.subst(x, replacement)),
+                Box::new(e.subst(x, replacement)),
+            ),
+            STerm::Prim(p, args) => {
+                STerm::Prim(*p, args.iter().map(|a| a.subst(x, replacement)).collect())
+            }
+            STerm::Score(m) => STerm::Score(Box::new(m.subst(x, replacement))),
+        }
+    }
+}
+
+struct RefPathState {
     term: STerm,
     samples: usize,
     branches: Vec<Branch>,
@@ -566,11 +787,16 @@ struct PathState {
     steps: usize,
 }
 
-/// Explores the CbN symbolic execution tree of a closed term breadth-first,
-/// collecting every path that reaches a value within the budget.
-pub fn explore(term: &Term, config: &ExplorationConfig) -> Exploration {
-    let mut queue: VecDeque<PathState> = VecDeque::new();
-    queue.push_back(PathState {
+/// The substitution-based reference explorer: semantically identical to
+/// [`explore`] but small-stepping by whole-term capture-avoiding substitution
+/// (`O(d²)` per path of depth `d` instead of `O(d)`).
+///
+/// Kept — like `probterm_spcf::run_substitution` — as the executable
+/// specification the environment machine is differentially tested against;
+/// see `tests/symbolic_differential.rs` and the `symbolic_scaling` benchmark.
+pub fn explore_substitution(term: &Term, config: &ExplorationConfig) -> Exploration {
+    let mut queue: VecDeque<RefPathState> = VecDeque::new();
+    queue.push_back(RefPathState {
         term: STerm::embed(term),
         samples: 0,
         branches: Vec::new(),
@@ -581,6 +807,7 @@ pub fn explore(term: &Term, config: &ExplorationConfig) -> Exploration {
         terminated: Vec::new(),
         out_of_fuel: 0,
         stuck: 0,
+        interrupted: false,
     };
     let mut processed = 0usize;
     while let Some(mut state) = queue.pop_front() {
@@ -626,14 +853,14 @@ pub fn explore(term: &Term, config: &ExplorationConfig) -> Exploration {
 
 enum StepResult {
     Continue(STerm),
-    Fork(PathState, PathState),
+    Fork(RefPathState, RefPathState),
     Stuck,
 }
 
-/// One symbolic CbN step. Forks at conditionals whose guard is a symbolic
-/// value that mentions sample variables; guards that are constants are
-/// resolved deterministically.
-fn sym_step(term: STerm, state: &mut PathState) -> StepResult {
+/// One symbolic CbN step by substitution. Forks at conditionals whose guard
+/// is a symbolic value that mentions sample variables; guards that are
+/// constants are resolved deterministically.
+fn sym_step(term: STerm, state: &mut RefPathState) -> StepResult {
     enum Frame {
         AppFun(STerm),
         If(STerm, STerm),
@@ -695,7 +922,7 @@ fn sym_step(term: STerm, state: &mut PathState) -> StepResult {
                         (*then).clone(),
                     );
                     let else_frames_term = plug(frames, *els);
-                    let mut then_state = PathState {
+                    let mut then_state = RefPathState {
                         term: then_frames_term,
                         samples: state.samples,
                         branches: state.branches.clone(),
@@ -707,7 +934,7 @@ fn sym_step(term: STerm, state: &mut PathState) -> StepResult {
                         value: v.clone(),
                         kind: ConstraintKind::NonPositive,
                     });
-                    let mut else_state = PathState {
+                    let mut else_state = RefPathState {
                         term: else_frames_term,
                         samples: state.samples,
                         branches: state.branches.clone(),
@@ -795,10 +1022,9 @@ mod tests {
         let term = parse_term(src).unwrap();
         explore(
             &term,
-            &ExplorationConfig {
-                max_steps_per_path: steps,
-                max_paths: 10_000,
-            },
+            &ExplorationConfig::default()
+                .with_max_steps_per_path(steps)
+                .with_max_paths(10_000),
         )
     }
 
@@ -939,5 +1165,58 @@ mod tests {
         let e = explore_src("(fix phi x. if sample <= 1/2 then x else phi x) 0", 12);
         assert!(e.out_of_fuel > 0);
         assert!(!e.terminated.is_empty());
+        assert!(!e.interrupted);
+    }
+
+    #[test]
+    fn machine_and_substitution_reference_agree_on_a_spot_check() {
+        // The full catalogue + proptest differential lives in
+        // tests/symbolic_differential.rs; this is a fast in-crate smoke check.
+        for (src, depth) in [
+            ("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0", 60),
+            ("(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 1", 40),
+            ("score(sample - 1/2) + sample", 50),
+            ("if sample * sample <= 1/2 then 0 else (lam y. y) 1", 50),
+        ] {
+            let term = parse_term(src).unwrap();
+            let config = ExplorationConfig::default()
+                .with_max_steps_per_path(depth)
+                .with_max_paths(5_000);
+            let machine = explore(&term, &config);
+            let reference = explore_substitution(&term, &config);
+            assert_eq!(machine, reference, "disagreement on `{src}`");
+        }
+    }
+
+    #[test]
+    fn interruption_returns_sound_partial_results() {
+        let term =
+            parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+        let config = ExplorationConfig::default().with_max_steps_per_path(400);
+        // Interrupt after a couple of terminated paths' worth of work.
+        let mut budget = 6usize;
+        let (partial, err) = try_explore(&term, &config, &mut |_work| {
+            if budget == 0 {
+                Err("deadline")
+            } else {
+                budget -= 1;
+                Ok(())
+            }
+        });
+        assert_eq!(err, Some("deadline"));
+        assert!(partial.interrupted);
+        let full = explore(&term, &config);
+        assert!(!full.interrupted);
+        assert!(partial.terminated.len() < full.terminated.len());
+        // Every partial path is literally one of the full exploration's
+        // paths, so the partial probability mass is a monotone lower bound.
+        for path in &partial.terminated {
+            assert!(full.terminated.contains(path));
+        }
+        let partial_mass: Rational =
+            partial.terminated.iter().map(|p| p.probability(100)).sum();
+        let full_mass: Rational = full.terminated.iter().map(|p| p.probability(100)).sum();
+        assert!(partial_mass <= full_mass);
+        assert!(partial_mass > Rational::zero());
     }
 }

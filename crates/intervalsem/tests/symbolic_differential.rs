@@ -1,0 +1,197 @@
+//! Differential harness for symbolic exploration: the environment-machine
+//! explorer must agree *exactly* with the substitution-based reference
+//! stepper (`explore_substitution`) — same terminated paths in the same
+//! order, with identical branch oracles, path constraints, sample counts and
+//! step counts, and identical out-of-fuel/stuck tallies — across the whole
+//! benchmark catalogue and on randomly generated closed terms.
+//!
+//! This mirrors `crates/spcf/tests/machine_differential.rs`, which plays the
+//! same game for the concrete evaluator.
+
+use probterm_intervalsem::{explore, explore_substitution, ExplorationConfig};
+use probterm_numerics::Rational;
+use probterm_spcf::{catalog, Prim, Term};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_explorations_agree(name: &str, term: &Term, config: &ExplorationConfig) {
+    let machine = explore(term, config);
+    let reference = explore_substitution(term, config);
+    assert_eq!(
+        machine.terminated.len(),
+        reference.terminated.len(),
+        "{name}: terminated path count differs (machine {} vs reference {})",
+        machine.terminated.len(),
+        reference.terminated.len()
+    );
+    for (index, (m, r)) in machine
+        .terminated
+        .iter()
+        .zip(reference.terminated.iter())
+        .enumerate()
+    {
+        assert_eq!(m.branches, r.branches, "{name}: path {index} oracle differs");
+        assert_eq!(
+            m.constraints, r.constraints,
+            "{name}: path {index} constraints differ"
+        );
+        assert_eq!(
+            m.sample_count, r.sample_count,
+            "{name}: path {index} sample count differs"
+        );
+        assert_eq!(m.steps, r.steps, "{name}: path {index} step count differs");
+        assert_eq!(m.result, r.result, "{name}: path {index} result differs");
+    }
+    assert_eq!(machine, reference, "{name}: explorations differ");
+}
+
+#[test]
+fn whole_catalogue_agrees_at_several_depths() {
+    let mut all = catalog::table1_benchmarks();
+    all.extend(catalog::table2_benchmarks());
+    all.push(catalog::triangle_example());
+    for b in &all {
+        // Pedestrian explodes combinatorially with depth; keep it shallower.
+        let depths: &[usize] = if b.name == "pedestrian" { &[12, 25] } else { &[12, 35] };
+        for &depth in depths {
+            let config = ExplorationConfig::default()
+                .with_max_steps_per_path(depth)
+                .with_max_paths(4_000);
+            assert_explorations_agree(&format!("{} @ depth {depth}", b.name), &b.term, &config);
+        }
+    }
+}
+
+#[test]
+fn path_weights_agree_on_recursive_examples() {
+    // Paths being equal, their measured probabilities (the weights that feed
+    // the lower-bound engine) must be equal too — checked explicitly on the
+    // catalogue's recursive workhorses.
+    for (name, term, depth) in [
+        ("geometric", catalog::geometric(Rational::from_ratio(1, 2)).term, 60),
+        ("triangle", catalog::triangle_example().term, 30),
+        (
+            "printer_nonaffine",
+            catalog::printer_nonaffine(Rational::from_ratio(1, 2)).term,
+            30,
+        ),
+    ] {
+        let config = ExplorationConfig::default()
+            .with_max_steps_per_path(depth)
+            .with_max_paths(4_000);
+        let machine = explore(&term, &config);
+        let reference = explore_substitution(&term, &config);
+        let machine_mass: Rational = machine.terminated.iter().map(|p| p.probability(400)).sum();
+        let reference_mass: Rational =
+            reference.terminated.iter().map(|p| p.probability(400)).sum();
+        assert_eq!(machine_mass, reference_mass, "{name}: certified mass differs");
+        assert!(machine_mass > Rational::zero(), "{name}: no mass certified");
+    }
+}
+
+#[test]
+fn max_paths_cutoff_is_taken_at_the_same_point() {
+    // The breadth-first processing order must match, so the path-budget
+    // safety valve abandons exactly the same frontier.
+    let gr = catalog::golden_ratio().term;
+    let config = ExplorationConfig::default()
+        .with_max_steps_per_path(60)
+        .with_max_paths(25);
+    assert_explorations_agree("golden_ratio (tight path budget)", &gr, &config);
+    let cut = explore(&gr, &config);
+    assert!(cut.out_of_fuel > 0, "the tight budget must actually cut");
+}
+
+// ----------------------------------------------------------------- proptest
+
+/// Binder-name pool (shadowing on purpose, as in the spcf roundtrip tests).
+const POOL: [&str; 4] = ["x", "y", "phi", "acc"];
+
+/// Generates a random *closed* term with at most `depth` nested constructors
+/// (variables are only drawn from the enclosing scope).
+fn random_term(rng: &mut StdRng, depth: usize, scope: &mut Vec<String>) -> Term {
+    let choice = if depth == 0 { rng.gen_range(0usize..3) } else { rng.gen_range(0usize..9) };
+    match choice {
+        0 => Term::Num(random_ratio(rng)),
+        1 => Term::Sample,
+        2 => {
+            if scope.is_empty() {
+                Term::Num(random_ratio(rng))
+            } else {
+                let index = rng.gen_range(0usize..scope.len());
+                Term::var(&scope[index])
+            }
+        }
+        3 => {
+            let name = POOL[rng.gen_range(0usize..POOL.len())];
+            scope.push(name.to_string());
+            let body = random_term(rng, depth - 1, scope);
+            scope.pop();
+            Term::lam(name, body)
+        }
+        4 => {
+            let f = POOL[rng.gen_range(0usize..POOL.len())];
+            let x = POOL[rng.gen_range(0usize..POOL.len())];
+            scope.push(f.to_string());
+            scope.push(x.to_string());
+            let body = random_term(rng, depth - 1, scope);
+            scope.pop();
+            scope.pop();
+            Term::fix(f, x, body)
+        }
+        5 => Term::app(
+            random_term(rng, depth - 1, scope),
+            random_term(rng, depth - 1, scope),
+        ),
+        6 => Term::ite(
+            random_term(rng, depth - 1, scope),
+            random_term(rng, depth - 1, scope),
+            random_term(rng, depth - 1, scope),
+        ),
+        7 => Term::score(random_term(rng, depth - 1, scope)),
+        _ => {
+            let prims = [
+                Prim::Add,
+                Prim::Sub,
+                Prim::Mul,
+                Prim::Neg,
+                Prim::Abs,
+                Prim::Min,
+                Prim::Max,
+                Prim::Exp,
+                Prim::Log,
+                Prim::Sig,
+                Prim::Floor,
+            ];
+            let prim = prims[rng.gen_range(0usize..prims.len())];
+            let args = (0..prim.arity())
+                .map(|_| random_term(rng, depth - 1, scope))
+                .collect();
+            Term::Prim(prim, args)
+        }
+    }
+}
+
+fn random_ratio(rng: &mut StdRng) -> Rational {
+    Rational::from_ratio(rng.gen_range(-20i64..21), rng.gen_range(1i64..8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Machine and substitution explorations agree on random closed terms,
+    /// including stuck shapes, duplicated thunks and nested fixpoints.
+    #[test]
+    fn random_closed_terms_explore_identically(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = 2 + (seed % 4) as usize;
+        let term = random_term(&mut rng, depth, &mut Vec::new());
+        let config = ExplorationConfig::default()
+            .with_max_steps_per_path(40)
+            .with_max_paths(1_500);
+        let machine = explore(&term, &config);
+        let reference = explore_substitution(&term, &config);
+        prop_assert_eq!(machine, reference, "seed {} on `{}`", seed, term);
+    }
+}

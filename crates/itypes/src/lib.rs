@@ -29,7 +29,7 @@ pub use nii::{
     UsageCount,
 };
 
-use probterm_intervalsem::{run_interval, IOutcome, ITerm, IntervalTrace};
+use probterm_intervalsem::{run_interval, IOutcome, IntervalTrace};
 use probterm_numerics::{Interval, Rational};
 use probterm_spcf::Term;
 use std::fmt;
@@ -235,7 +235,6 @@ pub fn refine_strongly_compatible(traces: &[IntervalTrace]) -> Vec<IntervalTrace
 /// two traces overlap with positive measure (which would make the weight sum
 /// unsound).
 pub fn derive_set_type(term: &Term, traces: &[IntervalTrace]) -> Result<SetTypeJudgement, DeriveError> {
-    let iterm = ITerm::embed(term);
     let refined = refine_strongly_compatible(traces);
     // Reject families that still overlap (identical refined traces are merged).
     let mut unique: Vec<IntervalTrace> = Vec::new();
@@ -253,7 +252,7 @@ pub fn derive_set_type(term: &Term, traces: &[IntervalTrace]) -> Result<SetTypeJ
     }
     let mut elements = Vec::new();
     for trace in unique {
-        match run_interval(&iterm, &trace, 1_000_000) {
+        match run_interval(term, &trace, 1_000_000) {
             IOutcome::Terminated { value, steps } => {
                 let ty = match value.as_num() {
                     Some(iv) => ElementType::Interval(iv.clone()),
@@ -279,17 +278,15 @@ pub fn derive_from_exploration(term: &Term, depth: usize) -> SetTypeJudgement {
     use std::collections::VecDeque;
     let exploration = explore(
         term,
-        &ExplorationConfig {
-            max_steps_per_path: depth,
-            max_paths: 50_000,
-        },
+        &ExplorationConfig::default()
+            .with_max_steps_per_path(depth)
+            .with_max_paths(50_000),
     );
     // Turn each symbolic path into interval traces: bisect the unit box
     // breadth-first against the path constraints and keep every sub-box on
     // which all constraints certainly hold (boundary slivers stay undecided
     // and are simply dropped, keeping the weight a sound lower bound).
     let mut traces: Vec<IntervalTrace> = Vec::new();
-    let iterm = ITerm::embed(term);
     for path in &exploration.terminated {
         let mut queue: VecDeque<probterm_numerics::IntervalBox> =
             VecDeque::from([probterm_numerics::IntervalBox::unit(path.sample_count)]);
@@ -316,7 +313,7 @@ pub fn derive_from_exploration(term: &Term, depth: usize) -> SetTypeJudgement {
             }
             if all {
                 let trace = IntervalTrace::new(cube.intervals().to_vec());
-                if run_interval(&iterm, &trace, 1_000_000).is_terminated() {
+                if run_interval(term, &trace, 1_000_000).is_terminated() {
                     traces.push(trace);
                 }
                 continue;

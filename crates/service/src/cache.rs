@@ -90,6 +90,19 @@ impl ResultCache {
         self.map.insert(key, Entry { value, tick: self.tick });
     }
 
+    /// Looks a result up *without* touching recency or the hit/miss
+    /// counters — for policy decisions (serve vs. recompute, overwrite vs.
+    /// keep) that happen before the cache's answer is actually used.
+    pub fn peek(&self, key: &CacheKey) -> Option<&Value> {
+        self.map.get(key).map(|entry| &entry.value)
+    }
+
+    /// Records a lookup that found an entry but declined to serve it (the
+    /// caller recomputes, so for the hit/miss counters it is a miss).
+    pub fn record_declined(&mut self) {
+        self.misses += 1;
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -167,6 +180,24 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&key(2, "")), Some(payload(22)));
         assert!(cache.get(&key(1, "")).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_disturb_counters_or_recency() {
+        let mut cache = ResultCache::new(2);
+        cache.put(key(1, ""), payload(1));
+        cache.put(key(2, ""), payload(2));
+        assert_eq!(cache.peek(&key(1, "")), Some(&payload(1)));
+        assert_eq!(cache.peek(&key(3, "")), None);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        // A declined serve counts as a miss.
+        cache.record_declined();
+        assert_eq!(cache.misses(), 1);
+        // `peek` must not refresh recency: 1 is still the LRU entry.
+        cache.put(key(3, ""), payload(3));
+        assert!(cache.peek(&key(1, "")).is_none());
+        assert!(cache.peek(&key(2, "")).is_some());
     }
 
     #[test]

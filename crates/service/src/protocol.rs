@@ -11,9 +11,14 @@
 //! ```
 //!
 //! Error replies are structured: `code` is machine-readable (see
-//! [`ErrorCode`]), `message` is human-readable. A request that runs past its
-//! `deadline_ms` budget yields `budget_exceeded` — the worker that served it
-//! survives and picks up the next request.
+//! [`ErrorCode`]), `message` is human-readable. A `simulate` or `verify`
+//! request that runs past its `deadline_ms` budget yields `budget_exceeded`
+//! — the worker that served it survives and picks up the next request.
+//! `lower` and `analyze` requests are *anytime*: an expired deadline cancels
+//! the engine mid-exploration and the reply is still `ok`, carrying the
+//! sound partial lower bound computed so far with `"complete": false` in the
+//! result. Partial results are cached like complete ones; a retry with a
+//! meaningfully richer (or no) deadline recomputes and upgrades the entry.
 
 use probterm_core::spcf::Strategy;
 use serde::Value;

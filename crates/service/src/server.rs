@@ -10,21 +10,32 @@
 //! are served without re-running an engine.
 //!
 //! Deadlines: `deadline_ms` is enforced cooperatively — between Monte-Carlo
-//! chunks for `simulate`, and before/after the (internally budgeted) symbolic
-//! engines for `lower`/`verify`/`analyze`. A request that exceeds its budget
-//! gets a structured `budget_exceeded` error; the worker survives and picks
-//! up the next job. An engine run that *completed* before the final check is
-//! cached anyway, so an identical (or α-equivalent) retry is an instant hit
-//! rather than another doomed recomputation.
+//! chunks for `simulate`, and *inside* the symbolic engines for
+//! `lower`/`verify`/`analyze` (the shared environment machine pauses at every
+//! redex, so the exploration loops poll the deadline mid-run). A `simulate`
+//! or `verify` request that exceeds its budget gets a structured
+//! `budget_exceeded` error; the worker survives and picks up the next job.
+//! A `lower` (or `analyze`) request instead returns the **sound partial
+//! lower bound** accumulated when the deadline struck, marked
+//! `"complete": false` — by Theorem 3.4 every terminated symbolic path
+//! certifies its mass independently, so a truncated exploration only loses
+//! bound mass. Partial results are cached under the same
+//! `(canonical_key, analysis, config)` key: a retry whose budget is
+//! comparable to the engine time the entry burned is an instant hit on the
+//! partial bound, while a meaningfully richer (or unbounded) retry
+//! recomputes and upgrades the entry — partials never downgrade a complete
+//! entry or a deeper partial.
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::{
     error_reply, ok_reply, parse_request, ErrorCode, Op, Request, ServiceError,
 };
+use probterm_core::astver::{try_verify_ast, VerifyError};
+use probterm_core::intervalsem::{try_lower_bound, LowerBoundConfig, LowerBoundResult};
 use probterm_core::spcf::{
     catalog, parse_term, try_estimate_termination, MonteCarloConfig, Strategy, Term,
 };
-use probterm_core::{analyze_ast, analyze_lower_bound, try_analyze, AnalysisConfig};
+use probterm_core::{try_analyze_budgeted, AnalysisConfig};
 use serde::Value;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -149,21 +160,47 @@ impl Deadline {
         self.limit.is_some_and(|limit| self.started.elapsed() > limit)
     }
 
+    fn budget_error(&self, phase: &str) -> ServiceError {
+        ServiceError::new(
+            ErrorCode::BudgetExceeded,
+            format!(
+                "deadline of {} ms exceeded {phase} ({} ms elapsed)",
+                self.limit.map(|l| l.as_millis()).unwrap_or(0),
+                self.started.elapsed().as_millis()
+            ),
+        )
+    }
+
     fn check(&self, phase: &str) -> Result<(), ServiceError> {
         if self.exceeded() {
-            Err(ServiceError::new(
-                ErrorCode::BudgetExceeded,
-                format!(
-                    "deadline of {} ms exceeded {phase} ({} ms elapsed)",
-                    self.limit.map(|l| l.as_millis()).unwrap_or(0),
-                    self.started.elapsed().as_millis()
-                ),
-            ))
+            Err(self.budget_error(phase))
         } else {
             Ok(())
         }
     }
 }
+
+/// `true` when a cached/computed payload is a deadline-truncated partial
+/// result (`"complete": false`) rather than a finished analysis.
+fn payload_is_partial(payload: &Value) -> bool {
+    payload.get("complete").and_then(Value::as_bool) == Some(false)
+}
+
+/// Engine time a payload records having burned — the yardstick for whether a
+/// cached partial result is worth serving to a given budget.
+fn payload_engine_ms(payload: &Value) -> u128 {
+    payload
+        .get("engine_ms")
+        .and_then(Value::as_u64)
+        .map(u128::from)
+        .unwrap_or(0)
+}
+
+/// A cached partial is served to a deadline-bounded retry only when the
+/// retry's budget is within this factor of the engine time the entry already
+/// burned — a meaningfully richer budget recomputes (and upgrades the entry)
+/// instead of being handed a bound it had ample time to improve.
+const PARTIAL_SERVE_BUDGET_FACTOR: u128 = 2;
 
 // ------------------------------------------------------------------ dispatch
 
@@ -274,8 +311,43 @@ fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
             _ => unreachable!("engine_op is only called for engine ops"),
         },
     };
-    if let Some(cached) = state.cache.lock().expect("cache lock").get(&cache_key) {
-        return Ok((cached, Some("hit")));
+    // Complete entries are always served. Partial (deadline-truncated)
+    // entries are served only to retries whose budget is comparable to what
+    // the entry already burned — the caller gets the monotone bound computed
+    // so far instantly. A meaningfully richer (or unbounded) budget
+    // recomputes and upgrades the entry; that bypass is counted as a miss,
+    // since nothing was served from the cache.
+    {
+        enum Lookup {
+            Absent,
+            Serve,
+            Decline,
+        }
+        let mut cache = state.cache.lock().expect("cache lock");
+        let decision = match cache.peek(&cache_key) {
+            None => Lookup::Absent,
+            Some(cached) if !payload_is_partial(cached) => Lookup::Serve,
+            Some(cached) => match request.deadline_ms {
+                Some(budget)
+                    if u128::from(budget)
+                        <= PARTIAL_SERVE_BUDGET_FACTOR * payload_engine_ms(cached).max(1) =>
+                {
+                    Lookup::Serve
+                }
+                _ => Lookup::Decline,
+            },
+        };
+        match decision {
+            Lookup::Serve => {
+                let cached = cache.get(&cache_key).expect("peeked entry is present");
+                return Ok((cached, Some("hit")));
+            }
+            // Register the miss through the normal lookup path.
+            Lookup::Absent => {
+                let _ = cache.get(&cache_key);
+            }
+            Lookup::Decline => cache.record_declined(),
+        }
     }
 
     let deadline = Deadline::new(request.deadline_ms);
@@ -300,13 +372,27 @@ fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
         .and_then(|r| r)?;
     // Cache before the final deadline check: a result that finished late is
     // still a result, and caching it makes an identical retry an instant hit
-    // instead of a doomed recomputation.
-    state
-        .cache
-        .lock()
-        .expect("cache lock")
-        .put(cache_key, payload.clone());
-    deadline.check("after the engine completed")?;
+    // instead of a doomed recomputation. The re-check happens under the lock
+    // at write time: a partial result must never *downgrade* an entry —
+    // concurrently, another worker may have stored the complete answer, or a
+    // partial that burned more engine time, since our lookup above.
+    let partial = payload_is_partial(&payload);
+    {
+        let mut cache = state.cache.lock().expect("cache lock");
+        let keep_existing = partial
+            && cache.peek(&cache_key).is_some_and(|existing| {
+                !payload_is_partial(existing)
+                    || payload_engine_ms(existing) >= payload_engine_ms(&payload)
+            });
+        if !keep_existing {
+            cache.put(cache_key, payload.clone());
+        }
+    }
+    // Partial payloads *are* the deadline-truncated answer — they must not be
+    // demoted to a bare `budget_exceeded` by the final check.
+    if !partial {
+        deadline.check("after the engine completed")?;
+    }
     Ok((payload, Some("miss")))
 }
 
@@ -355,10 +441,21 @@ fn simulate_payload(
     ]))
 }
 
+/// Interruptible lower-bound computation: the deadline is polled *inside*
+/// the symbolic exploration (the environment machine pauses at every redex),
+/// so an expired budget yields the sound partial bound accumulated so far,
+/// marked `"complete": false`, instead of a bare `budget_exceeded`.
 fn lower_payload(term: &Term, depth: usize, deadline: &Deadline) -> Result<Value, ServiceError> {
     deadline.check("before the lower-bound engine started")?;
-    let result = analyze_lower_bound(term, depth);
-    Ok(Value::Object(vec![
+    let config = LowerBoundConfig::default().with_depth(depth);
+    let mut check =
+        |_work: usize| deadline.check("during symbolic exploration");
+    let (result, _interruption) = try_lower_bound(term, &config, &mut check);
+    Ok(lower_result_value(&result, depth))
+}
+
+fn lower_result_value(result: &LowerBoundResult, depth: usize) -> Value {
+    Value::Object(vec![
         ("probability".into(), Value::Str(result.probability.to_decimal_string(10))),
         ("probability_f64".into(), Value::Num(result.probability.to_f64())),
         ("expected_steps_lb".into(), Value::Num(result.expected_steps.to_f64())),
@@ -366,14 +463,23 @@ fn lower_payload(term: &Term, depth: usize, deadline: &Deadline) -> Result<Value
         ("unexplored_paths".into(), Value::UInt(result.unexplored_paths as u128)),
         ("stuck_paths".into(), Value::UInt(result.stuck_paths as u128)),
         ("depth".into(), Value::UInt(depth as u128)),
+        ("complete".into(), Value::Bool(!result.interrupted)),
         ("engine_ms".into(), Value::UInt(result.elapsed.as_millis())),
-    ]))
+    ])
 }
 
+/// Interruptible AST verification: the deadline is polled inside tree
+/// construction and between Environment strategies. Verification has no
+/// sound partial answer (a truncated strategy enumeration proves nothing),
+/// so an expired budget is still a structured `budget_exceeded` — but it now
+/// fires *mid-engine* instead of only before/after it.
 fn verify_payload(term: &Term, deadline: &Deadline) -> Result<Value, ServiceError> {
     deadline.check("before the AST verifier started")?;
-    let v = analyze_ast(term)
-        .map_err(|e| ServiceError::new(ErrorCode::NotApplicable, e.to_string()))?;
+    let mut check = || if deadline.exceeded() { Err(()) } else { Ok(()) };
+    let v = try_verify_ast(term, &mut check).map_err(|e| match e {
+        VerifyError::Interrupted => deadline.budget_error("inside the AST verifier"),
+        other => ServiceError::new(ErrorCode::NotApplicable, other.to_string()),
+    })?;
     Ok(Value::Object(vec![
         ("verified".into(), Value::Bool(v.verified_ast)),
         ("papprox".into(), Value::Str(v.papprox.to_string())),
@@ -386,6 +492,13 @@ fn verify_payload(term: &Term, deadline: &Deadline) -> Result<Value, ServiceErro
     ]))
 }
 
+/// The combined report. The pipeline itself lives in
+/// [`probterm_core::try_analyze_budgeted`] (shared with the CLI's `analyze`);
+/// the service merely threads the deadline in as the budget check and
+/// serializes the result. When the deadline strikes, the lower bound
+/// degrades to its sound partial value and the remaining stages (AST
+/// verification, Monte-Carlo cross-check) are skipped with an explanation,
+/// all under `"complete": false`.
 fn analyze_payload(
     term: &Term,
     depth: usize,
@@ -395,16 +508,19 @@ fn analyze_payload(
     deadline: &Deadline,
 ) -> Result<Value, ServiceError> {
     deadline.check("before the combined analysis started")?;
-    let report = try_analyze(
-        term,
-        &AnalysisConfig {
-            lower_bound_depth: depth,
-            monte_carlo_runs: runs,
-            monte_carlo_steps: steps,
-            seed,
-        },
-    )
-    .map_err(|e| ServiceError::new(ErrorCode::NotApplicable, e.to_string()))?;
+    let engine_started = Instant::now();
+    let config = AnalysisConfig {
+        lower_bound_depth: depth,
+        monte_carlo_runs: runs,
+        monte_carlo_steps: steps,
+        seed,
+    };
+    let mut check = || if deadline.exceeded() { Err(()) } else { Ok(()) };
+    let analysis = try_analyze_budgeted(term, &config, &mut check)
+        .map_err(|e| ServiceError::new(ErrorCode::NotApplicable, e.to_string()))?;
+    let engine_ms = engine_started.elapsed().as_millis();
+    let report = &analysis.report;
+
     let monte_carlo = match &report.monte_carlo {
         None => Value::Null,
         Some(mc) => Value::Object(vec![
@@ -424,7 +540,10 @@ fn analyze_payload(
                     "probability".into(),
                     Value::Str(report.lower_bound.probability.to_decimal_string(10)),
                 ),
-                ("probability_f64".into(), Value::Num(report.lower_bound.probability.to_f64())),
+                (
+                    "probability_f64".into(),
+                    Value::Num(report.lower_bound.probability.to_f64()),
+                ),
                 ("paths".into(), Value::UInt(report.lower_bound.paths as u128)),
                 ("depth".into(), Value::UInt(depth as u128)),
             ]),
@@ -451,6 +570,8 @@ fn analyze_payload(
             },
         ),
         ("monte_carlo".into(), monte_carlo),
+        ("complete".into(), Value::Bool(analysis.complete)),
+        ("engine_ms".into(), Value::UInt(engine_ms)),
     ]))
 }
 
@@ -827,6 +948,120 @@ mod tests {
         let next = s.handle_line(r#"{"op":"stats"}"#).unwrap();
         let stats = result_of(&next);
         assert_eq!(stats.get("inflight").and_then(Value::as_u64), Some(0));
+    }
+
+    #[test]
+    fn deadline_bounded_lower_returns_a_partial_sound_bound() {
+        let s = server();
+        // gr explores an exponential branching tree: depth 400 cannot finish
+        // within the deadline, but the first terminating paths are found in
+        // microseconds, so the partial bound is nonzero.
+        let gr = "(fix phi x. if sample <= 1/2 then x else phi (phi (phi x))) 0";
+        let request = format!(
+            r#"{{"id":1,"op":"lower","program":"{gr}","depth":400,"deadline_ms":120}}"#
+        );
+        let reply = s.handle_line(&request).unwrap();
+        let result = result_of(&reply);
+        assert_eq!(
+            result.get("complete").and_then(Value::as_bool),
+            Some(false),
+            "a deadline-cut lower request must be marked incomplete: {reply}"
+        );
+        let p = result.get("probability_f64").and_then(Value::as_f64).unwrap();
+        assert!(p > 0.0, "partial bound must be nonzero, got {p}");
+        assert!(p < 1.0, "partial bound must be sound, got {p}");
+        assert!(result.get("paths").and_then(Value::as_u64).unwrap() >= 1);
+        // A deadline-bounded retry is an instant hit on the partial entry.
+        let retry = s.handle_line(&request).unwrap();
+        let v = serde_json::from_str(&retry).unwrap();
+        assert_eq!(v.get("cache").and_then(Value::as_str), Some("hit"));
+    }
+
+    #[test]
+    fn partial_cache_entries_upgrade_on_richer_retries() {
+        use crate::cache::CacheKey;
+        let s = server();
+        let geo = "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0";
+        let key = CacheKey {
+            term: parse_term(geo).unwrap().canonical_key(),
+            analysis: "lower",
+            config: "depth=30".into(),
+        };
+        // Seed the cache with a (synthetic) partial entry that burned 500 ms.
+        let partial = Value::Object(vec![
+            ("probability_f64".into(), Value::Num(0.25)),
+            ("complete".into(), Value::Bool(false)),
+            ("engine_ms".into(), Value::UInt(500)),
+        ]);
+        s.state().cache.lock().unwrap().put(key.clone(), partial.clone());
+        // A retry whose budget is comparable to what the entry burned is
+        // served the partial as an instant hit.
+        let bounded = s
+            .handle_line(&format!(
+                r#"{{"op":"lower","program":"{geo}","depth":30,"deadline_ms":800}}"#
+            ))
+            .unwrap();
+        let v = serde_json::from_str(&bounded).unwrap();
+        assert_eq!(v.get("cache").and_then(Value::as_str), Some("hit"));
+        assert_eq!(v.get("result"), Some(&partial));
+        // A *much* richer budget declines the stale partial, recomputes, and
+        // upgrades the entry (counted as a miss: nothing was served).
+        let richer = s
+            .handle_line(&format!(
+                r#"{{"op":"lower","program":"{geo}","depth":30,"deadline_ms":60000}}"#
+            ))
+            .unwrap();
+        let v = serde_json::from_str(&richer).unwrap();
+        assert_eq!(v.get("cache").and_then(Value::as_str), Some("miss"));
+        let result = v.get("result").unwrap();
+        assert_eq!(result.get("complete").and_then(Value::as_bool), Some(true));
+        assert!(result.get("probability_f64").and_then(Value::as_f64).unwrap() > 0.9);
+        // The upgraded entry now serves every retry, bounded or not.
+        {
+            let cache = s.state().cache.lock().unwrap();
+            let upgraded = cache.peek(&key).unwrap();
+            assert_eq!(upgraded.get("complete").and_then(Value::as_bool), Some(true));
+        }
+        let unbounded = s
+            .handle_line(&format!(r#"{{"op":"lower","program":"{geo}","depth":30}}"#))
+            .unwrap();
+        let v = serde_json::from_str(&unbounded).unwrap();
+        assert_eq!(v.get("cache").and_then(Value::as_str), Some("hit"));
+        // Counters: seeded-partial decline + recompute = 1 declined miss,
+        // then 2 served hits (the bounded partial hit and the final hit).
+        let stats = s.state().stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn deadline_cancels_inside_the_ast_verifier() {
+        let s = server();
+        // A deadline that has already passed when the verifier starts polling
+        // must produce budget_exceeded (there is no sound partial proof), and
+        // the error message must point inside the engine.
+        let reply = s
+            .handle_line(
+                r#"{"op":"verify","program":"(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 1","deadline_ms":0}"#,
+            )
+            .unwrap();
+        assert_eq!(error_code_of(&reply), "budget_exceeded");
+    }
+
+    #[test]
+    fn analyze_reports_partial_results_under_deadline() {
+        let s = server();
+        let gr = "(fix phi x. if sample <= 1/2 then x else phi (phi (phi x))) 0";
+        let reply = s
+            .handle_line(&format!(
+                r#"{{"op":"analyze","program":"{gr}","depth":400,"deadline_ms":120}}"#
+            ))
+            .unwrap();
+        let result = result_of(&reply);
+        assert_eq!(result.get("complete").and_then(Value::as_bool), Some(false));
+        let lower = result.get("lower").unwrap();
+        assert!(lower.get("probability_f64").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(result.get("ast_skipped").and_then(Value::as_str).is_some());
     }
 
     #[test]

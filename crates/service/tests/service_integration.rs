@@ -218,6 +218,53 @@ fn deadline_exceeded_requests_do_not_kill_workers() {
     running.join().expect("clean shutdown");
 }
 
+/// (d) A deadline-bounded `lower` request whose exploration cannot finish
+/// returns an `ok` reply carrying the sound partial bound (marked
+/// `"complete": false`) instead of a bare `budget_exceeded`, the partial
+/// entry is served to bounded retries from the cache, and the worker keeps
+/// serving.
+#[test]
+fn deadline_bounded_lower_returns_partial_bounds_over_tcp() {
+    let server = Server::new(ServerConfig { workers: 1, ..Default::default() });
+    let running = server.spawn_tcp("127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(running.addr);
+
+    // gr explores an exponentially branching tree: depth 400 cannot complete
+    // within the deadline, but its earliest terminating paths are found in
+    // microseconds.
+    let gr = "(fix phi x. if sample <= 1/2 then x else phi (phi (phi x))) 0";
+    let request = format!(
+        r#"{{"id":"partial","op":"lower","program":"{gr}","depth":400,"deadline_ms":150}}"#
+    );
+    let reply = client.request(&request);
+    let result = result_of(&reply);
+    assert_eq!(
+        result.get("complete").and_then(Value::as_bool),
+        Some(false),
+        "expected a partial reply, got {reply:?}"
+    );
+    let partial = result.get("probability_f64").and_then(Value::as_f64).unwrap();
+    assert!(partial > 0.0, "partial bound must be nonzero");
+    assert!(partial < 1.0, "partial bound must be sound");
+
+    // A bounded retry is an instant cache hit on the partial bound.
+    let retry = client.request(&request);
+    assert_eq!(retry.get("cache").and_then(Value::as_str), Some("hit"));
+    assert_eq!(result_of(&retry), result);
+
+    // The worker survived and still serves complete results.
+    let reply = client.request(&format!(
+        r#"{{"id":"full","op":"lower","program":"{GEO}","depth":40}}"#
+    ));
+    let full = result_of(&reply);
+    assert_eq!(full.get("complete").and_then(Value::as_bool), Some(true));
+    assert!(full.get("probability_f64").and_then(Value::as_f64).unwrap() > 0.9);
+
+    client.request(r#"{"op":"shutdown"}"#);
+    drop(client);
+    running.join().expect("clean shutdown");
+}
+
 /// Malformed lines get structured replies and never wedge the connection.
 #[test]
 fn malformed_traffic_gets_structured_errors() {

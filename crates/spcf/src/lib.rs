@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod absmachine;
 mod ast;
 mod canon;
 pub mod catalog;

@@ -11,10 +11,15 @@
 //! with the standard environment/closure technique (a CEK-style machine):
 //! configurations carry a *control* (a pointer into the original term plus an
 //! environment), an *environment* (a persistent cons-list of bindings shared
-//! via [`Rc`]), and a *continuation* (a stack of evaluation-context frames).
+//! via `Rc`), and a *continuation* (a stack of evaluation-context frames).
 //! No term is ever cloned or rebuilt on the hot path, so each transition is
 //! O(1) amortized (variable lookup walks the lexical environment, whose depth
 //! is bounded by the binder nesting of the source program, not by the run).
+//!
+//! The machine core itself lives in [`crate::absmachine`], generic over the
+//! literal domain, and is shared with the symbolic-exploration, interval and
+//! AST-verification engines; this module instantiates it at concrete
+//! [`Rational`] samples and drives it against a [`Sampler`].
 //!
 //! # Correspondence with the paper's configurations `⟨M, s⟩`
 //!
@@ -24,7 +29,7 @@
 //!
 //! * the term `M` is recovered by *readback*: substitute the environment `E`
 //!   into the control `C` (innermost bindings first) and plug the result into
-//!   the continuation frames `K` from top to bottom — see [`Machine::residualize`];
+//!   the continuation frames `K` from top to bottom;
 //! * the trace `s` is exactly the unconsumed suffix of the sampler.
 //!
 //! Readback is invariant under the machine's administrative moves and is only
@@ -68,128 +73,105 @@
 //! * **CbV** (Fig. 8): the argument is evaluated to a value first, and
 //!   environments bind values.
 
-use crate::ast::{Ident, Prim, Term};
+use crate::absmachine::{DomainSpec, Event, Machine, Stuck, Value};
+use crate::ast::{Ident, Term};
 use crate::eval::{Outcome, Run, StuckReason, Strategy};
 use crate::trace::Sampler;
 use probterm_numerics::Rational;
-use std::rc::Rc;
 
-/// A machine value: a numeral, a function closure, or (call-by-value only) a
-/// free variable that flowed into value position of an *open* term.
-#[derive(Clone)]
-enum Value<'a> {
-    Num(Rational),
-    /// `fun` is a `Term::Lam` or `Term::Fix` node of the source program.
-    Closure { fun: &'a Term, env: Env<'a> },
-    /// Free variables are values of the paper's grammar; CbV must carry them
-    /// through argument position without failing eagerly (the reference
-    /// semantics only gets stuck when the variable is *used*).
-    Free(Ident),
+fn clone_rational(r: &Rational) -> Rational {
+    r.clone()
 }
 
-/// A persistent environment: a cons-list shared through `Rc`, so extending
-/// costs O(1) and closures alias their defining environment.
-type Env<'a> = Option<Rc<EnvNode<'a>>>;
-
-struct EnvNode<'a> {
-    name: Ident,
-    binding: Binding<'a>,
-    next: Env<'a>,
+fn clone_ident(x: &Ident) -> Ident {
+    x.clone()
 }
 
-impl Drop for EnvNode<'_> {
-    /// Environment chains grow linearly with the recursion depth of a run,
-    /// and they nest not only through `next` but also through *bindings*:
-    /// each recursive unfolding stores the previous environment inside the
-    /// `φ` closure, so e.g. `(fix phi x. phi x) 0` builds a chain that is
-    /// deep through `Binding::Val(Closure)` links. The default recursive
-    /// drop glue (and a `next`-only unlink) would overflow the stack tearing
-    /// down a long truncated run, so unlink with an explicit worklist that
-    /// harvests every environment handle a node owns.
-    fn drop(&mut self) {
-        fn harvest<'a>(binding: &mut Binding<'a>, work: &mut Vec<Rc<EnvNode<'a>>>) {
-            let env = match binding {
-                Binding::Thunk { env, .. } => env.take(),
-                Binding::Val(Value::Closure { env, .. }) => env.take(),
-                Binding::Val(_) => None,
-            };
-            work.extend(env);
-        }
-        let mut work: Vec<Rc<EnvNode<'_>>> = Vec::new();
-        harvest(&mut self.binding, &mut work);
-        work.extend(self.next.take());
-        while let Some(handle) = work.pop() {
-            // Sole owner: strip the node's env handles onto the worklist;
-            // its own drop then has nothing left to recurse into. A shared
-            // handle is kept alive by someone else — leave it alone.
-            if let Ok(mut node) = Rc::try_unwrap(handle) {
-                harvest(&mut node.binding, &mut work);
-                work.extend(node.next.take());
+fn term_of_rational(r: &Rational) -> Term {
+    Term::Num(r.clone())
+}
+
+fn term_of_free(x: &Ident) -> Term {
+    Term::Var(x.clone())
+}
+
+fn spec(strategy: Strategy) -> DomainSpec<Rational, Ident> {
+    DomainSpec {
+        strategy,
+        lit_of_num: clone_rational,
+        // Free variables are values of the paper's grammar; CbV must carry
+        // them through argument position without failing eagerly (the
+        // reference semantics only gets stuck when the variable is *used*).
+        atom_of_free: Some(clone_ident),
+        opaque_fix: false,
+        // The reference `run` checks fuel *before* every step, so a term that
+        // needs exactly `max_steps` steps reports OutOfFuel even if the final
+        // state is a value.
+        value_first: false,
+    }
+}
+
+/// Mirrors `eval::stuck_value`: free variables take precedence as the
+/// reported stuck reason.
+fn stuck_reason(stuck: Stuck<'_, Rational, Ident>) -> StuckReason {
+    match stuck {
+        Stuck::FreeVariable(x) => StuckReason::FreeVariable(x.to_string()),
+        Stuck::NotANumeral(Value::Atom(x)) => StuckReason::FreeVariable(x.to_string()),
+        Stuck::NotANumeral(_) => StuckReason::NotANumeral,
+        Stuck::NotAFunction(_) => StuckReason::NotAFunction,
+    }
+}
+
+/// How a drive ended; terms are only materialised by the caller if wanted.
+enum End<'a> {
+    Value(Value<'a, Rational, Ident>),
+    Stuck(StuckReason),
+    Fuel,
+}
+
+/// Drives the concrete machine against `sampler`, resolving every effectful
+/// redex with the paper's concrete rules. Returns the end state and the
+/// number of samples consumed.
+fn drive<'a>(
+    machine: &mut Machine<'a, Rational, Ident>,
+    sampler: &mut dyn Sampler,
+) -> (End<'a>, usize) {
+    let mut samples = 0usize;
+    let end = loop {
+        match machine.next_event() {
+            // A lone free variable is stuck, not a result (the reference
+            // `run` refuses to treat open terms as terminated).
+            Event::Done(Value::Atom(x)) => {
+                break End::Stuck(StuckReason::FreeVariable(x.to_string()));
             }
+            Event::Done(value) => break End::Value(value),
+            Event::OutOfFuel => break End::Fuel,
+            Event::Stuck(stuck) => break End::Stuck(stuck_reason(stuck)),
+            Event::Sample => match sampler.next_sample() {
+                Some(r) => {
+                    samples += 1;
+                    machine.resume_lit(r);
+                }
+                None => break End::Stuck(StuckReason::TraceExhausted),
+            },
+            Event::PrimReady(prim, args) => match prim.eval(&args) {
+                Some(r) => machine.resume_lit(r),
+                // A domain error is stuck *without* reducing, so it does not
+                // count as a step (like the reference).
+                None => break End::Stuck(StuckReason::PrimDomain(prim)),
+            },
+            Event::BranchReady(r) => machine.resume_branch(!r.is_positive()),
+            Event::ScoreReady(r) => {
+                if r.is_negative() {
+                    break End::Stuck(StuckReason::NegativeScore(r));
+                }
+                machine.resume_lit(r);
+            }
+            Event::AtomApplied(x) => break End::Stuck(StuckReason::FreeVariable(x.to_string())),
+            Event::FixEncountered(_) => unreachable!("opaque_fix is off for the concrete machine"),
         }
-    }
-}
-
-#[derive(Clone)]
-enum Binding<'a> {
-    /// Call-by-name suspension: un-memoised term + captured environment.
-    Thunk { term: &'a Term, env: Env<'a> },
-    /// An evaluated value (call-by-value arguments, and `φ` under both
-    /// strategies, which is always bound to the recursive closure itself).
-    Val(Value<'a>),
-}
-
-fn bind<'a>(env: &Env<'a>, name: &Ident, binding: Binding<'a>) -> Env<'a> {
-    Some(Rc::new(EnvNode {
-        name: name.clone(),
-        binding,
-        next: env.clone(),
-    }))
-}
-
-fn lookup<'a>(env: &Env<'a>, name: &Ident) -> Option<Binding<'a>> {
-    let mut current = env;
-    while let Some(node) = current {
-        if node.name == *name {
-            return Some(node.binding.clone());
-        }
-        current = &node.next;
-    }
-    None
-}
-
-/// One frame of the continuation (the paper's evaluation context `E`, split
-/// into its layers).
-enum Frame<'a> {
-    /// `[·] N` — the argument is pending; under CbN it will be thunked, under
-    /// CbV it is evaluated next.
-    AppArg { arg: &'a Term, env: Env<'a> },
-    /// `V [·]` — call-by-value only: the function is evaluated, the hole is
-    /// the argument.
-    AppFun { fun: Value<'a> },
-    /// `if([·], N, P)`.
-    If { then: &'a Term, els: &'a Term, env: Env<'a> },
-    /// `score([·])`.
-    Score,
-    /// `f(r₁, …, [·], M, …)` — evaluated prefix in `done`, the hole is
-    /// `args[done.len()]`, the suffix is still un-focused.
-    Prim { prim: Prim, args: &'a [Term], done: Vec<Rational>, env: Env<'a> },
-}
-
-/// The control: either evaluating a source subterm in an environment, or
-/// returning a value to the topmost frame.
-enum Control<'a> {
-    Eval { term: &'a Term, env: Env<'a> },
-    Return(Value<'a>),
-}
-
-struct Machine<'a> {
-    strategy: Strategy,
-    /// `Some` between transitions; taken by `drive` while one fires.
-    control: Option<Control<'a>>,
-    stack: Vec<Frame<'a>>,
-    steps: usize,
-    samples: usize,
+    };
+    (end, samples)
 }
 
 /// Runs `term` on the environment machine for at most `max_steps` counted
@@ -218,14 +200,18 @@ pub fn run_machine(
     sampler: &mut dyn Sampler,
     max_steps: usize,
 ) -> Run {
-    let mut machine = Machine::new(strategy, term);
-    let end = machine.drive(sampler, max_steps);
+    let mut machine = Machine::new(spec(strategy), term, max_steps);
+    let (end, samples) = drive(&mut machine, sampler);
     let outcome = match end {
-        End::Value(value) => Outcome::Terminated(Readback::default().value(&value)),
+        End::Value(value) => Outcome::Terminated(Machine::readback_value(
+            &value,
+            term_of_rational,
+            term_of_free,
+        )),
         End::Stuck(reason) => Outcome::Stuck(reason),
-        End::Fuel => Outcome::OutOfFuel(machine.residualize()),
+        End::Fuel => Outcome::OutOfFuel(machine.residualize(term_of_rational, term_of_free)),
     };
-    Run { outcome, steps: machine.steps, samples: machine.samples }
+    Run { outcome, steps: machine.steps(), samples }
 }
 
 /// The outcome of a [`run_machine_summary`] run, with no materialised terms.
@@ -265,350 +251,14 @@ pub fn run_machine_summary(
     sampler: &mut dyn Sampler,
     max_steps: usize,
 ) -> RunSummary {
-    let mut machine = Machine::new(strategy, term);
-    let end = machine.drive(sampler, max_steps);
+    let mut machine = Machine::new(spec(strategy), term, max_steps);
+    let (end, samples) = drive(&mut machine, sampler);
     let outcome = match end {
         End::Value(_) => SummaryOutcome::Terminated,
         End::Stuck(reason) => SummaryOutcome::Stuck(reason),
         End::Fuel => SummaryOutcome::OutOfFuel,
     };
-    RunSummary { outcome, steps: machine.steps, samples: machine.samples }
-}
-
-/// How a drive ended; terms are only materialised by the caller if wanted.
-enum End<'a> {
-    Value(Value<'a>),
-    Stuck(StuckReason),
-    Fuel,
-}
-
-impl<'a> Machine<'a> {
-    fn new(strategy: Strategy, term: &'a Term) -> Machine<'a> {
-        Machine {
-            strategy,
-            control: Some(Control::Eval { term, env: None }),
-            stack: Vec::new(),
-            steps: 0,
-            samples: 0,
-        }
-    }
-
-    fn drive(&mut self, sampler: &mut dyn Sampler, max_steps: usize) -> End<'a> {
-        loop {
-            // The reference `run` checks fuel *before* every step, so a term
-            // that needs exactly `max_steps` steps reports OutOfFuel even if
-            // the final state is a value; administrative moves never change
-            // the readback, so checking here is equivalent.
-            if self.steps >= max_steps {
-                return End::Fuel;
-            }
-            match self.control.take().expect("machine control invariant") {
-                Control::Eval { term, env } => {
-                    if let Some(end) = self.eval(term, env, sampler) {
-                        return end;
-                    }
-                }
-                Control::Return(value) => {
-                    if let Some(end) = self.apply(value) {
-                        return end;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Focus transition: decompose `term` or fire a leaf redex.
-    /// Returns `Some` when the run ends here.
-    fn eval(&mut self, term: &'a Term, env: Env<'a>, sampler: &mut dyn Sampler) -> Option<End<'a>> {
-        match term {
-            Term::Num(r) => self.control = Some(Control::Return(Value::Num(r.clone()))),
-            Term::Lam(_, _) | Term::Fix(_, _, _) => {
-                self.control = Some(Control::Return(Value::Closure { fun: term, env }));
-            }
-            Term::Var(x) => match lookup(&env, x) {
-                Some(Binding::Thunk { term, env }) => {
-                    // Entering a thunk is administrative: the readback of the
-                    // variable *is* the readback of its thunk.
-                    self.control = Some(Control::Eval { term, env });
-                }
-                Some(Binding::Val(value)) => self.control = Some(Control::Return(value)),
-                None => match self.strategy {
-                    // CbN only focuses variables in use position, where the
-                    // reference semantics is stuck on a free variable.
-                    Strategy::CallByName => {
-                        return Some(End::Stuck(StuckReason::FreeVariable(x.to_string())));
-                    }
-                    // CbV also focuses variables in argument position, where
-                    // the reference semantics treats them as values.
-                    Strategy::CallByValue => {
-                        self.control = Some(Control::Return(Value::Free(x.clone())));
-                    }
-                },
-            },
-            Term::App(fun, arg) => {
-                self.stack.push(Frame::AppArg { arg: &**arg, env: env.clone() });
-                self.control = Some(Control::Eval { term: &**fun, env });
-            }
-            Term::If(guard, then, els) => {
-                self.stack.push(Frame::If { then: &**then, els: &**els, env: env.clone() });
-                self.control = Some(Control::Eval { term: &**guard, env });
-            }
-            Term::Score(inner) => {
-                self.stack.push(Frame::Score);
-                self.control = Some(Control::Eval { term: &**inner, env });
-            }
-            Term::Sample => match sampler.next_sample() {
-                Some(r) => {
-                    self.samples += 1;
-                    self.steps += 1; // counted: the sample rule
-                    self.control = Some(Control::Return(Value::Num(r)));
-                }
-                None => return Some(End::Stuck(StuckReason::TraceExhausted)),
-            },
-            Term::Prim(prim, args) => match args.first() {
-                Some(first) => {
-                    self.stack.push(Frame::Prim {
-                        prim: *prim,
-                        args: args.as_slice(),
-                        done: Vec::with_capacity(args.len()),
-                        env: env.clone(),
-                    });
-                    self.control = Some(Control::Eval { term: first, env });
-                }
-                // Nullary applications cannot be written in the surface
-                // syntax; `Prim::eval` rejects them like the reference does.
-                None => match prim.eval(&[]) {
-                    Some(r) => {
-                        self.steps += 1; // counted: the primitive rule
-                        self.control = Some(Control::Return(Value::Num(r)));
-                    }
-                    None => return Some(End::Stuck(StuckReason::PrimDomain(*prim))),
-                },
-            },
-        }
-        None
-    }
-
-    /// Return transition: deliver `value` to the topmost frame (or finish).
-    fn apply(&mut self, value: Value<'a>) -> Option<End<'a>> {
-        let Some(frame) = self.stack.pop() else {
-            return Some(match value {
-                // A lone free variable is stuck, not a result (the reference
-                // `run` refuses to treat open terms as terminated).
-                Value::Free(x) => End::Stuck(StuckReason::FreeVariable(x.to_string())),
-                value => End::Value(value),
-            });
-        };
-        match frame {
-            Frame::AppArg { arg, env: arg_env } => match self.strategy {
-                Strategy::CallByName => {
-                    let binding = Binding::Thunk { term: arg, env: arg_env };
-                    self.beta(value, binding)
-                }
-                Strategy::CallByValue => {
-                    self.stack.push(Frame::AppFun { fun: value });
-                    self.control = Some(Control::Eval { term: arg, env: arg_env });
-                    None
-                }
-            },
-            Frame::AppFun { fun } => self.beta(fun, Binding::Val(value)),
-            Frame::If { then, els, env } => match value {
-                Value::Num(r) => {
-                    self.steps += 1; // counted: the conditional rule
-                    let taken = if r.is_positive() { els } else { then };
-                    self.control = Some(Control::Eval { term: taken, env });
-                    None
-                }
-                other => Some(self.stuck_value(other, StuckReason::NotANumeral)),
-            },
-            Frame::Score => match value {
-                Value::Num(r) => {
-                    if r.is_negative() {
-                        return Some(End::Stuck(StuckReason::NegativeScore(r)));
-                    }
-                    self.steps += 1; // counted: the score rule
-                    self.control = Some(Control::Return(Value::Num(r)));
-                    None
-                }
-                other => Some(self.stuck_value(other, StuckReason::NotANumeral)),
-            },
-            Frame::Prim { prim, args, mut done, env } => match value {
-                Value::Num(r) => {
-                    done.push(r);
-                    if done.len() == args.len() {
-                        match prim.eval(&done) {
-                            Some(result) => {
-                                self.steps += 1; // counted: the primitive rule
-                                self.control = Some(Control::Return(Value::Num(result)));
-                                None
-                            }
-                            // A domain error is stuck *without* reducing, so
-                            // it does not count as a step (like the reference).
-                            None => Some(End::Stuck(StuckReason::PrimDomain(prim))),
-                        }
-                    } else {
-                        let next = &args[done.len()];
-                        self.stack.push(Frame::Prim { prim, args, done, env: env.clone() });
-                        self.control = Some(Control::Eval { term: next, env });
-                        None
-                    }
-                }
-                other => Some(self.stuck_value(other, StuckReason::NotANumeral)),
-            },
-        }
-    }
-
-    /// Applies the function value to the argument binding — the β /
-    /// fix-unrolling redexes, the only transitions that extend environments.
-    fn beta(&mut self, fun: Value<'a>, argument: Binding<'a>) -> Option<End<'a>> {
-        match fun {
-            Value::Closure { fun: Term::Lam(x, body), env } => {
-                self.steps += 1; // counted: β
-                let env = bind(&env, x, argument);
-                self.control = Some(Control::Eval { term: &**body, env });
-                None
-            }
-            Value::Closure { fun: fix @ Term::Fix(phi, x, body), env } => {
-                self.steps += 1; // counted: fix unrolling
-                // Mirrors `body.subst(x, arg).subst(phi, fix)`: the inner
-                // substitution (x) shadows the outer one (φ) on name clashes.
-                let recursive = Value::Closure { fun: fix, env: env.clone() };
-                let env = bind(&env, phi, Binding::Val(recursive));
-                let env = bind(&env, x, argument);
-                self.control = Some(Control::Eval { term: &**body, env });
-                None
-            }
-            Value::Closure { .. } => unreachable!("closures wrap Lam or Fix nodes only"),
-            other => Some(self.stuck_value(other, StuckReason::NotAFunction)),
-        }
-    }
-
-    /// Mirrors `eval::stuck_value`: free variables take precedence as the
-    /// reported stuck reason.
-    fn stuck_value(&mut self, value: Value<'a>, otherwise: StuckReason) -> End<'a> {
-        let reason = match value {
-            Value::Free(x) => StuckReason::FreeVariable(x.to_string()),
-            _ => otherwise,
-        };
-        End::Stuck(reason)
-    }
-
-    /// Reads the whole machine state back into the term the reference
-    /// semantics would be holding: readback the control, then plug it into
-    /// the continuation frames from the innermost outwards.
-    fn residualize(&self) -> Term {
-        let mut readback = Readback::default();
-        let mut term = match self.control.as_ref().expect("machine control invariant") {
-            Control::Eval { term, env } => readback.term(term, env),
-            Control::Return(value) => readback.value(value),
-        };
-        for frame in self.stack.iter().rev() {
-            term = match frame {
-                Frame::AppArg { arg, env } => Term::app(term, readback.term(arg, env)),
-                Frame::AppFun { fun } => Term::app(readback.value(fun), term),
-                Frame::If { then, els, env } => {
-                    Term::ite(term, readback.term(then, env), readback.term(els, env))
-                }
-                Frame::Score => Term::score(term),
-                Frame::Prim { prim, args, done, env } => {
-                    let mut full: Vec<Term> =
-                        done.iter().cloned().map(Term::Num).collect();
-                    full.push(term);
-                    for arg in &args[done.len() + 1..] {
-                        full.push(readback.term(arg, env));
-                    }
-                    Term::Prim(*prim, full)
-                }
-            };
-        }
-        term
-    }
-}
-
-/// Reads machine structures back into source terms.
-///
-/// The replacement term of every environment node is computed once (the memo
-/// is keyed by the node's address, which is stable because nodes live behind
-/// `Rc`), and the dependency walk over the environment DAG is iterative — a
-/// call-by-name run that suspends thunk-inside-thunk chains thousands deep
-/// (e.g. a truncated `fix phi x. phi x` run) must not overflow the stack.
-#[derive(Default)]
-struct Readback {
-    memo: std::collections::HashMap<*const (), Term>,
-}
-
-impl Readback {
-    /// Converts a machine value back into a source term.
-    fn value(&mut self, value: &Value<'_>) -> Term {
-        match value {
-            Value::Num(r) => Term::Num(r.clone()),
-            Value::Closure { fun, env } => self.term(fun, env),
-            Value::Free(x) => Term::Var(x.clone()),
-        }
-    }
-
-    /// Substitutes an environment into a source subterm, innermost bindings
-    /// first, recovering the term of the paper's configuration. Only called
-    /// when a result is reported, never on the hot path.
-    fn term(&mut self, term: &Term, env: &Env<'_>) -> Term {
-        self.resolve(env);
-        self.apply(term, env)
-    }
-
-    /// Substitutes the (already resolved) replacements of `env` into `term`.
-    fn apply(&self, term: &Term, env: &Env<'_>) -> Term {
-        let mut result = term.clone();
-        let mut current = env;
-        while let Some(node) = current {
-            let replacement = &self.memo[&node_key(node)];
-            result = result.subst(&node.name, replacement);
-            current = &node.next;
-        }
-        result
-    }
-
-    /// Resolves the replacement term of every node reachable from `env`,
-    /// dependencies first, without recursion.
-    fn resolve(&mut self, env: &Env<'_>) {
-        let mut work: Vec<(&EnvNode<'_>, bool)> = Vec::new();
-        let mut current = env;
-        while let Some(node) = current {
-            work.push((node, false));
-            current = &node.next;
-        }
-        while let Some((node, dependencies_ready)) = work.pop() {
-            if self.memo.contains_key(&node_key(node)) {
-                continue;
-            }
-            let dependency_env = match &node.binding {
-                Binding::Thunk { env, .. } => env,
-                Binding::Val(Value::Closure { env, .. }) => env,
-                Binding::Val(_) => &None,
-            };
-            if dependencies_ready {
-                let replacement = match &node.binding {
-                    Binding::Thunk { term, env } => self.apply(term, env),
-                    Binding::Val(Value::Num(r)) => Term::Num(r.clone()),
-                    Binding::Val(Value::Closure { fun, env }) => self.apply(fun, env),
-                    Binding::Val(Value::Free(x)) => Term::Var(x.clone()),
-                };
-                self.memo.insert(node_key(node), replacement);
-            } else {
-                work.push((node, true));
-                let mut current = dependency_env;
-                while let Some(dependency) = current {
-                    if !self.memo.contains_key(&node_key(dependency)) {
-                        work.push((dependency, false));
-                    }
-                    current = &dependency.next;
-                }
-            }
-        }
-    }
-}
-
-fn node_key(node: &EnvNode<'_>) -> *const () {
-    node as *const EnvNode<'_> as *const ()
+    RunSummary { outcome, steps: machine.steps(), samples }
 }
 
 #[cfg(test)]
@@ -715,8 +365,8 @@ mod tests {
     fn deep_divergent_runs_tear_down_without_overflowing_the_stack() {
         // `(fix phi x. phi x) 0` nests environments through the φ closure
         // *binding* (not the `next` pointer), so this is the regression test
-        // for the worklist in `EnvNode::drop`: tearing down the state of a
-        // few-hundred-thousand-step truncated run must not recurse.
+        // for the worklist in the generic `EnvNode::drop`: tearing down the
+        // state of a few-hundred-thousand-step truncated run must not recurse.
         let term = parse_term("(fix phi x. phi x) 0").unwrap();
         for strategy in [Strategy::CallByName, Strategy::CallByValue] {
             let mut trace = FixedTrace::from_ratios(&[]);

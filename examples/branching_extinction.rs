@@ -46,7 +46,7 @@ fn main() {
 
         // Route 1: interval-semantics lower bound on the program itself.
         let program = catalog::printer_nonaffine(p.clone());
-        let bound = lower_bound(&program.term, &LowerBoundConfig::with_depth(60));
+        let bound = lower_bound(&program.term, &LowerBoundConfig::default().with_depth(60));
 
         // Route 2: branching-process extinction probability (exact where the
         // generating equation is quadratic).

@@ -29,7 +29,7 @@ fn main() {
         (catalog::pedestrian(), 40),
     ];
     for (benchmark, depth) in programs {
-        let result = lower_bound(&benchmark.term, &LowerBoundConfig::with_depth(depth));
+        let result = lower_bound(&benchmark.term, &LowerBoundConfig::default().with_depth(depth));
         println!(
             "{:<16} depth {:>3}: Pterm >= {}   (true: {})",
             benchmark.name,

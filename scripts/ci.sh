@@ -20,6 +20,54 @@ echo "== cargo test -q --workspace --no-fail-fast =="
 cargo test -q --workspace --offline --no-fail-fast || status=$?
 
 # ---------------------------------------------------------------------------
+# Differential suites: the environment machine vs. the substitution-based
+# reference steppers, for the concrete evaluator and for symbolic
+# exploration. Both run inside the workspace pass above; re-running them
+# explicitly keeps a red diff from hiding among hundreds of other tests.
+echo "== differential suites (machine vs substitution reference) =="
+cargo test -q --offline -p probterm-spcf --test machine_differential || status=$?
+cargo test -q --offline -p probterm-intervalsem --test symbolic_differential || status=$?
+
+# ---------------------------------------------------------------------------
+# CLI smoke test: `probterm lower` (complete and deadline-cut partial) and
+# `probterm verify` against known answers, each bounded by a timeout.
+echo "== CLI smoke test =="
+cli_status=0
+if [ -x target/release/probterm ]; then
+    lower_out=$(timeout 60 target/release/probterm lower \
+        -e '(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0' --depth 25)
+    case "$lower_out" in
+        *"Pterm >= 0.9"*) echo "cli ok: lower ($lower_out)" ;;
+        *) echo "cli FAILED: lower: $lower_out"; cli_status=1 ;;
+    esac
+    partial_out=$(timeout 60 target/release/probterm lower \
+        -e '(fix phi x. if sample <= 1/2 then x else phi (phi (phi x))) 0' \
+        --depth 4000 --deadline-ms 100)
+    case "$partial_out" in
+        *"partial: deadline exceeded"*) echo "cli ok: lower --deadline-ms ($partial_out)" ;;
+        *) echo "cli FAILED: partial lower: $partial_out"; cli_status=1 ;;
+    esac
+    case "$partial_out" in
+        *"Pterm >= 0.0000000000"*) echo "cli FAILED: partial bound is zero"; cli_status=1 ;;
+    esac
+    verify_out=$(timeout 60 target/release/probterm verify \
+        -e '(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 1')
+    case "$verify_out" in
+        *"AST"*) echo "cli ok: verify ($verify_out)" ;;
+        *) echo "cli FAILED: verify: $verify_out"; cli_status=1 ;;
+    esac
+else
+    echo "cli FAILED: target/release/probterm missing (release build failed?)"
+    cli_status=1
+fi
+if [ "$cli_status" -ne 0 ]; then
+    echo "CLI smoke test: FAILED"
+    status=1
+else
+    echo "CLI smoke test: OK"
+fi
+
+# ---------------------------------------------------------------------------
 # Service smoke test: boot `probterm serve` on a loopback port, drive a short
 # mixed batch over bash's /dev/tcp (valid requests, a deliberate parse error,
 # a deadline-exceeded request), check each reply line, and assert a graceful
@@ -61,6 +109,7 @@ if [ -x target/release/probterm ]; then
     smoke_request '{"id":1,"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":30}' '"ok":true'
     smoke_request '{"id":2,"op":"verify","program":"(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 1"}' '"verified":true'
     smoke_request '{"id":3,"op":"simulate","program":"(fix phi x. phi x) 0","runs":400000,"steps":2500,"deadline_ms":40}' '"code":"budget_exceeded"'
+    smoke_request '{"id":7,"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (phi (phi x))) 0","depth":400,"deadline_ms":25}' '"complete":false'
     smoke_request '{"id":4,"op":"lower","program":"((("}' '"code":"parse_error"'
     smoke_request 'this is not json' '"code":"parse_error"'
     smoke_request '{"id":5,"op":"stats"}' '"misses":'

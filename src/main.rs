@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! probterm analyze   (<file> | -e <program>)   [--depth N] [--mc RUNS] [--seed N]
-//! probterm lower     (<file> | -e <program>)   [--depth N]
+//! probterm lower     (<file> | -e <program>)   [--depth N] [--deadline-ms N]
 //! probterm verify    (<file> | -e <program>)
 //! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--seed N] [--cbv]
 //! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N]
@@ -15,7 +15,8 @@
 //! `serve` speaks newline-delimited JSON over TCP when `--addr` is given and
 //! over stdin/stdout otherwise; see the README for the wire protocol.
 
-use probterm::core::{analyze, analyze_ast, analyze_lower_bound, AnalysisConfig};
+use probterm::core::intervalsem::{lower_bound, try_lower_bound, LowerBoundConfig};
+use probterm::core::{analyze, analyze_ast, AnalysisConfig};
 use probterm::service::{Server, ServerConfig};
 use probterm::spcf::{catalog, estimate_termination, parse_term, MonteCarloConfig, Strategy, Term};
 use std::process::ExitCode;
@@ -29,6 +30,7 @@ struct Options {
     steps: usize,
     seed: u64,
     cbv: bool,
+    deadline_ms: Option<u64>,
     addr: Option<String>,
     workers: usize,
     cache: usize,
@@ -44,6 +46,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         steps: 20_000,
         seed: 2021,
         cbv: false,
+        deadline_ms: None,
         addr: None,
         workers: 2,
         cache: 1024,
@@ -84,6 +87,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--seed requires a number".to_string())?;
             }
             "--cbv" => options.cbv = true,
+            "--deadline-ms" => {
+                options.deadline_ms = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--deadline-ms requires a number".to_string())?,
+                );
+            }
             "--addr" => {
                 options.addr = Some(
                     iter.next()
@@ -124,6 +134,8 @@ fn load_program(options: &Options) -> Result<Term, String> {
 fn usage() -> &'static str {
     "usage: probterm <analyze|lower|verify|simulate|serve|catalog> [<file> | -e '<program>'] [options]\n\
      options: --depth N   exploration depth for the lower-bound engine (default 120)\n\
+              --deadline-ms N  wall-clock budget for `lower`; an expired budget\n\
+                          reports the sound partial bound computed so far\n\
               --runs N    Monte-Carlo runs for `simulate` (default 10000)\n\
               --steps N   step budget per Monte-Carlo run (default 20000)\n\
               --seed N    RNG seed for Monte-Carlo runs (default 2021)\n\
@@ -214,13 +226,36 @@ fn main() -> ExitCode {
                     print!("{report}");
                 }
                 "lower" => {
-                    let result = analyze_lower_bound(&term, options.depth);
+                    // Defaults live in LowerBoundConfig; the CLI only layers
+                    // its flags on top (same builder the service and the
+                    // bench harness use).
+                    let config = LowerBoundConfig::default().with_depth(options.depth);
+                    let result = match options.deadline_ms {
+                        None => lower_bound(&term, &config),
+                        Some(ms) => {
+                            let deadline =
+                                std::time::Instant::now() + std::time::Duration::from_millis(ms);
+                            let mut check = |_work: usize| {
+                                if std::time::Instant::now() > deadline {
+                                    Err(())
+                                } else {
+                                    Ok(())
+                                }
+                            };
+                            // The partial result is sound (Thm. 3.4): an
+                            // expired budget only loses bound mass.
+                            let (result, _interrupted) =
+                                try_lower_bound(&term, &config, &mut check);
+                            result
+                        }
+                    };
                     println!(
-                        "Pterm >= {}  ({} paths, {} unexplored, {} ms)",
+                        "Pterm >= {}  ({} paths, {} unexplored, {} ms{})",
                         result.probability.to_decimal_string(10),
                         result.paths,
                         result.unexplored_paths,
-                        result.elapsed.as_millis()
+                        result.elapsed.as_millis(),
+                        if result.interrupted { ", partial: deadline exceeded" } else { "" }
                     );
                 }
                 "verify" => match analyze_ast(&term) {

@@ -40,8 +40,8 @@ fn example_1_1_thresholds() {
 #[test]
 fn example_1_1_quarter_lower_bounds_converge_to_one_third() {
     let b = catalog::printer_nonaffine(r(1, 4));
-    let shallow = lower_bound(&b.term, &LowerBoundConfig::with_depth(40));
-    let deep = lower_bound(&b.term, &LowerBoundConfig::with_depth(70));
+    let shallow = lower_bound(&b.term, &LowerBoundConfig::default().with_depth(40));
+    let deep = lower_bound(&b.term, &LowerBoundConfig::default().with_depth(70));
     assert!(shallow.probability <= deep.probability);
     assert!(deep.probability < r(1, 3));
     assert!(deep.probability > r(31, 100));
@@ -53,8 +53,8 @@ fn example_1_1_quarter_lower_bounds_converge_to_one_third() {
 #[test]
 fn example_3_5_triangle_completeness() {
     let b = catalog::triangle_example();
-    let shallow = lower_bound(&b.term, &LowerBoundConfig::with_depth(40));
-    let deep = lower_bound(&b.term, &LowerBoundConfig::with_depth(90));
+    let shallow = lower_bound(&b.term, &LowerBoundConfig::default().with_depth(40));
+    let deep = lower_bound(&b.term, &LowerBoundConfig::default().with_depth(90));
     // The first path alone already certifies 1/2.
     assert!(shallow.probability >= r(1, 2));
     // Deeper exploration strictly improves the bound towards 1.
@@ -136,7 +136,7 @@ fn table1_lower_bounds_are_sound_and_consistent_with_simulation() {
     let heavy_tailed = ["pedestrian", "1dRW(1/2,1)", "Ex1.1(2) p=1/2"];
     for b in catalog::table1_benchmarks() {
         let depth = if b.name == "pedestrian" { 25 } else { 40 };
-        let result = lower_bound(&b.term, &LowerBoundConfig::with_depth(depth));
+        let result = lower_bound(&b.term, &LowerBoundConfig::default().with_depth(depth));
         if let Some(p) = b.expected_pterm {
             assert!(
                 result.probability.to_f64() <= p + 1e-9,

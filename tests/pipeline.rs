@@ -35,8 +35,10 @@ fn refining_standard_traces_terminate_with_equal_step_counts() {
     // The failure interval must stay strictly above 1/2 so the branch is
     // decided (cf. Fig. 9); it still contains all three standard traces below.
     let itrace = IntervalTrace::from_ratios(&[(51, 100, 1, 1), (0, 1, 1, 2), (0, 1, 1, 2)]);
-    let embedded = ITerm::embed(&b.term);
-    let outcome = run_interval(&embedded, &itrace, 100_000);
+    // The interval machine embeds `(·)^2ℑ` implicitly; `ITerm::embed` remains
+    // the specification artifact and must refine the source term.
+    assert!(ITerm::embed(&b.term).refines(&b.term));
+    let outcome = run_interval(&b.term, &itrace, 100_000);
     let steps = match outcome {
         probterm::core::intervalsem::IOutcome::Terminated { steps, .. } => steps,
         other => panic!("interval run did not terminate: {other:?}"),
@@ -65,7 +67,7 @@ fn set_type_weights_chain_below_the_lower_bound_engine() {
     assert!(weight <= Rational::one());
     let engine = probterm::core::intervalsem::lower_bound(
         &b.term,
-        &probterm::core::intervalsem::LowerBoundConfig::with_depth(60),
+        &probterm::core::intervalsem::LowerBoundConfig::default().with_depth(60),
     );
     assert!(weight <= engine.probability);
 }
@@ -140,12 +142,11 @@ proptest! {
     #[test]
     fn dyadic_splits_cover_the_coin(k in 1u32..6) {
         let term = parse_term("if sample <= 1/2 then 0 else 1").unwrap();
-        let embedded = ITerm::embed(&term);
         let pieces = Interval::unit().split(1usize << k);
         let mut total = Rational::zero();
         for piece in pieces {
             let trace = IntervalTrace::new(vec![piece]);
-            let outcome = run_interval(&embedded, &trace, 10_000);
+            let outcome = run_interval(&term, &trace, 10_000);
             if outcome.is_terminated() {
                 total = total + trace.weight();
             }
