@@ -15,7 +15,8 @@
 //! argument (Theorem 6.2); if its shift is AST (Theorem 5.4) the program is
 //! AST on every argument (Theorem 5.9).
 
-use crate::tree::{try_build_tree, ExecTree, SymbolicTree, TreeError};
+use crate::tree::{try_build_tree_profiled, ExecTree, SymbolicTree, TreeError};
+use probterm_telemetry::{EngineProfile, ProfileCell};
 use probterm_numerics::Rational;
 use probterm_polytope::UnitCubePolytope;
 use probterm_rwalk::{epsilon_ra_implies_ast, CountingDistribution, StepDistribution};
@@ -226,8 +227,12 @@ pub struct AstVerification {
     /// Whether the weaker Corollary 5.13 (`rank · (1 − P_approx(0)) ≤ 1`)
     /// already suffices for AST.
     pub verified_by_corollary_5_13: bool,
-    /// Wall-clock time of the verification.
+    /// Monotonic elapsed time of the verification (measured on
+    /// `std::time::Instant`).
     pub elapsed: Duration,
+    /// Machine profile of the execution-tree construction, present iff the
+    /// verification ran through [`try_verify_ast_profiled`] with profiling on.
+    pub profile: Option<EngineProfile>,
 }
 
 impl fmt::Display for AstVerification {
@@ -285,12 +290,27 @@ pub fn try_verify_ast(
     term: &Term,
     check: &mut dyn FnMut() -> Result<(), ()>,
 ) -> Result<AstVerification, VerifyError> {
+    try_verify_ast_profiled(term, false, check)
+}
+
+/// Like [`try_verify_ast`], optionally tallying a machine profile of the
+/// execution-tree construction into the result's `profile` field.
+///
+/// # Errors
+///
+/// As [`verify_ast`], plus [`VerifyError::Interrupted`].
+pub fn try_verify_ast_profiled(
+    term: &Term,
+    profile: bool,
+    check: &mut dyn FnMut() -> Result<(), ()>,
+) -> Result<AstVerification, VerifyError> {
     let start = Instant::now();
+    let profile_cell = profile.then(ProfileCell::shared);
     let SymbolicTree {
         tree,
         sample_count,
         env_count,
-    } = try_build_tree(term, check).map_err(|e| match e {
+    } = try_build_tree_profiled(term, profile_cell.as_ref(), check).map_err(|e| match e {
         TreeError::Interrupted => VerifyError::Interrupted,
         other => VerifyError::Tree(other),
     })?;
@@ -343,6 +363,7 @@ pub fn try_verify_ast(
         rank,
         verified_by_corollary_5_13: verified_by_corollary,
         elapsed: start.elapsed(),
+        profile: profile_cell.as_ref().map(|cell| cell.snapshot()),
     })
 }
 

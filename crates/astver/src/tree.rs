@@ -26,7 +26,9 @@
 use probterm_numerics::Rational;
 use probterm_spcf::absmachine::{DomainSpec, Event, Machine, Stuck, Value};
 use probterm_spcf::{Prim, Strategy, Term};
+use probterm_telemetry::SharedProfile;
 use std::fmt;
+use std::rc::Rc;
 
 /// A symbolic value appearing in guards: constants, sample variables, the
 /// unknown argument/recursive outcome `⊛`, and postponed primitives.
@@ -339,6 +341,20 @@ pub fn try_build_tree(
     term: &Term,
     check: &mut dyn FnMut() -> Result<(), ()>,
 ) -> Result<SymbolicTree, TreeError> {
+    try_build_tree_profiled(term, None, check)
+}
+
+/// Like [`try_build_tree`], tallying machine steps, events, branch forks and
+/// the maximum tree recursion depth into `profile` when one is given.
+///
+/// # Errors
+///
+/// As [`build_tree`], plus [`TreeError::Interrupted`].
+pub fn try_build_tree_profiled(
+    term: &Term,
+    profile: Option<&SharedProfile>,
+    check: &mut dyn FnMut() -> Result<(), ()>,
+) -> Result<SymbolicTree, TreeError> {
     let fixpoint = match term {
         Term::App(f, _) if matches!(**f, Term::Fix(_, _, _)) => &**f,
         other => other,
@@ -357,7 +373,10 @@ pub fn try_build_tree(
         (phi.clone(), Value::Atom(RecMarker)),
     ];
     let mut machine = Machine::with_bindings(tree_spec(), body, builder.fuel, bindings);
-    let tree = drive_tree(&mut machine, &mut builder, check)?;
+    if let Some(cell) = profile {
+        machine.set_profile(Rc::clone(cell));
+    }
+    let tree = drive_tree(&mut machine, &mut builder, 1, check)?;
     Ok(SymbolicTree {
         tree,
         sample_count: builder.samples,
@@ -377,8 +396,12 @@ enum Wrap {
 fn drive_tree(
     machine: &mut Machine<'_, GuardValue, RecMarker>,
     builder: &mut Builder,
+    depth: usize,
     check: &mut dyn FnMut() -> Result<(), ()>,
 ) -> Result<ExecTree, TreeError> {
+    if let Some(profile) = machine.profile() {
+        profile.observe_frontier(depth);
+    }
     let mut wraps: Vec<Wrap> = Vec::new();
     let mut charged = machine.steps();
     let tip = loop {
@@ -439,10 +462,13 @@ fn drive_tree(
                     // clone into the else-branch; Environment ids are
                     // assigned post-order, like the old builder.
                     let mut else_machine = machine.clone();
+                    if let Some(profile) = machine.profile() {
+                        profile.count_fork();
+                    }
                     machine.resume_branch(true);
                     else_machine.resume_branch(false);
-                    let then_tree = drive_tree(machine, builder, check)?;
-                    let else_tree = drive_tree(&mut else_machine, builder, check)?;
+                    let then_tree = drive_tree(machine, builder, depth + 1, check)?;
+                    let else_tree = drive_tree(&mut else_machine, builder, depth + 1, check)?;
                     if guard.mentions_unknown() {
                         let id = builder.env_nodes;
                         builder.env_nodes += 1;

@@ -14,6 +14,7 @@
 //! * **mixed** — 4:1 hot:cold interleaving, the expected production shape.
 
 use probterm_service::{Server, ServerConfig};
+use probterm_telemetry::{Histogram, HistogramSnapshot, SpanTimer};
 use serde::Serialize;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -31,11 +32,20 @@ struct ScenarioRow {
     requests_per_sec: f64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Client-observed round-trip latency percentiles, in microseconds,
+    /// from log-bucketed histograms merged across clients (≤ ~25 % bucket
+    /// error).
+    latency_p50_us: u64,
+    latency_p95_us: u64,
+    latency_p99_us: u64,
+    latency_max_us: u64,
 }
 
 struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Round-trip latency of every request this client issued, in µs.
+    latency: Histogram,
 }
 
 impl Client {
@@ -43,16 +53,18 @@ impl Client {
         let stream = TcpStream::connect(addr).expect("connect to load server");
         stream.set_nodelay(true).expect("set nodelay");
         let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-        Client { reader, writer: stream }
+        Client { reader, writer: stream, latency: Histogram::new() }
     }
 
     /// Lock-step request/reply; returns `true` iff the reply is `ok`.
     fn request(&mut self, line: &str) -> bool {
+        let timer = SpanTimer::start();
         let framed = format!("{line}\n");
         self.writer.write_all(framed.as_bytes()).expect("send request");
         self.writer.flush().expect("flush request");
         let mut reply = String::new();
         self.reader.read_line(&mut reply).expect("read reply");
+        self.latency.record(timer.elapsed_us());
         reply.contains("\"ok\":true")
     }
 }
@@ -117,11 +129,19 @@ fn run_scenario(
                         errors += 1;
                     }
                 }
-                errors
+                (errors, client.latency.snapshot())
             })
         })
         .collect();
-    let errors: u64 = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let mut errors = 0u64;
+    // Merging per-client histograms is exact: merge ≡ recording the
+    // concatenated sample streams into one histogram.
+    let mut latency = HistogramSnapshot::empty();
+    for handle in handles {
+        let (client_errors, client_latency) = handle.join().expect("client");
+        errors += client_errors;
+        latency.merge(&client_latency);
+    }
     let elapsed = started.elapsed();
 
     let stats = running.state().stats();
@@ -139,6 +159,10 @@ fn run_scenario(
         requests_per_sec: requests as f64 / elapsed.as_secs_f64(),
         cache_hits: stats.hits,
         cache_misses: stats.misses,
+        latency_p50_us: latency.p50(),
+        latency_p95_us: latency.p95(),
+        latency_p99_us: latency.p99(),
+        latency_max_us: latency.max(),
     }
 }
 
@@ -163,12 +187,13 @@ fn main() {
     ];
 
     println!(
-        "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8}",
-        "scenario", "clients", "reqs", "errors", "t (ms)", "req/s", "hits", "misses"
+        "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "scenario", "clients", "reqs", "errors", "t (ms)", "req/s", "hits", "misses", "p50 (us)",
+        "p95 (us)", "p99 (us)"
     );
     for r in &rows {
         println!(
-            "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12.1} {:>8} {:>8}",
+            "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12.1} {:>8} {:>8} {:>9} {:>9} {:>9}",
             r.scenario,
             r.clients,
             r.requests,
@@ -176,7 +201,10 @@ fn main() {
             r.elapsed_ms,
             r.requests_per_sec,
             r.cache_hits,
-            r.cache_misses
+            r.cache_misses,
+            r.latency_p50_us,
+            r.latency_p95_us,
+            r.latency_p99_us
         );
     }
 

@@ -1,0 +1,53 @@
+//! Asserts the engine profiling hook is near-free when disabled.
+//!
+//! The instrumentation on the environment machine is one `Option`
+//! discriminant check per step and per paused event (plus `Cell` bumps when
+//! a profile is attached). This guard times the `symbolic_scaling` geometric
+//! workload with profiling off and with profiling on: the disabled path must
+//! cost at most 5 % more than the *fully instrumented* path (plus a small
+//! absolute slack for timer noise). Since an enabled run does strictly more
+//! work than a disabled one, staying within 5 % of it demonstrates the
+//! disabled check is in the noise. Wall-clock assertions are noisy on a busy
+//! single-CPU box, so each measurement takes the minimum of several
+//! repetitions (the same discipline as the `symbolic_scaling` test).
+
+use probterm_intervalsem::{explore, ExplorationConfig};
+use probterm_numerics::Rational;
+use probterm_spcf::catalog;
+use std::time::{Duration, Instant};
+
+fn time_exploration(profile: bool) -> Duration {
+    let geo = catalog::geometric(Rational::from_ratio(1, 2)).term;
+    let config = ExplorationConfig::default()
+        .with_max_steps_per_path(400)
+        .with_max_paths(20_000)
+        .with_profile(profile);
+    let mut best = Duration::MAX;
+    for _ in 0..7 {
+        let start = Instant::now();
+        let exploration = explore(&geo, &config);
+        let elapsed = start.elapsed();
+        assert_eq!(exploration.profile.is_some(), profile);
+        if profile {
+            let p = exploration.profile.as_ref().unwrap();
+            assert!(p.steps > 0, "an enabled profile must tally machine steps");
+            assert!(p.total_events() > 0, "an enabled profile must tally events");
+        }
+        best = best.min(elapsed);
+    }
+    best
+}
+
+#[test]
+fn disabled_profiling_costs_less_than_five_percent() {
+    // Warm up allocators and caches.
+    let _ = time_exploration(false);
+    let disabled = time_exploration(false);
+    let enabled = time_exploration(true);
+    let budget = enabled.as_secs_f64() * 1.05 + 0.002;
+    assert!(
+        disabled.as_secs_f64() <= budget,
+        "the disabled-instrumentation path ({disabled:?}) costs more than 5 % over the \
+         fully profiled run ({enabled:?}); the per-step enabled check is not near-free"
+    );
+}

@@ -37,7 +37,7 @@ pub use probterm_polytope as polytope;
 pub use probterm_rwalk as rwalk;
 pub use probterm_spcf as spcf;
 
-use probterm_astver::{try_verify_ast, verify_ast, AstVerification, VerifyError};
+use probterm_astver::{try_verify_ast_profiled, verify_ast, AstVerification, VerifyError};
 use probterm_intervalsem::{lower_bound, try_lower_bound, LowerBoundConfig, LowerBoundResult};
 use probterm_numerics::Rational;
 use probterm_rwalk::CountingDistribution;
@@ -58,6 +58,10 @@ pub struct AnalysisConfig {
     pub monte_carlo_steps: usize,
     /// Random seed for the Monte-Carlo cross-check.
     pub seed: u64,
+    /// When `true`, the lower-bound exploration and the AST verifier attach
+    /// machine profiles, reported in the corresponding result fields
+    /// (`lower_bound.profile`, `ast.profile`).
+    pub profile: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -67,6 +71,7 @@ impl Default for AnalysisConfig {
             monte_carlo_runs: 0,
             monte_carlo_steps: 20_000,
             seed: 2021,
+            profile: false,
         }
     }
 }
@@ -212,7 +217,9 @@ pub fn try_analyze_budgeted(
     let simple_type = infer_type(term).map_err(AnalysisError::IllTyped)?;
     let mut complete = true;
 
-    let lower_config = LowerBoundConfig::default().with_depth(config.lower_bound_depth);
+    let lower_config = LowerBoundConfig::default()
+        .with_depth(config.lower_bound_depth)
+        .with_profile(config.profile);
     let mut lower_check = |_work: usize| check();
     let (lower, _interruption) = try_lower_bound(term, &lower_config, &mut lower_check);
     complete &= !lower.interrupted;
@@ -221,7 +228,7 @@ pub fn try_analyze_budgeted(
         complete = false;
         (None, None, None, Some("interrupted before the AST verifier started".to_string()))
     } else {
-        match try_verify_ast(term, check) {
+        match try_verify_ast_profiled(term, config.profile, check) {
             Ok(v) => {
                 let verified = v.verified_ast;
                 let papprox = v.papprox.clone();
@@ -297,6 +304,7 @@ mod tests {
                 monte_carlo_runs: 400,
                 monte_carlo_steps: 4_000,
                 seed: 1,
+                ..Default::default()
             },
         );
         assert_eq!(report.simple_type, SimpleType::Real);

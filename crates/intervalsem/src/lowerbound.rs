@@ -24,6 +24,7 @@
 use crate::symbolic::{try_explore, ExplorationConfig, SymbolicPath};
 use probterm_numerics::Rational;
 use probterm_spcf::Term;
+use probterm_telemetry::EngineProfile;
 use std::time::{Duration, Instant};
 
 /// Configuration of the lower-bound computation.
@@ -39,6 +40,9 @@ pub struct LowerBoundConfig {
     pub max_paths: usize,
     /// Budget (number of boxes) for the splitting sweep on non-linear paths.
     pub boxes_per_path: usize,
+    /// When `true`, the underlying exploration attaches a machine profile,
+    /// reported in [`LowerBoundResult::profile`].
+    pub profile: bool,
 }
 
 impl Default for LowerBoundConfig {
@@ -47,6 +51,7 @@ impl Default for LowerBoundConfig {
             depth: 200,
             max_paths: 50_000,
             boxes_per_path: 2_000,
+            profile: false,
         }
     }
 }
@@ -73,11 +78,19 @@ impl LowerBoundConfig {
         self
     }
 
+    /// Builder: enables or disables machine profiling.
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// The exploration configuration this lower-bound configuration induces.
     pub fn exploration(&self) -> ExplorationConfig {
         ExplorationConfig::default()
             .with_max_steps_per_path(self.depth)
             .with_max_paths(self.max_paths)
+            .with_profile(self.profile)
     }
 }
 
@@ -101,8 +114,12 @@ pub struct LowerBoundResult {
     /// [`try_lower_bound`] before it finished. The bounds are still sound —
     /// partial explorations only lose mass (Thm. 3.4).
     pub interrupted: bool,
-    /// Wall-clock time of the computation.
+    /// Monotonic elapsed time of the computation (measured on
+    /// `std::time::Instant`).
     pub elapsed: Duration,
+    /// Machine profile of the symbolic exploration, present iff
+    /// [`LowerBoundConfig::profile`] was set.
+    pub profile: Option<EngineProfile>,
 }
 
 impl LowerBoundResult {
@@ -206,6 +223,7 @@ pub fn try_lower_bound<E>(
         stuck_paths: exploration.stuck,
         interrupted: exploration.interrupted || interruption.is_some(),
         elapsed: start.elapsed(),
+        profile: exploration.profile,
     };
     (result, interruption)
 }

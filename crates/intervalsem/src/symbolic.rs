@@ -37,8 +37,10 @@ use probterm_numerics::{Interval, IntervalBox, Rational};
 use probterm_polytope::UnitCubePolytope;
 use probterm_spcf::absmachine::{DomainSpec, Event, Machine, NoAtom};
 use probterm_spcf::{Ident, Prim, Strategy, Term};
+use probterm_telemetry::{EngineProfile, ProfileCell};
 use std::collections::VecDeque;
 use std::fmt;
+use std::rc::Rc;
 
 /// A symbolic value of base type: an expression over sample variables,
 /// rational constants and primitive functions.
@@ -474,6 +476,11 @@ pub struct Exploration {
     /// still sound (Theorem 3.4): interruption only loses bound mass, never
     /// adds unsound mass.
     pub interrupted: bool,
+    /// Machine profile of the run (steps, event kinds, forks, max BFS
+    /// frontier), present iff [`ExplorationConfig::profile`] was set. The
+    /// substitution reference never profiles, so differential comparisons
+    /// against it require profiling off (both sides `None`).
+    pub profile: Option<EngineProfile>,
 }
 
 /// Configuration of the symbolic exploration.
@@ -483,6 +490,10 @@ pub struct ExplorationConfig {
     pub max_steps_per_path: usize,
     /// Maximum total number of paths to process (safety valve).
     pub max_paths: usize,
+    /// When `true`, the exploration attaches a machine profile and reports it
+    /// in [`Exploration::profile`]. Off by default: the disabled path costs
+    /// one `Option` check per machine step/event.
+    pub profile: bool,
 }
 
 impl Default for ExplorationConfig {
@@ -490,6 +501,7 @@ impl Default for ExplorationConfig {
         ExplorationConfig {
             max_steps_per_path: 500,
             max_paths: 100_000,
+            profile: false,
         }
     }
 }
@@ -506,6 +518,13 @@ impl ExplorationConfig {
     #[must_use]
     pub fn with_max_paths(mut self, max_paths: usize) -> Self {
         self.max_paths = max_paths;
+        self
+    }
+
+    /// Builder: enables or disables machine profiling.
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 }
@@ -556,9 +575,14 @@ pub fn try_explore<E>(
     config: &ExplorationConfig,
     check: &mut dyn FnMut(usize) -> Result<(), E>,
 ) -> (Exploration, Option<E>) {
+    let profile = config.profile.then(ProfileCell::shared);
+    let mut root = Machine::new(sym_spec(), term, config.max_steps_per_path);
+    if let Some(cell) = &profile {
+        root.set_profile(Rc::clone(cell));
+    }
     let mut queue: VecDeque<PathState<'_>> = VecDeque::new();
     queue.push_back(PathState {
-        machine: Machine::new(sym_spec(), term, config.max_steps_per_path),
+        machine: root,
         samples: 0,
         branches: Vec::new(),
         constraints: Vec::new(),
@@ -568,6 +592,7 @@ pub fn try_explore<E>(
         out_of_fuel: 0,
         stuck: 0,
         interrupted: false,
+        profile: None,
     };
     let mut processed = 0usize;
     let mut work = 0usize;
@@ -581,6 +606,7 @@ pub fn try_explore<E>(
         if let Err(e) = check(work) {
             result.interrupted = true;
             result.out_of_fuel += 1 + queue.len();
+            result.profile = profile.as_ref().map(|cell| cell.snapshot());
             return (result, Some(e));
         }
         loop {
@@ -661,6 +687,10 @@ pub fn try_explore<E>(
                         });
                         queue.push_back(path);
                         queue.push_back(else_path);
+                        if let Some(cell) = &profile {
+                            cell.count_fork();
+                            cell.observe_frontier(queue.len());
+                        }
                         break;
                     }
                 }
@@ -685,6 +715,7 @@ pub fn try_explore<E>(
             }
         }
     }
+    result.profile = profile.as_ref().map(|cell| cell.snapshot());
     (result, interruption)
 }
 
@@ -808,6 +839,7 @@ pub fn explore_substitution(term: &Term, config: &ExplorationConfig) -> Explorat
         out_of_fuel: 0,
         stuck: 0,
         interrupted: false,
+        profile: None,
     };
     let mut processed = 0usize;
     while let Some(mut state) = queue.pop_front() {

@@ -17,7 +17,13 @@
 //!   α-invariant canonical hash of the submitted program
 //!   ([`probterm_core::spcf::Term::canonical_key`]) plus the analysis and its
 //!   configuration, so α-equivalent resubmissions are cache hits (observable
-//!   via the `stats` op).
+//!   via the `stats` op),
+//! * **telemetry** ([`metrics`]): every request is timed in phases (queue
+//!   wait, cache lookup, engine run, serialization) on monotonic clocks into
+//!   log-bucketed latency histograms; the `stats` op reports per-op
+//!   p50/p95/p99, the `metrics` op renders a Prometheus-style text
+//!   exposition, and an optional [`probterm_telemetry::TraceSink`] streams
+//!   one JSONL record per request.
 //!
 //! Everything is std-only: like the rest of the workspace, the crate builds
 //! offline with path-only dependencies.
@@ -37,11 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
+pub use metrics::{OpMetrics, OpMetricsSnapshot, PhaseTimes, ServiceMetrics};
 pub use protocol::{ErrorCode, Op, Request, ServiceError};
 pub use server::{
     handle_line, RunningServer, Server, ServerConfig, ServerState, StatsSnapshot,
 };
+pub use probterm_telemetry::TraceSink;

@@ -1,0 +1,347 @@
+//! Latency-aware service metrics: per-op request counters, per-phase
+//! latency histograms, and a Prometheus-style text exposition.
+//!
+//! Every request the server handles is timed in four phases — queue wait,
+//! cache lookup, engine run, reply serialization — on monotonic
+//! [`std::time::Instant`] clocks (via [`probterm_telemetry::SpanTimer`]),
+//! recorded in microseconds into log-bucketed
+//! [`probterm_telemetry::Histogram`]s (≤ ~25 % relative bucket error).
+//! The `stats` op reports p50/p95/p99 per op and phase; the `metrics` op
+//! renders the same numbers as Prometheus text exposition.
+
+use crate::protocol::Op;
+use crate::server::StatsSnapshot;
+use probterm_telemetry::{Counter, Histogram, HistogramSnapshot};
+use serde::Value;
+
+/// The four measured request phases plus the end-to-end total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Time between enqueueing the job and a worker popping it, in µs.
+    pub queue_us: u64,
+    /// Result-cache lookup (and admission decision) time, in µs.
+    pub cache_us: u64,
+    /// Engine run time (zero for control ops and cache hits), in µs.
+    pub engine_us: u64,
+    /// Reply rendering time, in µs.
+    pub serialize_us: u64,
+    /// End-to-end time including queue wait, in µs.
+    pub total_us: u64,
+}
+
+/// Counters and per-phase latency histograms for one op.
+#[derive(Debug, Default)]
+pub struct OpMetrics {
+    /// Requests handled (including error replies).
+    pub requests: Counter,
+    /// Requests that produced an error reply.
+    pub errors: Counter,
+    /// End-to-end latency (µs).
+    pub total: Histogram,
+    /// Queue-wait latency (µs).
+    pub queue: Histogram,
+    /// Cache-lookup latency (µs).
+    pub cache: Histogram,
+    /// Engine-run latency (µs).
+    pub engine: Histogram,
+    /// Reply-serialization latency (µs).
+    pub serialize: Histogram,
+}
+
+/// A plain-data snapshot of one op's metrics (for the `stats` reply).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMetricsSnapshot {
+    /// The op these numbers belong to.
+    pub op: Op,
+    /// Requests handled.
+    pub requests: u64,
+    /// Error replies.
+    pub errors: u64,
+    /// End-to-end latency histogram.
+    pub total: HistogramSnapshot,
+    /// Per-phase latency histograms, keyed by phase name.
+    pub phases: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+/// The whole per-op metrics table. One instance lives in the server state;
+/// workers record into it concurrently (all counters are relaxed atomics).
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    ops: [OpMetrics; Op::ALL.len()],
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    #[must_use]
+    pub fn new() -> ServiceMetrics {
+        ServiceMetrics::default()
+    }
+
+    /// The metrics cell of one op.
+    pub fn op(&self, op: Op) -> &OpMetrics {
+        &self.ops[op.index()]
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, op: Op, phases: &PhaseTimes, ok: bool) {
+        let cell = self.op(op);
+        cell.requests.incr();
+        if !ok {
+            cell.errors.incr();
+        }
+        cell.total.record(phases.total_us);
+        cell.queue.record(phases.queue_us);
+        cell.cache.record(phases.cache_us);
+        cell.engine.record(phases.engine_us);
+        cell.serialize.record(phases.serialize_us);
+    }
+
+    /// Snapshots every op that has seen at least one request.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<OpMetricsSnapshot> {
+        Op::ALL
+            .iter()
+            .filter_map(|&op| {
+                let cell = self.op(op);
+                if cell.requests.get() == 0 {
+                    return None;
+                }
+                Some(OpMetricsSnapshot {
+                    op,
+                    requests: cell.requests.get(),
+                    errors: cell.errors.get(),
+                    total: cell.total.snapshot(),
+                    phases: vec![
+                        ("queue", cell.queue.snapshot()),
+                        ("cache", cell.cache.snapshot()),
+                        ("engine", cell.engine.snapshot()),
+                        ("serialize", cell.serialize.snapshot()),
+                    ],
+                })
+            })
+            .collect()
+    }
+}
+
+fn quantiles_value(h: &HistogramSnapshot) -> Value {
+    Value::Object(vec![
+        ("p50".into(), Value::UInt(u128::from(h.p50()))),
+        ("p95".into(), Value::UInt(u128::from(h.p95()))),
+        ("p99".into(), Value::UInt(u128::from(h.p99()))),
+        ("max".into(), Value::UInt(u128::from(h.max()))),
+        ("mean".into(), Value::Num(h.mean())),
+    ])
+}
+
+/// The `"ops"` object of the `stats` reply: per-op request/error counts,
+/// end-to-end percentiles and the per-phase breakdown, all in microseconds.
+#[must_use]
+pub fn ops_value(snapshots: &[OpMetricsSnapshot]) -> Value {
+    Value::Object(
+        snapshots
+            .iter()
+            .map(|s| {
+                (
+                    s.op.as_str().to_string(),
+                    Value::Object(vec![
+                        ("requests".into(), Value::UInt(u128::from(s.requests))),
+                        ("errors".into(), Value::UInt(u128::from(s.errors))),
+                        ("total_us".into(), quantiles_value(&s.total)),
+                        (
+                            "phases_us".into(),
+                            Value::Object(
+                                s.phases
+                                    .iter()
+                                    .map(|(name, h)| ((*name).to_string(), quantiles_value(h)))
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Renders the Prometheus text exposition format (version 0.0.4): `# HELP` /
+/// `# TYPE` comments, `counter` and `summary` families, and `{label="..."}`
+/// selectors. Quantile samples use the histogram's bucket upper bounds, so
+/// they carry the same ≤ ~25 % relative error as the `stats` percentiles.
+#[must_use]
+pub fn render_prometheus(snapshots: &[OpMetricsSnapshot], stats: &StatsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    out.push_str("# HELP probterm_uptime_milliseconds Milliseconds since the server started.\n");
+    out.push_str("# TYPE probterm_uptime_milliseconds gauge\n");
+    let _ = writeln!(out, "probterm_uptime_milliseconds {}", stats.uptime_ms);
+    out.push_str("# HELP probterm_requests_served_total Request lines handled, including control ops and errors.\n");
+    out.push_str("# TYPE probterm_requests_served_total counter\n");
+    let _ = writeln!(out, "probterm_requests_served_total {}", stats.served);
+    out.push_str("# HELP probterm_cache_hits_total Result-cache lookups served from the cache.\n");
+    out.push_str("# TYPE probterm_cache_hits_total counter\n");
+    let _ = writeln!(out, "probterm_cache_hits_total {}", stats.hits);
+    out.push_str("# HELP probterm_cache_misses_total Result-cache lookups that ran an engine.\n");
+    out.push_str("# TYPE probterm_cache_misses_total counter\n");
+    let _ = writeln!(out, "probterm_cache_misses_total {}", stats.misses);
+    out.push_str("# HELP probterm_cache_entries Entries currently in the result cache.\n");
+    out.push_str("# TYPE probterm_cache_entries gauge\n");
+    let _ = writeln!(out, "probterm_cache_entries {}", stats.cache_entries);
+    out.push_str("# HELP probterm_inflight_requests Engine requests currently being computed.\n");
+    out.push_str("# TYPE probterm_inflight_requests gauge\n");
+    let _ = writeln!(out, "probterm_inflight_requests {}", stats.inflight);
+    out.push_str("# HELP probterm_workers Worker threads in the pool.\n");
+    out.push_str("# TYPE probterm_workers gauge\n");
+    let _ = writeln!(out, "probterm_workers {}", stats.workers);
+
+    out.push_str("# HELP probterm_requests_total Requests handled, by op.\n");
+    out.push_str("# TYPE probterm_requests_total counter\n");
+    for s in snapshots {
+        let _ = writeln!(out, "probterm_requests_total{{op=\"{}\"}} {}", s.op.as_str(), s.requests);
+    }
+    out.push_str("# HELP probterm_request_errors_total Error replies, by op.\n");
+    out.push_str("# TYPE probterm_request_errors_total counter\n");
+    for s in snapshots {
+        let _ = writeln!(
+            out,
+            "probterm_request_errors_total{{op=\"{}\"}} {}",
+            s.op.as_str(),
+            s.errors
+        );
+    }
+
+    out.push_str(
+        "# HELP probterm_request_duration_microseconds End-to-end request latency, by op.\n",
+    );
+    out.push_str("# TYPE probterm_request_duration_microseconds summary\n");
+    for s in snapshots {
+        let op = s.op.as_str();
+        for (q, v) in [(0.5, s.total.p50()), (0.95, s.total.p95()), (0.99, s.total.p99())] {
+            let _ = writeln!(
+                out,
+                "probterm_request_duration_microseconds{{op=\"{op}\",quantile=\"{q}\"}} {v}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "probterm_request_duration_microseconds_sum{{op=\"{op}\"}} {}",
+            s.total.sum()
+        );
+        let _ = writeln!(
+            out,
+            "probterm_request_duration_microseconds_count{{op=\"{op}\"}} {}",
+            s.total.count()
+        );
+    }
+
+    out.push_str("# HELP probterm_phase_duration_microseconds Per-phase request latency, by op and phase.\n");
+    out.push_str("# TYPE probterm_phase_duration_microseconds summary\n");
+    for s in snapshots {
+        let op = s.op.as_str();
+        for (phase, h) in &s.phases {
+            for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+                let _ = writeln!(
+                    out,
+                    "probterm_phase_duration_microseconds{{op=\"{op}\",phase=\"{phase}\",quantile=\"{q}\"}} {v}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "probterm_phase_duration_microseconds_sum{{op=\"{op}\",phase=\"{phase}\"}} {}",
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "probterm_phase_duration_microseconds_count{{op=\"{op}\",phase=\"{phase}\"}} {}",
+                h.count()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phases(total: u64) -> PhaseTimes {
+        PhaseTimes {
+            queue_us: total / 10,
+            cache_us: total / 20,
+            engine_us: total / 2,
+            serialize_us: total / 20,
+            total_us: total,
+        }
+    }
+
+    #[test]
+    fn records_land_on_the_right_op() {
+        let m = ServiceMetrics::new();
+        m.record(Op::Lower, &phases(1_000), true);
+        m.record(Op::Lower, &phases(3_000), false);
+        m.record(Op::Stats, &phases(10), true);
+        let snaps = m.snapshot();
+        assert_eq!(snaps.len(), 2);
+        let lower = snaps.iter().find(|s| s.op == Op::Lower).unwrap();
+        assert_eq!(lower.requests, 2);
+        assert_eq!(lower.errors, 1);
+        assert_eq!(lower.total.count(), 2);
+        let stats = snaps.iter().find(|s| s.op == Op::Stats).unwrap();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.errors, 0);
+        // Untouched ops are omitted from the snapshot.
+        assert!(!snaps.iter().any(|s| s.op == Op::Simulate));
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let m = ServiceMetrics::new();
+        for i in 1..=100 {
+            m.record(Op::Verify, &phases(i * 100), i % 10 != 0);
+        }
+        let stats = StatsSnapshot {
+            uptime_ms: 1234,
+            served: 100,
+            hits: 3,
+            misses: 97,
+            inflight: 0,
+            cache_entries: 5,
+            cache_capacity: 1024,
+            workers: 2,
+        };
+        let text = render_prometheus(&m.snapshot(), &stats);
+        assert!(text.contains("probterm_uptime_milliseconds 1234\n"));
+        assert!(text.contains("probterm_requests_total{op=\"verify\"} 100\n"));
+        assert!(text.contains("probterm_request_errors_total{op=\"verify\"} 10\n"));
+        assert!(text
+            .contains("probterm_request_duration_microseconds{op=\"verify\",quantile=\"0.5\"}"));
+        assert!(text.contains(
+            "probterm_phase_duration_microseconds{op=\"verify\",phase=\"engine\",quantile=\"0.99\"}"
+        ));
+        assert!(text.contains("probterm_request_duration_microseconds_count{op=\"verify\"} 100\n"));
+        // Every non-comment line is `name{labels} value` or `name value` with
+        // a numeric value.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "), "{line}");
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "non-numeric sample value: {line}");
+        }
+    }
+
+    #[test]
+    fn ops_value_reports_percentiles_per_phase() {
+        let m = ServiceMetrics::new();
+        m.record(Op::Analyze, &phases(8_000), true);
+        let v = ops_value(&m.snapshot());
+        let analyze = v.get("analyze").unwrap();
+        assert_eq!(analyze.get("requests").and_then(Value::as_u64), Some(1));
+        let total = analyze.get("total_us").unwrap();
+        assert!(total.get("p50").and_then(Value::as_u64).unwrap() >= 8_000);
+        let engine = analyze.get("phases_us").unwrap().get("engine").unwrap();
+        assert!(engine.get("p99").and_then(Value::as_u64).unwrap() >= 4_000);
+    }
+}

@@ -85,6 +85,8 @@ pub enum Op {
     Catalog,
     /// Cache and worker counters.
     Stats,
+    /// Prometheus-style text exposition of the service metrics.
+    Metrics,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
 }
@@ -99,6 +101,7 @@ impl Op {
             Op::Analyze => "analyze",
             Op::Catalog => "catalog",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
         }
     }
@@ -111,6 +114,7 @@ impl Op {
             "analyze" => Op::Analyze,
             "catalog" => Op::Catalog,
             "stats" => Op::Stats,
+            "metrics" => Op::Metrics,
             "shutdown" => Op::Shutdown,
             _ => return None,
         })
@@ -120,6 +124,23 @@ impl Op {
     /// metadata or control traffic).
     pub fn is_engine_op(self) -> bool {
         matches!(self, Op::Simulate | Op::Lower | Op::Verify | Op::Analyze)
+    }
+
+    /// Every op, in wire order — the index into the per-op metrics table.
+    pub const ALL: [Op; 8] = [
+        Op::Simulate,
+        Op::Lower,
+        Op::Verify,
+        Op::Analyze,
+        Op::Catalog,
+        Op::Stats,
+        Op::Metrics,
+        Op::Shutdown,
+    ];
+
+    /// The op's position in [`Op::ALL`].
+    pub fn index(self) -> usize {
+        Op::ALL.iter().position(|&op| op == self).expect("every op is in ALL")
     }
 }
 
@@ -301,7 +322,7 @@ mod tests {
 
     #[test]
     fn control_ops_need_no_program() {
-        for op in ["catalog", "stats", "shutdown"] {
+        for op in ["catalog", "stats", "metrics", "shutdown"] {
             let r = parse_request(&format!(r#"{{"op":"{op}"}}"#)).unwrap();
             assert!(!r.op.is_engine_op());
             assert_eq!(r.id, None);

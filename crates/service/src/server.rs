@@ -27,9 +27,11 @@
 //! entry or a deeper partial.
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::metrics::{ops_value, render_prometheus, PhaseTimes, ServiceMetrics};
 use crate::protocol::{
     error_reply, ok_reply, parse_request, ErrorCode, Op, Request, ServiceError,
 };
+use probterm_telemetry::{SpanTimer, TraceSink};
 use probterm_core::astver::{try_verify_ast, VerifyError};
 use probterm_core::intervalsem::{try_lower_bound, LowerBoundConfig, LowerBoundResult};
 use probterm_core::spcf::{
@@ -79,7 +81,8 @@ impl Default for ServerConfig {
 /// A point-in-time snapshot of the server counters (the `stats` reply).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Milliseconds since the server state was created.
+    /// Milliseconds since the server state was created, measured on the
+    /// monotonic [`std::time::Instant`] clock (immune to wall-clock jumps).
     pub uptime_ms: u128,
     /// Total requests handled (including control ops and errors).
     pub served: u64,
@@ -97,7 +100,8 @@ pub struct StatsSnapshot {
     pub workers: usize,
 }
 
-/// Shared server state: configuration, result cache and counters.
+/// Shared server state: configuration, result cache, counters, per-op
+/// latency metrics and the optional per-request trace sink.
 #[derive(Debug)]
 pub struct ServerState {
     config: ServerConfig,
@@ -106,10 +110,13 @@ pub struct ServerState {
     inflight: AtomicU64,
     shutdown: AtomicBool,
     started: Instant,
+    metrics: ServiceMetrics,
+    request_seq: AtomicU64,
+    trace: Option<TraceSink>,
 }
 
 impl ServerState {
-    fn new(config: ServerConfig) -> ServerState {
+    fn new(config: ServerConfig, trace: Option<TraceSink>) -> ServerState {
         ServerState {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             config,
@@ -117,12 +124,20 @@ impl ServerState {
             inflight: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            metrics: ServiceMetrics::new(),
+            request_seq: AtomicU64::new(0),
+            trace,
         }
     }
 
     /// `true` once a `shutdown` request has been processed.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The per-op request counters and latency histograms.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
     }
 
     /// Snapshots every counter the `stats` op reports.
@@ -217,49 +232,125 @@ struct LineOutcome {
 /// tests and in-process embedders. A `shutdown` request sets the state's
 /// shutdown flag as a side effect.
 pub fn handle_line(state: &ServerState, line: &str) -> Option<String> {
-    let outcome = process_line(state, line);
+    let outcome = process_line(state, line, 0);
     if outcome.shutdown {
         state.shutdown.store(true, Ordering::SeqCst);
     }
     outcome.reply
 }
 
-fn process_line(state: &ServerState, line: &str) -> LineOutcome {
+/// Emits one per-request trace record when the state carries a sink.
+///
+/// Schema (one JSON object per line, field order fixed): `seq` (server-wide
+/// request number), `id` (echoed request id), `op` (`"invalid"` for
+/// unparseable lines), `canonical_key` (first 16 hex digits of the term's
+/// α-invariant hash; `null` off the engine path), the four phase timings and
+/// `total_us` in microseconds, `outcome` (`"ok"` or the error code) and
+/// `cache` (`"hit"`/`"miss"`/`null`).
+#[allow(clippy::too_many_arguments)]
+fn emit_trace(
+    state: &ServerState,
+    seq: u64,
+    id: &Option<Value>,
+    op: Option<Op>,
+    canonical_key: Option<u128>,
+    phases: &PhaseTimes,
+    outcome: &str,
+    cache: Option<&'static str>,
+) {
+    let Some(sink) = &state.trace else { return };
+    sink.emit(vec![
+        ("seq".into(), Value::UInt(u128::from(seq))),
+        ("id".into(), id.clone().unwrap_or(Value::Null)),
+        (
+            "op".into(),
+            Value::Str(op.map_or("invalid", Op::as_str).to_string()),
+        ),
+        (
+            "canonical_key".into(),
+            canonical_key
+                .map_or(Value::Null, |k| Value::Str(format!("{k:032x}")[..16].to_string())),
+        ),
+        ("queue_us".into(), Value::UInt(u128::from(phases.queue_us))),
+        ("cache_us".into(), Value::UInt(u128::from(phases.cache_us))),
+        ("engine_us".into(), Value::UInt(u128::from(phases.engine_us))),
+        ("serialize_us".into(), Value::UInt(u128::from(phases.serialize_us))),
+        ("total_us".into(), Value::UInt(u128::from(phases.total_us))),
+        ("outcome".into(), Value::Str(outcome.to_string())),
+        ("cache".into(), cache.map_or(Value::Null, |c| Value::Str(c.to_string()))),
+    ]);
+}
+
+fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
     if line.trim().is_empty() {
         return LineOutcome { reply: None, shutdown: false };
     }
     state.served.fetch_add(1, Ordering::SeqCst);
+    let seq = state.request_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let timer = SpanTimer::start();
+    let mut phases = PhaseTimes { queue_us, ..Default::default() };
     let request = match parse_request(line) {
         Ok(r) => r,
         Err((id, e)) => {
-            return LineOutcome { reply: Some(error_reply(&id, &e)), shutdown: false }
+            let serialize = SpanTimer::start();
+            let reply = error_reply(&id, &e);
+            phases.serialize_us = serialize.elapsed_us();
+            phases.total_us = queue_us.saturating_add(timer.elapsed_us());
+            // Unparseable lines have no op to attribute latency to; they are
+            // traced but kept out of the per-op histograms.
+            emit_trace(state, seq, &id, None, None, &phases, e.code.as_str(), None);
+            return LineOutcome { reply: Some(reply), shutdown: false };
         }
     };
     let id = request.id.clone();
     let op = request.op;
     let started = Instant::now();
     let shutdown = op == Op::Shutdown;
-    let reply = match dispatch(state, &request) {
+    let mut canonical_key = None;
+    let dispatched = dispatch(state, &request, &mut phases, &mut canonical_key);
+    let (ok, cache_tag, outcome) = match &dispatched {
+        Ok((_, tag)) => (true, *tag, "ok"),
+        Err(e) => (false, None, e.code.as_str()),
+    };
+    let serialize = SpanTimer::start();
+    let reply = match dispatched {
         Ok((result, cache_tag)) => {
             ok_reply(&id, op, cache_tag, started.elapsed().as_millis(), result)
         }
         Err(e) => error_reply(&id, &e),
     };
+    phases.serialize_us = serialize.elapsed_us();
+    phases.total_us = queue_us.saturating_add(timer.elapsed_us());
+    state.metrics.record(op, &phases, ok);
+    emit_trace(state, seq, &id, Some(op), canonical_key, &phases, outcome, cache_tag);
     LineOutcome { reply: Some(reply), shutdown }
 }
 
 type DispatchResult = Result<(Value, Option<&'static str>), ServiceError>;
 
-fn dispatch(state: &ServerState, request: &Request) -> DispatchResult {
+fn dispatch(
+    state: &ServerState,
+    request: &Request,
+    phases: &mut PhaseTimes,
+    canonical_key: &mut Option<u128>,
+) -> DispatchResult {
     match request.op {
         Op::Catalog => Ok((catalog_payload(), None)),
-        Op::Stats => Ok((stats_payload(&state.stats()), None)),
+        Op::Stats => Ok((stats_payload(state), None)),
+        Op::Metrics => Ok((metrics_payload(state), None)),
         Op::Shutdown => Ok((Value::Object(vec![]), None)),
-        Op::Simulate | Op::Lower | Op::Verify | Op::Analyze => engine_op(state, request),
+        Op::Simulate | Op::Lower | Op::Verify | Op::Analyze => {
+            engine_op(state, request, phases, canonical_key)
+        }
     }
 }
 
-fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
+fn engine_op(
+    state: &ServerState,
+    request: &Request,
+    phases: &mut PhaseTimes,
+    canonical_key: &mut Option<u128>,
+) -> DispatchResult {
     let config = &state.config;
     let source = request.program.as_deref().expect("validated by parse_request");
     if source.len() > config.max_program_bytes {
@@ -297,8 +388,10 @@ fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
     cap("runs", runs, config.max_runs)?;
     cap("steps", steps, config.max_steps)?;
 
+    let term_key = term.canonical_key();
+    *canonical_key = Some(term_key);
     let cache_key = CacheKey {
-        term: term.canonical_key(),
+        term: term_key,
         analysis: request.op.as_str(),
         config: match request.op {
             Op::Simulate => format!(
@@ -323,6 +416,7 @@ fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
             Serve,
             Decline,
         }
+        let cache_timer = SpanTimer::start();
         let mut cache = state.cache.lock().expect("cache lock");
         let decision = match cache.peek(&cache_key) {
             None => Lookup::Absent,
@@ -340,6 +434,7 @@ fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
         match decision {
             Lookup::Serve => {
                 let cached = cache.get(&cache_key).expect("peeked entry is present");
+                phases.cache_us = cache_timer.elapsed_us();
                 return Ok((cached, Some("hit")));
             }
             // Register the miss through the normal lookup path.
@@ -348,9 +443,12 @@ fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
             }
             Lookup::Decline => cache.record_declined(),
         }
+        drop(cache);
+        phases.cache_us = cache_timer.elapsed_us();
     }
 
     let deadline = Deadline::new(request.deadline_ms);
+    let engine_timer = SpanTimer::start();
     state.inflight.fetch_add(1, Ordering::SeqCst);
     let computed = catch_unwind(AssertUnwindSafe(|| match request.op {
         Op::Simulate => simulate_payload(&term, runs, steps, seed, request.strategy, &deadline),
@@ -360,6 +458,7 @@ fn engine_op(state: &ServerState, request: &Request) -> DispatchResult {
         _ => unreachable!("engine_op is only called for engine ops"),
     }));
     state.inflight.fetch_sub(1, Ordering::SeqCst);
+    phases.engine_us = engine_timer.elapsed_us();
     let payload = computed
         .map_err(|panic| {
             let message = panic
@@ -514,6 +613,7 @@ fn analyze_payload(
         monte_carlo_runs: runs,
         monte_carlo_steps: steps,
         seed,
+        profile: false,
     };
     let mut check = || if deadline.exceeded() { Err(()) } else { Ok(()) };
     let analysis = try_analyze_budgeted(term, &config, &mut check)
@@ -604,7 +704,8 @@ fn catalog_payload() -> Value {
     ])
 }
 
-fn stats_payload(stats: &StatsSnapshot) -> Value {
+fn stats_payload(state: &ServerState) -> Value {
+    let stats = state.stats();
     Value::Object(vec![
         ("uptime_ms".into(), Value::UInt(stats.uptime_ms)),
         ("served".into(), Value::UInt(stats.served as u128)),
@@ -614,6 +715,20 @@ fn stats_payload(stats: &StatsSnapshot) -> Value {
         ("cache_entries".into(), Value::UInt(stats.cache_entries as u128)),
         ("cache_capacity".into(), Value::UInt(stats.cache_capacity as u128)),
         ("workers".into(), Value::UInt(stats.workers as u128)),
+        // Per-op latency metrics: requests/errors plus p50/p95/p99/max/mean
+        // (µs) for the end-to-end latency and each phase. Ops with zero
+        // requests are omitted.
+        ("ops".into(), ops_value(&state.metrics.snapshot())),
+    ])
+}
+
+/// The `metrics` op: the Prometheus text exposition wrapped in JSON (the
+/// wire protocol is NDJSON; scrape adapters unwrap the `text` field).
+fn metrics_payload(state: &ServerState) -> Value {
+    let text = render_prometheus(&state.metrics.snapshot(), &state.stats());
+    Value::Object(vec![
+        ("format".into(), Value::Str("prometheus-text-0.0.4".into())),
+        ("text".into(), Value::Str(text)),
     ])
 }
 
@@ -624,6 +739,9 @@ type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 struct Job {
     line: String,
     out: SharedWriter,
+    /// When the reader enqueued the job; the worker's pop time minus this is
+    /// the request's queue-wait phase.
+    enqueued: Instant,
 }
 
 fn spawn_workers(
@@ -645,7 +763,9 @@ fn spawn_workers(
                         Err(_) => break,
                     };
                     let Ok(job) = job else { break };
-                    let outcome = process_line(&state, &job.line);
+                    let queue_us =
+                        u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    let outcome = process_line(&state, &job.line, queue_us);
                     if let Some(mut reply) = outcome.reply {
                         reply.push('\n');
                         if let Ok(mut out) = job.out.lock() {
@@ -705,7 +825,14 @@ impl RunningServer {
 impl Server {
     /// Creates a server with the given configuration.
     pub fn new(config: ServerConfig) -> Server {
-        Server { state: Arc::new(ServerState::new(config)) }
+        Server::with_trace(config, None)
+    }
+
+    /// Creates a server that additionally streams one JSONL trace record per
+    /// request into `trace` (see [`handle_line`] for the record schema —
+    /// `probterm serve --trace <path|->` is the CLI spelling).
+    pub fn with_trace(config: ServerConfig, trace: Option<TraceSink>) -> Server {
+        Server { state: Arc::new(ServerState::new(config, trace)) }
     }
 
     /// The shared state (counters, shutdown flag).
@@ -749,7 +876,8 @@ impl Server {
         while !self.state.shutdown_requested() {
             match line_receiver.recv_timeout(Duration::from_millis(25)) {
                 Ok(Ok(line)) => {
-                    if sender.send(Job { line, out: Arc::clone(&out) }).is_err() {
+                    let job = Job { line, out: Arc::clone(&out), enqueued: Instant::now() };
+                    if sender.send(job).is_err() {
                         break;
                     }
                 }
@@ -809,6 +937,7 @@ impl Server {
                                         let job = Job {
                                             line: line.trim_end_matches(['\r', '\n']).to_string(),
                                             out: Arc::clone(&out),
+                                            enqueued: Instant::now(),
                                         };
                                         if sender.send(job).is_err() {
                                             break;
@@ -1079,6 +1208,120 @@ mod tests {
             .handle_line(r#"{"op":"lower","program":"0","depth":100000}"#)
             .unwrap();
         assert_eq!(error_code_of(&reply), "bad_request");
+    }
+
+    #[test]
+    fn stats_reports_per_op_percentiles_and_phase_breakdowns() {
+        let s = server();
+        let geo = "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0";
+        // Scripted batch: one lower miss, two hits on the same entry, and one
+        // verify that fails with not_applicable.
+        for _ in 0..3 {
+            let reply = s
+                .handle_line(&format!(r#"{{"op":"lower","program":"{geo}","depth":25}}"#))
+                .unwrap();
+            result_of(&reply);
+        }
+        let reply = s
+            .handle_line(r#"{"op":"verify","program":"if sample <= 1/2 then 0 else 1"}"#)
+            .unwrap();
+        assert_eq!(error_code_of(&reply), "not_applicable");
+
+        let stats = result_of(&s.handle_line(r#"{"op":"stats"}"#).unwrap());
+        let ops = stats.get("ops").unwrap();
+        let lower = ops.get("lower").unwrap();
+        assert_eq!(lower.get("requests").and_then(Value::as_u64), Some(3));
+        assert_eq!(lower.get("errors").and_then(Value::as_u64), Some(0));
+        let total = lower.get("total_us").unwrap();
+        let p50 = total.get("p50").and_then(Value::as_u64).unwrap();
+        let p99 = total.get("p99").and_then(Value::as_u64).unwrap();
+        let max = total.get("max").and_then(Value::as_u64).unwrap();
+        assert!(p50 <= p99 && p99 <= max, "p50={p50} p99={p99} max={max}");
+        let phases = lower.get("phases_us").unwrap();
+        for phase in ["queue", "cache", "engine", "serialize"] {
+            let h = phases.get(phase).unwrap_or_else(|| panic!("missing phase {phase}"));
+            assert!(h.get("p95").and_then(Value::as_u64).is_some(), "{phase} has no p95");
+        }
+        // The slowest lower request ran an engine; its engine phase dominates
+        // the cache-hit replays, so the engine p99 must be nonzero.
+        assert!(phases.get("engine").unwrap().get("p99").and_then(Value::as_u64).unwrap() > 0);
+        let verify = ops.get("verify").unwrap();
+        assert_eq!(verify.get("requests").and_then(Value::as_u64), Some(1));
+        assert_eq!(verify.get("errors").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn metrics_op_renders_prometheus_text() {
+        let s = server();
+        let reply = s
+            .handle_line(r#"{"op":"simulate","program":"sample","runs":20}"#)
+            .unwrap();
+        result_of(&reply);
+        let result = result_of(&s.handle_line(r#"{"op":"metrics"}"#).unwrap());
+        assert_eq!(
+            result.get("format").and_then(Value::as_str),
+            Some("prometheus-text-0.0.4")
+        );
+        let text = result.get("text").and_then(Value::as_str).unwrap();
+        assert!(text.contains("probterm_requests_total{op=\"simulate\"} 1\n"));
+        assert!(text.contains("# TYPE probterm_request_duration_microseconds summary"));
+        assert!(text.contains("probterm_cache_misses_total 1\n"));
+    }
+
+    /// A `Write + Send` target collecting trace bytes for inspection.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trace_sink_gets_one_parseable_record_per_request() {
+        let buf = SharedBuf::default();
+        let s = Server::with_trace(
+            ServerConfig { workers: 1, ..Default::default() },
+            Some(TraceSink::new(Box::new(buf.clone()))),
+        );
+        let geo = "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0";
+        let lower = format!(r#"{{"id":7,"op":"lower","program":"{geo}","depth":25}}"#);
+        s.handle_line(&lower).unwrap();
+        s.handle_line(&lower).unwrap();
+        s.handle_line("{not json").unwrap();
+        s.handle_line(r#"{"op":"stats"}"#).unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let records: Vec<Value> =
+            text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(records.len(), 4, "one record per request: {text}");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.get("seq").and_then(Value::as_u64), Some(i as u64 + 1));
+            for field in ["queue_us", "cache_us", "engine_us", "serialize_us", "total_us"] {
+                assert!(r.get(field).and_then(Value::as_u64).is_some(), "missing {field}");
+            }
+        }
+        let (first, second, bad, stats) =
+            (&records[0], &records[1], &records[2], &records[3]);
+        assert_eq!(first.get("op").and_then(Value::as_str), Some("lower"));
+        assert_eq!(first.get("cache").and_then(Value::as_str), Some("miss"));
+        assert_eq!(first.get("outcome").and_then(Value::as_str), Some("ok"));
+        assert_eq!(first.get("id").and_then(Value::as_u64), Some(7));
+        let key = first.get("canonical_key").and_then(Value::as_str).unwrap();
+        assert_eq!(key.len(), 16);
+        assert!(key.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(second.get("cache").and_then(Value::as_str), Some("hit"));
+        assert_eq!(second.get("canonical_key").and_then(Value::as_str), Some(key));
+        assert_eq!(bad.get("op").and_then(Value::as_str), Some("invalid"));
+        assert_eq!(bad.get("outcome").and_then(Value::as_str), Some("parse_error"));
+        assert!(bad.get("canonical_key").unwrap().is_null());
+        assert_eq!(stats.get("op").and_then(Value::as_str), Some("stats"));
+        assert!(stats.get("cache").unwrap().is_null());
     }
 
     #[test]

@@ -63,6 +63,7 @@
 use crate::ast::{Ident, Prim, Term};
 use crate::eval::Strategy;
 use probterm_numerics::Rational;
+use probterm_telemetry::{EventKind, SharedProfile};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -301,6 +302,24 @@ pub enum Event<'a, L: Clone, A: Clone> {
     FixEncountered(&'a Term),
 }
 
+impl<'a, L: Clone, A: Clone> Event<'a, L, A> {
+    /// The telemetry kind of the event (what a
+    /// `probterm_telemetry::ProfileCell` tallies).
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::Done(_) => EventKind::Done,
+            Event::OutOfFuel => EventKind::OutOfFuel,
+            Event::Stuck(_) => EventKind::Stuck,
+            Event::Sample => EventKind::Sample,
+            Event::PrimReady(_, _) => EventKind::PrimReady,
+            Event::BranchReady(_) => EventKind::BranchReady,
+            Event::ScoreReady(_) => EventKind::ScoreReady,
+            Event::AtomApplied(_) => EventKind::AtomApplied,
+            Event::FixEncountered(_) => EventKind::FixEncountered,
+        }
+    }
+}
+
 /// The shared environment machine. See the module docs for the protocol:
 /// call [`next_event`](Machine::next_event), interpret the [`Event`], resume.
 pub struct Machine<'a, L: Clone, A: Clone> {
@@ -311,6 +330,9 @@ pub struct Machine<'a, L: Clone, A: Clone> {
     pending: Pending<'a, L, A>,
     steps: usize,
     max_steps: usize,
+    /// Shared run profile, `None` (the default) when profiling is off. The
+    /// `Rc` is what makes forked machines tally into their parent's cell.
+    profile: Option<SharedProfile>,
 }
 
 impl<'a, L: Clone, A: Clone> Clone for Machine<'a, L, A> {
@@ -322,6 +344,7 @@ impl<'a, L: Clone, A: Clone> Clone for Machine<'a, L, A> {
             pending: self.pending.clone(),
             steps: self.steps,
             max_steps: self.max_steps,
+            profile: self.profile.clone(),
         }
     }
 }
@@ -352,12 +375,36 @@ impl<'a, L: Clone, A: Clone> Machine<'a, L, A> {
             pending: Pending::None,
             steps: 0,
             max_steps,
+            profile: None,
         }
     }
 
     /// Number of counted reduction steps fired so far.
     pub fn steps(&self) -> usize {
         self.steps
+    }
+
+    /// Attaches a shared profile cell: from now on every counted step and
+    /// every reported event is tallied into it (forked machines inherit the
+    /// cell through [`Clone`]). The disabled path is a single `Option`
+    /// discriminant test per counted step / event.
+    pub fn set_profile(&mut self, profile: SharedProfile) {
+        self.profile = Some(profile);
+    }
+
+    /// The attached profile cell, if any (drivers use it to tally forks and
+    /// frontier depths next to the machine's own step/event tallies).
+    pub fn profile(&self) -> Option<&SharedProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Counts one reduction step, mirroring it into the profile when enabled.
+    #[inline]
+    fn count_step(&mut self) {
+        self.steps += 1;
+        if let Some(profile) = &self.profile {
+            profile.count_steps(1);
+        }
     }
 
     /// Raises or lowers the step budget (used to thread shared fuel through
@@ -369,6 +416,16 @@ impl<'a, L: Clone, A: Clone> Machine<'a, L, A> {
     /// Runs administrative transitions until the next effectful redex, final
     /// state or failure. Must not be called while an event is un-resumed.
     pub fn next_event(&mut self) -> Event<'a, L, A> {
+        let event = self.next_event_inner();
+        if let Some(profile) = &self.profile {
+            profile.count_event(event.kind());
+        }
+        event
+    }
+
+    /// The transition loop behind [`next_event`](Machine::next_event), kept
+    /// separate so the event-kind tally has a single return site to observe.
+    fn next_event_inner(&mut self) -> Event<'a, L, A> {
         assert!(
             matches!(self.pending, Pending::None),
             "next_event called on a machine paused on an un-resumed event"
@@ -401,7 +458,7 @@ impl<'a, L: Clone, A: Clone> Machine<'a, L, A> {
         match std::mem::replace(&mut self.pending, Pending::None) {
             Pending::Lit { counted } => {
                 if counted {
-                    self.steps += 1;
+                    self.count_step();
                 }
                 self.control = Some(Control::Return(Value::Lit(lit)));
             }
@@ -414,7 +471,7 @@ impl<'a, L: Clone, A: Clone> Machine<'a, L, A> {
     pub fn resume_branch(&mut self, take_then: bool) {
         match std::mem::replace(&mut self.pending, Pending::None) {
             Pending::Branch { then, els, env } => {
-                self.steps += 1;
+                self.count_step();
                 let term = if take_then { then } else { els };
                 self.control = Some(Control::Eval { term, env });
             }
@@ -581,13 +638,13 @@ impl<'a, L: Clone, A: Clone> Machine<'a, L, A> {
     ) -> Option<Event<'a, L, A>> {
         match fun {
             Value::Closure { fun: Term::Lam(x, body), env } => {
-                self.steps += 1; // counted: β
+                self.count_step(); // counted: β
                 let env = bind(&env, x, argument);
                 self.control = Some(Control::Eval { term: &**body, env });
                 None
             }
             Value::Closure { fun: fix @ Term::Fix(phi, x, body), env } => {
-                self.steps += 1; // counted: fix unrolling
+                self.count_step(); // counted: fix unrolling
                 // Mirrors `body.subst(x, arg).subst(phi, fix)`: the inner
                 // substitution (x) shadows the outer one (φ) on name clashes.
                 let recursive = Value::Closure { fun: fix, env: env.clone() };

@@ -251,7 +251,22 @@ pub fn run_machine_summary(
     sampler: &mut dyn Sampler,
     max_steps: usize,
 ) -> RunSummary {
+    run_machine_summary_profiled(strategy, term, sampler, max_steps, None)
+}
+
+/// Like [`run_machine_summary`], tallying machine steps and events into
+/// `profile` when one is given (see `Machine::set_profile`).
+pub fn run_machine_summary_profiled(
+    strategy: Strategy,
+    term: &Term,
+    sampler: &mut dyn Sampler,
+    max_steps: usize,
+    profile: Option<&probterm_telemetry::SharedProfile>,
+) -> RunSummary {
     let mut machine = Machine::new(spec(strategy), term, max_steps);
+    if let Some(profile) = profile {
+        machine.set_profile(std::rc::Rc::clone(profile));
+    }
     let (end, samples) = drive(&mut machine, sampler);
     let outcome = match end {
         End::Value(_) => SummaryOutcome::Terminated,

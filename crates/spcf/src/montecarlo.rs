@@ -10,8 +10,9 @@
 
 use crate::ast::Term;
 use crate::eval::Strategy;
-use crate::machine::{run_machine_summary, SummaryOutcome};
+use crate::machine::{run_machine_summary_profiled, SummaryOutcome};
 use crate::trace::RandomSampler;
+use probterm_telemetry::{EngineProfile, ProfileCell, SharedProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -120,7 +121,32 @@ pub fn estimate_termination(term: &Term, config: &MonteCarloConfig) -> MonteCarl
 pub fn try_estimate_termination<E>(
     term: &Term,
     config: &MonteCarloConfig,
+    check: impl FnMut(usize) -> Result<(), E>,
+) -> Result<MonteCarloEstimate, E> {
+    estimate_inner(term, config, check, None)
+}
+
+/// Like [`estimate_termination`], additionally tallying an aggregate machine
+/// profile (steps and event kinds summed over every run).
+pub fn estimate_termination_profiled(
+    term: &Term,
+    config: &MonteCarloConfig,
+) -> (MonteCarloEstimate, EngineProfile) {
+    let cell = ProfileCell::shared();
+    let estimate =
+        match estimate_inner(term, config, |_| Ok::<(), std::convert::Infallible>(()), Some(&cell))
+        {
+            Ok(estimate) => estimate,
+            Err(never) => match never {},
+        };
+    (estimate, cell.snapshot())
+}
+
+fn estimate_inner<E>(
+    term: &Term,
+    config: &MonteCarloConfig,
     mut check: impl FnMut(usize) -> Result<(), E>,
+    profile: Option<&SharedProfile>,
 ) -> Result<MonteCarloEstimate, E> {
     let mut terminated = 0usize;
     let mut stuck = 0usize;
@@ -133,7 +159,13 @@ pub fn try_estimate_termination<E>(
         let mut sampler = RandomSampler::new(rng);
         // The summary entry point skips materialising result/residual terms
         // the estimator would discard (the dominant cost of truncated runs).
-        let result = run_machine_summary(config.strategy, term, &mut sampler, config.max_steps);
+        let result = run_machine_summary_profiled(
+            config.strategy,
+            term,
+            &mut sampler,
+            config.max_steps,
+            profile,
+        );
         match result.outcome {
             SummaryOutcome::Terminated => {
                 terminated += 1;

@@ -1,0 +1,95 @@
+//! Observability primitives shared by the engines, the analysis service, and
+//! the CLI.
+//!
+//! Everything here is `std`-only and allocation-light so the hot paths of the
+//! abstract machine and the request loop can afford it:
+//!
+//! - [`Counter`] — a relaxed [`AtomicU64`](std::sync::atomic::AtomicU64)
+//!   wrapper for lifetime tallies.
+//! - [`Histogram`] — a fixed-size log-bucketed latency/size histogram with
+//!   lock-free recording, p50/p95/p99/max extraction, and exact
+//!   merge-equals-concatenation semantics (see [`histogram`]).
+//! - [`SpanTimer`] — a phase stopwatch over [`std::time::Instant`], the
+//!   *monotonic* clock. No telemetry in this workspace reads the wall clock;
+//!   durations, deadlines, and trace timestamps can never go backwards under
+//!   NTP adjustment.
+//! - [`ProfileCell`] / [`EngineProfile`] — the per-run abstract-machine
+//!   profile shared across forked machines (see [`profile`]).
+//! - [`TraceSink`] — a line-buffered, mutex-serialized JSONL event sink used
+//!   by `probterm serve --trace`.
+
+pub mod histogram;
+pub mod profile;
+pub mod span;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use profile::{EngineProfile, EventKind, ProfileCell, SharedProfile, EVENT_KIND_COUNT};
+pub use span::SpanTimer;
+pub use trace::TraceSink;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing lifetime counter.
+///
+/// All operations use `Relaxed` ordering: counters are statistics, not
+/// synchronization edges, and a relaxed `fetch_add` compiles to a single
+/// uncontended RMW on every platform we target.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add an arbitrary amount.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_tally() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = std::sync::Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

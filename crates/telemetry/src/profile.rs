@@ -1,0 +1,258 @@
+//! Abstract-machine run profiles.
+//!
+//! The environment machine pauses at every effectful redex and reports an
+//! event; a [`ProfileCell`] tallies those events, the counted reduction
+//! steps, driver-side forks, and the deepest exploration frontier observed.
+//! Engine runs are single-threaded but *fork* machines by cloning, so the
+//! cell uses [`Cell`] counters behind an [`Rc`] ([`SharedProfile`]): every
+//! forked machine shares its parent's tallies, and bumping one is a plain
+//! in-cache increment — no atomics on the machine's hot path.
+//!
+//! When a run finishes, [`ProfileCell::snapshot`] freezes the tallies into a
+//! plain-data [`EngineProfile`] that results can carry across threads.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// The kinds of event a machine reports, as a dense index space for
+/// tallying. Mirrors `absmachine::Event` variant-for-variant (the machine
+/// crate maps events onto kinds; telemetry stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Reached a value with an empty continuation.
+    Done,
+    /// Step budget exhausted.
+    OutOfFuel,
+    /// Structurally stuck.
+    Stuck,
+    /// A `sample` redex paused.
+    Sample,
+    /// A primitive had all its arguments.
+    PrimReady,
+    /// A literal reached an `if` guard.
+    BranchReady,
+    /// A literal reached a `score` redex.
+    ScoreReady,
+    /// An atom was applied.
+    AtomApplied,
+    /// An opaque `fix` was focused.
+    FixEncountered,
+}
+
+/// Number of [`EventKind`]s.
+pub const EVENT_KIND_COUNT: usize = 9;
+
+impl EventKind {
+    /// Every kind, in index order.
+    pub const ALL: [EventKind; EVENT_KIND_COUNT] = [
+        EventKind::Done,
+        EventKind::OutOfFuel,
+        EventKind::Stuck,
+        EventKind::Sample,
+        EventKind::PrimReady,
+        EventKind::BranchReady,
+        EventKind::ScoreReady,
+        EventKind::AtomApplied,
+        EventKind::FixEncountered,
+    ];
+
+    /// Dense index of the kind.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name (used in `--profile` output and JSON).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Done => "done",
+            EventKind::OutOfFuel => "out_of_fuel",
+            EventKind::Stuck => "stuck",
+            EventKind::Sample => "sample",
+            EventKind::PrimReady => "prim_ready",
+            EventKind::BranchReady => "branch_ready",
+            EventKind::ScoreReady => "score_ready",
+            EventKind::AtomApplied => "atom_applied",
+            EventKind::FixEncountered => "fix_encountered",
+        }
+    }
+}
+
+/// Mutable tally cell for one engine run, shared across forked machines.
+#[derive(Debug, Default)]
+pub struct ProfileCell {
+    steps: Cell<u64>,
+    events: [Cell<u64>; EVENT_KIND_COUNT],
+    forks: Cell<u64>,
+    max_frontier: Cell<u64>,
+}
+
+/// How engine drivers hold (and machines share) a profile cell.
+pub type SharedProfile = Rc<ProfileCell>;
+
+impl ProfileCell {
+    /// A fresh zeroed cell behind an [`Rc`], ready to hand to machines.
+    #[must_use]
+    pub fn shared() -> SharedProfile {
+        Rc::new(ProfileCell::default())
+    }
+
+    /// Tally `n` counted reduction steps.
+    #[inline]
+    pub fn count_steps(&self, n: u64) {
+        self.steps.set(self.steps.get() + n);
+    }
+
+    /// Tally one machine event of the given kind.
+    #[inline]
+    pub fn count_event(&self, kind: EventKind) {
+        let cell = &self.events[kind.index()];
+        cell.set(cell.get() + 1);
+    }
+
+    /// Tally one driver-side machine fork (symbolic branch split).
+    #[inline]
+    pub fn count_fork(&self) {
+        self.forks.set(self.forks.get() + 1);
+    }
+
+    /// Record the current frontier depth (queue length / recursion depth);
+    /// keeps the maximum.
+    #[inline]
+    pub fn observe_frontier(&self, depth: usize) {
+        let depth = depth as u64;
+        if depth > self.max_frontier.get() {
+            self.max_frontier.set(depth);
+        }
+    }
+
+    /// Freeze the tallies into a plain-data profile.
+    #[must_use]
+    pub fn snapshot(&self) -> EngineProfile {
+        EngineProfile {
+            steps: self.steps.get(),
+            events: std::array::from_fn(|i| self.events[i].get()),
+            forks: self.forks.get(),
+            max_frontier_depth: self.max_frontier.get(),
+        }
+    }
+}
+
+/// A frozen abstract-machine run profile, carried in engine results and
+/// printed by `probterm --profile`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Counted reduction steps across every machine of the run.
+    pub steps: u64,
+    /// Event tallies, indexed by [`EventKind::index`].
+    pub events: [u64; EVENT_KIND_COUNT],
+    /// Machines forked by the driver at symbolic branches.
+    pub forks: u64,
+    /// Deepest exploration frontier (BFS queue length or tree recursion
+    /// depth) the driver observed.
+    pub max_frontier_depth: u64,
+}
+
+impl EngineProfile {
+    /// Tally for one event kind.
+    #[must_use]
+    pub fn event(&self, kind: EventKind) -> u64 {
+        self.events[kind.index()]
+    }
+
+    /// Total events of every kind.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+
+    /// Pointwise sum with another profile (max of frontier depths).
+    pub fn absorb(&mut self, other: &EngineProfile) {
+        self.steps += other.steps;
+        for (mine, theirs) in self.events.iter_mut().zip(&other.events) {
+            *mine += theirs;
+        }
+        self.forks += other.forks;
+        self.max_frontier_depth = self.max_frontier_depth.max(other.max_frontier_depth);
+    }
+}
+
+impl std::fmt::Display for EngineProfile {
+    /// One human line, nonzero event kinds only:
+    /// `steps=1234 forks=7 max_frontier=3 events: sample=41 branch_ready=40 done=12`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps={} forks={} max_frontier={} events:",
+            self.steps, self.forks, self.max_frontier_depth
+        )?;
+        let mut any = false;
+        for kind in EventKind::ALL {
+            let n = self.event(kind);
+            if n > 0 {
+                write!(f, " {}={}", kind.name(), n)?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, " none")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate_and_snapshot() {
+        let cell = ProfileCell::shared();
+        let clone = Rc::clone(&cell); // a "forked machine" shares the cell
+        cell.count_steps(3);
+        clone.count_steps(2);
+        cell.count_event(EventKind::Sample);
+        clone.count_event(EventKind::Sample);
+        clone.count_event(EventKind::BranchReady);
+        cell.count_fork();
+        cell.observe_frontier(4);
+        cell.observe_frontier(2);
+        let p = cell.snapshot();
+        assert_eq!(p.steps, 5);
+        assert_eq!(p.event(EventKind::Sample), 2);
+        assert_eq!(p.event(EventKind::BranchReady), 1);
+        assert_eq!(p.total_events(), 3);
+        assert_eq!(p.forks, 1);
+        assert_eq!(p.max_frontier_depth, 4);
+    }
+
+    #[test]
+    fn display_lists_nonzero_kinds() {
+        let cell = ProfileCell::shared();
+        cell.count_steps(10);
+        cell.count_event(EventKind::Done);
+        let text = cell.snapshot().to_string();
+        assert!(text.contains("steps=10"));
+        assert!(text.contains("done=1"));
+        assert!(!text.contains("sample="));
+        assert!(EngineProfile::default().to_string().contains("events: none"));
+    }
+
+    #[test]
+    fn absorb_sums_pointwise() {
+        let a = ProfileCell::shared();
+        a.count_steps(1);
+        a.observe_frontier(9);
+        let b = ProfileCell::shared();
+        b.count_steps(2);
+        b.count_fork();
+        b.observe_frontier(4);
+        let mut p = a.snapshot();
+        p.absorb(&b.snapshot());
+        assert_eq!(p.steps, 3);
+        assert_eq!(p.forks, 1);
+        assert_eq!(p.max_frontier_depth, 9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Structured JSONL event sink.
+//!
+//! A [`TraceSink`] serializes events — insertion-ordered key/value records —
+//! as one JSON object per line onto any `Write + Send` target (a file, or
+//! stderr for `probterm serve --trace -`). Writes are serialized through a
+//! mutex and flushed per record, so concurrent workers interleave whole
+//! lines, never bytes, and a crash loses at most the record being written.
+
+use serde::Value;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// A mutex-serialized JSONL writer.
+pub struct TraceSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink").finish_non_exhaustive()
+    }
+}
+
+impl TraceSink {
+    /// A sink writing to `out` (wrap files in a `BufWriter` upstream if the
+    /// per-record flush should batch OS writes).
+    #[must_use]
+    pub fn new(out: Box<dyn Write + Send>) -> TraceSink {
+        TraceSink { out: Mutex::new(out) }
+    }
+
+    /// A sink appending to (or creating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `File::create` error.
+    pub fn to_file(path: &str) -> std::io::Result<TraceSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(TraceSink::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// A sink writing to stderr (the stdout channel may be carrying the
+    /// service's NDJSON protocol).
+    #[must_use]
+    pub fn to_stderr() -> TraceSink {
+        TraceSink::new(Box::new(std::io::stderr()))
+    }
+
+    /// Emit one record as a single JSON line. Field order is preserved.
+    /// IO errors are swallowed: tracing must never take down the service.
+    pub fn emit(&self, fields: Vec<(String, Value)>) {
+        // The serde shim's `Serialize` produces owned `Value`s; wrap the one
+        // we already have so `to_string` can render it directly.
+        struct Raw(Value);
+        impl serde::Serialize for Raw {
+            fn serialize(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let Ok(line) = serde_json::to_string(&Raw(Value::Object(fields))) else {
+            return;
+        };
+        let mut out = self.out.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write target collecting bytes behind an Arc so the test can inspect
+    /// what the sink wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn records_are_single_parseable_lines() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::new(Box::new(buf.clone()));
+        sink.emit(vec![
+            ("id".to_string(), Value::UInt(1)),
+            ("op".to_string(), Value::Str("lower".to_string())),
+            ("outcome".to_string(), Value::Str("ok".to_string())),
+        ]);
+        sink.emit(vec![("id".to_string(), Value::UInt(2))]);
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("op").and_then(Value::as_str), Some("lower"));
+        assert_eq!(first.get("id").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn concurrent_emitters_interleave_whole_lines() {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(TraceSink::new(Box::new(buf.clone())));
+        let handles: Vec<_> = (0..4u64)
+            .map(|worker| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        sink.emit(vec![
+                            ("worker".to_string(), Value::UInt(worker.into())),
+                            ("i".to_string(), Value::UInt(i.into())),
+                        ]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for line in lines {
+            assert!(serde_json::from_str(line).is_ok(), "unparseable line: {line}");
+        }
+    }
+}

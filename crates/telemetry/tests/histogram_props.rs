@@ -1,0 +1,73 @@
+//! Property tests for the log-bucketed histogram.
+//!
+//! The central algebraic contract is that `merge` is *exactly* stream
+//! concatenation: merging the snapshots of two independently recorded sample
+//! streams equals the snapshot of one histogram fed both streams. The service
+//! (per-phase recorders), the bench harness (per-client recorders) and any
+//! future sharded transport all rely on this to aggregate without bias.
+
+use probterm_telemetry::histogram::{bucket_index, bucket_upper_bound};
+use probterm_telemetry::{Histogram, BUCKET_COUNT};
+use proptest::prelude::*;
+
+/// Mixed-magnitude samples: small exact values, mid-range latencies and
+/// values near the top buckets, so every region of the layout gets exercised.
+fn shaped(raw: u64) -> u64 {
+    match raw % 4 {
+        0 => raw % 8,
+        1 => raw % 10_000,
+        2 => raw % 1_000_000_000,
+        _ => u64::MAX - (raw % 1_000),
+    }
+}
+
+proptest! {
+    #[test]
+    fn merge_agrees_with_concatenated_recording(
+        xs in proptest::collection::vec(proptest::prelude::any::<u64>(), 0..200),
+        ys in proptest::collection::vec(proptest::prelude::any::<u64>(), 0..200),
+    ) {
+        let (a, b, ab) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &x in &xs {
+            let x = shaped(x);
+            a.record(x);
+            ab.record(x);
+        }
+        for &y in &ys {
+            let y = shaped(y);
+            b.record(y);
+            ab.record(y);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(merged, ab.snapshot());
+    }
+
+    #[test]
+    fn buckets_bracket_every_value(v in proptest::prelude::any::<u64>()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKET_COUNT);
+        prop_assert!(bucket_upper_bound(idx) >= v);
+        if idx > 0 {
+            prop_assert!(bucket_upper_bound(idx - 1) < v);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded_by_max(
+        xs in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..300),
+    ) {
+        let h = Histogram::new();
+        let mut true_max = 0u64;
+        for &x in &xs {
+            let x = shaped(x);
+            h.record(x);
+            true_max = true_max.max(x);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.max(), true_max);
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        prop_assert!(p50 <= p95 && p95 <= p99);
+        prop_assert!(p99 <= s.max());
+    }
+}

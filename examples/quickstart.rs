@@ -34,6 +34,7 @@ fn main() {
             monte_carlo_runs: 2_000,
             monte_carlo_steps: 10_000,
             seed: 2021,
+            ..Default::default()
         },
     );
     println!("{report}");

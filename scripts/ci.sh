@@ -68,15 +68,19 @@ else
 fi
 
 # ---------------------------------------------------------------------------
-# Service smoke test: boot `probterm serve` on a loopback port, drive a short
-# mixed batch over bash's /dev/tcp (valid requests, a deliberate parse error,
-# a deadline-exceeded request), check each reply line, and assert a graceful
-# shutdown with exit code 0.
+# Service smoke test: boot `probterm serve` on a loopback port with request
+# tracing on, drive a short mixed batch over bash's /dev/tcp (valid requests,
+# a deliberate parse error, a deadline-exceeded request), check each reply
+# line — including the `metrics` Prometheus exposition and the per-op `stats`
+# percentiles — assert a graceful shutdown with exit code 0, and validate the
+# JSONL trace with `probterm trace-check`.
 echo "== service smoke test =="
 smoke_status=0
 if [ -x target/release/probterm ]; then
     port=$((21000 + RANDOM % 20000))
-    target/release/probterm serve --addr "127.0.0.1:$port" --workers 2 &
+    trace_file=$(mktemp /tmp/probterm-trace.XXXXXX.jsonl)
+    target/release/probterm serve --addr "127.0.0.1:$port" --workers 2 \
+        --trace "$trace_file" &
     server_pid=$!
     # Wait for the listener to come up.
     for _ in $(seq 1 100); do
@@ -113,6 +117,10 @@ if [ -x target/release/probterm ]; then
     smoke_request '{"id":4,"op":"lower","program":"((("}' '"code":"parse_error"'
     smoke_request 'this is not json' '"code":"parse_error"'
     smoke_request '{"id":5,"op":"stats"}' '"misses":'
+    # Per-op latency percentiles in the stats reply.
+    smoke_request '{"id":8,"op":"stats"}' '"p95":'
+    # Prometheus-style text exposition via the metrics op.
+    smoke_request '{"id":9,"op":"metrics"}' 'probterm_requests_total'
     smoke_request '{"id":6,"op":"shutdown"}' '"ok":true'
     if wait "$server_pid"; then
         echo "smoke ok: graceful shutdown (exit 0)"
@@ -120,6 +128,17 @@ if [ -x target/release/probterm ]; then
         echo "smoke FAILED: server exited non-zero"
         smoke_status=1
     fi
+    # Every request above must have produced exactly one parseable JSONL
+    # trace record carrying the schema fields.
+    trace_out=$(target/release/probterm trace-check "$trace_file")
+    case "$trace_out" in
+        "ok: 10 trace records"*) echo "smoke ok: trace ($trace_out)" ;;
+        *)
+            echo "smoke FAILED: trace validation: $trace_out"
+            smoke_status=1
+            ;;
+    esac
+    rm -f "$trace_file"
 else
     echo "smoke FAILED: target/release/probterm missing (release build failed?)"
     smoke_status=1

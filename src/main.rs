@@ -1,11 +1,12 @@
 //! `probterm` — command-line interface to the termination analyses.
 //!
 //! ```text
-//! probterm analyze   (<file> | -e <program>)   [--depth N] [--mc RUNS] [--seed N]
-//! probterm lower     (<file> | -e <program>)   [--depth N] [--deadline-ms N]
-//! probterm verify    (<file> | -e <program>)
-//! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--seed N] [--cbv]
-//! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N]
+//! probterm analyze   (<file> | -e <program>)   [--depth N] [--mc RUNS] [--seed N] [--profile]
+//! probterm lower     (<file> | -e <program>)   [--depth N] [--deadline-ms N] [--profile]
+//! probterm verify    (<file> | -e <program>)   [--profile]
+//! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--seed N] [--cbv] [--profile]
+//! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N] [--trace PATH|-]
+//! probterm trace-check <file>
 //! probterm catalog
 //! ```
 //!
@@ -15,10 +16,15 @@
 //! `serve` speaks newline-delimited JSON over TCP when `--addr` is given and
 //! over stdin/stdout otherwise; see the README for the wire protocol.
 
+use probterm::core::astver::try_verify_ast_profiled;
 use probterm::core::intervalsem::{lower_bound, try_lower_bound, LowerBoundConfig};
 use probterm::core::{analyze, analyze_ast, AnalysisConfig};
-use probterm::service::{Server, ServerConfig};
-use probterm::spcf::{catalog, estimate_termination, parse_term, MonteCarloConfig, Strategy, Term};
+use probterm::service::{Server, ServerConfig, TraceSink};
+use probterm::spcf::{
+    catalog, estimate_termination, estimate_termination_profiled, parse_term, MonteCarloConfig,
+    Strategy, Term,
+};
+use probterm_telemetry::EngineProfile;
 use std::process::ExitCode;
 
 struct Options {
@@ -34,6 +40,8 @@ struct Options {
     addr: Option<String>,
     workers: usize,
     cache: usize,
+    profile: bool,
+    trace: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -50,6 +58,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         addr: None,
         workers: 2,
         cache: 1024,
+        profile: false,
+        trace: None,
     };
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -87,6 +97,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--seed requires a number".to_string())?;
             }
             "--cbv" => options.cbv = true,
+            "--profile" => options.profile = true,
+            "--trace" => {
+                options.trace = Some(
+                    iter.next()
+                        .ok_or_else(|| "--trace requires a path (or `-` for stderr)".to_string())?
+                        .clone(),
+                );
+            }
             "--deadline-ms" => {
                 options.deadline_ms = Some(
                     iter.next()
@@ -132,7 +150,7 @@ fn load_program(options: &Options) -> Result<Term, String> {
 }
 
 fn usage() -> &'static str {
-    "usage: probterm <analyze|lower|verify|simulate|serve|catalog> [<file> | -e '<program>'] [options]\n\
+    "usage: probterm <analyze|lower|verify|simulate|serve|trace-check|catalog> [<file> | -e '<program>'] [options]\n\
      options: --depth N   exploration depth for the lower-bound engine (default 120)\n\
               --deadline-ms N  wall-clock budget for `lower`; an expired budget\n\
                           reports the sound partial bound computed so far\n\
@@ -140,9 +158,51 @@ fn usage() -> &'static str {
               --steps N   step budget per Monte-Carlo run (default 20000)\n\
               --seed N    RNG seed for Monte-Carlo runs (default 2021)\n\
               --cbv       simulate with call-by-value instead of call-by-name\n\
+              --profile   print engine event profiles (steps, event kinds,\n\
+                          forks, frontier depth) after the analysis\n\
      serve:   --addr H:P  serve NDJSON over TCP on H:P (default: stdin/stdout)\n\
               --workers N worker threads (default 2)\n\
-              --cache N   result-cache capacity, 0 disables (default 1024)"
+              --cache N   result-cache capacity, 0 disables (default 1024)\n\
+              --trace P   stream one JSONL trace record per request to file P\n\
+                          (`-` streams to stderr; stdout carries the protocol)\n\
+     trace-check <file>:  validate a --trace output file (each line parses as\n\
+                          JSON and carries the trace schema fields)"
+}
+
+/// Prints one engine profile under the `--profile` flag.
+fn print_profile(label: &str, profile: Option<&EngineProfile>) {
+    match profile {
+        Some(p) => eprintln!("profile[{label}]: {p}"),
+        None => eprintln!("profile[{label}]: (not collected)"),
+    }
+}
+
+/// `probterm trace-check <file>`: every non-empty line must parse as a JSON
+/// object carrying the per-request trace schema. Prints a one-line summary.
+fn trace_check(path: &str) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    const REQUIRED: [&str; 8] = [
+        "seq", "op", "queue_us", "cache_us", "engine_us", "serialize_us", "total_us", "outcome",
+    ];
+    let mut records = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: not valid JSON: {e}", lineno + 1))?;
+        for field in REQUIRED {
+            if value.get(field).is_none() {
+                return Err(format!(
+                    "{path}:{}: trace record is missing `{field}`",
+                    lineno + 1
+                ));
+            }
+        }
+        records += 1;
+    }
+    Ok(records)
 }
 
 fn main() -> ExitCode {
@@ -171,12 +231,42 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "trace-check" => match options.positional.first() {
+            None => {
+                eprintln!("error: trace-check requires a file argument\n{}", usage());
+                ExitCode::FAILURE
+            }
+            Some(path) => match trace_check(path) {
+                Ok(records) => {
+                    println!("ok: {records} trace records in {path}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+        },
         "serve" => {
-            let server = Server::new(ServerConfig {
-                workers: options.workers,
-                cache_capacity: options.cache,
-                ..Default::default()
-            });
+            let trace = match options.trace.as_deref() {
+                None => None,
+                Some("-") => Some(TraceSink::to_stderr()),
+                Some(path) => match TraceSink::to_file(path) {
+                    Ok(sink) => Some(sink),
+                    Err(e) => {
+                        eprintln!("error: cannot open trace file {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let server = Server::with_trace(
+                ServerConfig {
+                    workers: options.workers,
+                    cache_capacity: options.cache,
+                    ..Default::default()
+                },
+                trace,
+            );
             let served = match &options.addr {
                 Some(addr) => match std::net::TcpListener::bind(addr) {
                     Ok(listener) => {
@@ -221,15 +311,25 @@ fn main() -> ExitCode {
                             monte_carlo_runs: if options.runs_set { options.runs } else { 0 },
                             monte_carlo_steps: options.steps,
                             seed: options.seed,
+                            profile: options.profile,
                         },
                     );
                     print!("{report}");
+                    if options.profile {
+                        print_profile("lower", report.lower_bound.profile.as_ref());
+                        print_profile(
+                            "verify",
+                            report.ast.as_ref().and_then(|v| v.profile.as_ref()),
+                        );
+                    }
                 }
                 "lower" => {
                     // Defaults live in LowerBoundConfig; the CLI only layers
                     // its flags on top (same builder the service and the
                     // bench harness use).
-                    let config = LowerBoundConfig::default().with_depth(options.depth);
+                    let config = LowerBoundConfig::default()
+                        .with_depth(options.depth)
+                        .with_profile(options.profile);
                     let result = match options.deadline_ms {
                         None => lower_bound(&term, &config),
                         Some(ms) => {
@@ -257,28 +357,47 @@ fn main() -> ExitCode {
                         result.elapsed.as_millis(),
                         if result.interrupted { ", partial: deadline exceeded" } else { "" }
                     );
-                }
-                "verify" => match analyze_ast(&term) {
-                    Ok(v) => println!("{v}"),
-                    Err(e) => {
-                        eprintln!("verification not applicable: {e}");
-                        return ExitCode::FAILURE;
+                    if options.profile {
+                        print_profile("lower", result.profile.as_ref());
                     }
-                },
+                }
+                "verify" => {
+                    let verified = if options.profile {
+                        try_verify_ast_profiled(&term, true, &mut || Ok(()))
+                    } else {
+                        analyze_ast(&term)
+                    };
+                    match verified {
+                        Ok(v) => {
+                            println!("{v}");
+                            if options.profile {
+                                print_profile("verify", v.profile.as_ref());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("verification not applicable: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
                 "simulate" => {
-                    let estimate = estimate_termination(
-                        &term,
-                        &MonteCarloConfig {
-                            runs: options.runs,
-                            max_steps: options.steps,
-                            seed: options.seed,
-                            strategy: if options.cbv {
-                                Strategy::CallByValue
-                            } else {
-                                Strategy::CallByName
-                            },
+                    let config = MonteCarloConfig {
+                        runs: options.runs,
+                        max_steps: options.steps,
+                        seed: options.seed,
+                        strategy: if options.cbv {
+                            Strategy::CallByValue
+                        } else {
+                            Strategy::CallByName
                         },
-                    );
+                    };
+                    let estimate = if options.profile {
+                        let (estimate, profile) = estimate_termination_profiled(&term, &config);
+                        print_profile("simulate", Some(&profile));
+                        estimate
+                    } else {
+                        estimate_termination(&term, &config)
+                    };
                     println!(
                         "terminated {}/{} runs (estimated Pterm {:.4} ± {:.4}); mean steps {:.1}",
                         estimate.terminated,
