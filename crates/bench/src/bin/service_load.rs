@@ -210,5 +210,6 @@ fn main() {
 
     let json = serde_json::to_string_pretty(&rows).expect("serialise rows");
     std::fs::write("BENCH_service.json", json + "\n").expect("write BENCH_service.json");
+    probterm_bench::append_history("service_load", &rows.serialize());
     eprintln!("wrote BENCH_service.json");
 }

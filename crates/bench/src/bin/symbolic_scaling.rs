@@ -98,5 +98,6 @@ fn main() {
         .collect();
     let payload = format!("[\n  {}\n]\n", rendered.join(",\n  "));
     std::fs::write("BENCH_symbolic.json", &payload).expect("write BENCH_symbolic.json");
+    probterm_bench::append_history("symbolic_scaling", &rows.serialize());
     println!("wrote BENCH_symbolic.json ({} rows)", rows.len());
 }

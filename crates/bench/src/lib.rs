@@ -10,7 +10,7 @@
 use probterm_astver::verify_ast;
 use probterm_intervalsem::{lower_bound, LowerBoundConfig};
 use probterm_spcf::catalog::{self, Benchmark};
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// A row of Table 1 (lower-bound computation).
 #[derive(Debug, Clone, Serialize)]
@@ -117,6 +117,55 @@ pub fn table2() -> Vec<Table2Row> {
     catalog::table2_benchmarks().iter().map(table2_row).collect()
 }
 
+/// Appends one benchmark-trajectory record to `BENCH_history.jsonl` in the
+/// current directory, alongside the benchmark's own `BENCH_*.json` report.
+///
+/// Each record is one JSONL line `{"ts": <unix seconds>, "git_rev":
+/// "<short rev or unknown>", "bench": "<name>", "metrics": <metrics>}`, so
+/// successive runs accumulate a perf trajectory across revisions that
+/// `BENCH_*.json` (which is overwritten per run) cannot show.
+pub fn append_history(bench: &str, metrics: &Value) {
+    append_history_to(std::path::Path::new("BENCH_history.jsonl"), bench, metrics);
+}
+
+/// Path-parameterised variant of [`append_history`] (tests point it at a
+/// temporary file). Best-effort: I/O failures are swallowed so a read-only
+/// checkout never fails a benchmark run over its history log.
+pub fn append_history_to(path: &std::path::Path, bench: &str, metrics: &Value) {
+    let record = Value::Object(vec![
+        ("ts".into(), Value::UInt(unix_seconds())),
+        ("git_rev".into(), Value::Str(git_rev())),
+        ("bench".into(), Value::Str(bench.to_string())),
+        ("metrics".into(), metrics.clone()),
+    ]);
+    let Ok(line) = serde_json::to_string(&record) else { return };
+    if let Ok(mut file) =
+        std::fs::OpenOptions::new().create(true).append(true).open(path)
+    {
+        use std::io::Write as _;
+        let _ = writeln!(file, "{line}");
+    }
+}
+
+fn unix_seconds() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| u128::from(d.as_secs()))
+        .unwrap_or(0)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Renders Table 1 rows as an aligned text table.
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
@@ -182,6 +231,35 @@ mod tests {
         let rendered = render_table1(&rows);
         assert!(rendered.contains("geo"));
         assert!(rendered.contains("pedestrian"));
+    }
+
+    #[test]
+    fn history_records_append_as_jsonl() {
+        let path = std::env::temp_dir()
+            .join(format!("BENCH_history_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_history_to(&path, "table1", &Value::Array(vec![]));
+        append_history_to(
+            &path,
+            "table2",
+            &Value::Object(vec![("rows".into(), Value::UInt(5))]),
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "appends, never overwrites: {text}");
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).unwrap();
+            for field in ["ts", "git_rev", "bench", "metrics"] {
+                assert!(v.get(field).is_some(), "missing {field}: {line}");
+            }
+        }
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second.get("bench").and_then(Value::as_str), Some("table2"));
+        assert_eq!(
+            second.get("metrics").unwrap().get("rows").and_then(Value::as_u64),
+            Some(5)
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 mod iterm;
 mod lowerbound;
 mod past;
+pub mod provenance;
 mod symbolic;
 
 pub use iterm::{
@@ -41,13 +42,17 @@ pub use iterm::{
     IntervalTrace,
 };
 pub use lowerbound::{
-    lower_bound, lower_bound_profile, try_lower_bound, LowerBoundConfig, LowerBoundResult,
+    lower_bound, lower_bound_profile, try_lower_bound, try_lower_bound_measured, LowerBoundConfig,
+    LowerBoundResult, PathMeasure, VolumeMethod,
 };
 pub use past::{
     divergence_ratio, expected_steps_profile, refute_past_bound, ExpectedStepsPoint, PastProbe,
     PastRefutation,
 };
+pub use provenance::{
+    explain, try_explain, ExplainConfig, FrontierSummary, PathProvenance, Provenance, Witness,
+};
 pub use symbolic::{
     explore, explore_substitution, try_explore, Branch, ConstraintKind, Exploration,
-    ExplorationConfig, SymConstraint, SymValue, SymbolicPath,
+    ExplorationConfig, FrontierPath, SymConstraint, SymValue, SymbolicPath,
 };

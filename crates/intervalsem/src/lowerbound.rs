@@ -21,11 +21,41 @@
 //! and the bound computed so far is still valid — merely smaller than what a
 //! completed run would certify.
 
-use crate::symbolic::{try_explore, ExplorationConfig, SymbolicPath};
+use crate::symbolic::{try_explore, Exploration, ExplorationConfig};
 use probterm_numerics::Rational;
 use probterm_spcf::Term;
 use probterm_telemetry::EngineProfile;
 use std::time::{Duration, Instant};
+
+/// How the volume contribution of one terminated symbolic path was computed.
+///
+/// Recorded per path by [`try_lower_bound_measured`] and surfaced verbatim in
+/// the provenance artifact ([`crate::provenance`]), so a reported bound can be
+/// audited path by path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VolumeMethod {
+    /// Exact polytope volume — the constraint system is affine.
+    Exact,
+    /// Adaptive box-splitting sweep with the given box budget: a sound lower
+    /// bound on the region's volume, generally below the true volume.
+    BoxSweep {
+        /// The box budget the sweep ran with.
+        max_boxes: usize,
+    },
+    /// Not measured: the computation was interrupted before the non-affine
+    /// sweep could run. Contributes zero mass and is tallied as unexplored.
+    Unmeasured,
+}
+
+/// The volume contribution of one terminated path, aligned index-for-index
+/// with `Exploration::terminated`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathMeasure {
+    /// The (sound lower bound on the) volume of the path region.
+    pub volume: Rational,
+    /// How `volume` was obtained.
+    pub method: VolumeMethod,
+}
 
 /// Configuration of the lower-bound computation.
 ///
@@ -170,24 +200,35 @@ pub fn try_lower_bound<E>(
     config: &LowerBoundConfig,
     check: &mut dyn FnMut(usize) -> Result<(), E>,
 ) -> (LowerBoundResult, Option<E>) {
+    let (result, _, _, interruption) = try_lower_bound_measured(term, config, check);
+    (result, interruption)
+}
+
+/// The full-fidelity variant of [`try_lower_bound`]: additionally returns the
+/// underlying [`Exploration`] (terminated paths, stuck tally, abandoned
+/// frontier) and one [`PathMeasure`] per terminated path, aligned
+/// index-for-index with `Exploration::terminated`.
+///
+/// This is the single measuring loop both the lower-bound engine and the
+/// provenance layer run on, which is what makes the provenance artifact's
+/// per-path volumes sum *exactly* (rational arithmetic, no float drift) to
+/// [`LowerBoundResult::probability`] — they are the same numbers.
+pub fn try_lower_bound_measured<E>(
+    term: &Term,
+    config: &LowerBoundConfig,
+    check: &mut dyn FnMut(usize) -> Result<(), E>,
+) -> (LowerBoundResult, Exploration, Vec<PathMeasure>, Option<E>) {
     let start = Instant::now();
     let (exploration, mut interruption) = try_explore(term, &config.exploration(), check);
-    let mut probability = Rational::zero();
-    let mut expected_steps = Rational::zero();
-    let mut measured = 0usize;
-    let mut unmeasured = 0usize;
-    let mut add = |p: Rational, steps: usize, measured: &mut usize| {
-        expected_steps += &p * &Rational::from_int(steps as i64);
-        probability += p;
-        *measured += 1;
-    };
+    let mut measures: Vec<PathMeasure> = Vec::with_capacity(exploration.terminated.len());
     for (index, path) in exploration.terminated.iter().enumerate() {
         if interruption.is_none() {
             if let Err(e) = check(index) {
                 interruption = Some(e);
             }
         }
-        if interruption.is_some() {
+        let measure = match path.exact_probability() {
+            Some(p) => PathMeasure { volume: p, method: VolumeMethod::Exact },
             // The exploration (the unbounded part of the work) is over, so
             // measuring the already-terminated paths is bounded — but the
             // adaptive box sweep for non-affine paths is the one knob that
@@ -195,24 +236,41 @@ pub fn try_lower_bound<E>(
             // exactly-measurable (affine) paths contribute; sweep-only paths
             // are tallied as unexplored. Either way the accumulated mass
             // stays a sound lower bound.
-            match path.exact_probability() {
-                Some(p) => add(p, path.steps, &mut measured),
-                None => unmeasured += 1,
+            None if interruption.is_some() => {
+                PathMeasure { volume: Rational::zero(), method: VolumeMethod::Unmeasured }
             }
-        } else {
-            add(path_probability(path, config), path.steps, &mut measured);
-        }
+            None => PathMeasure {
+                volume: path.box_lower_bound(config.boxes_per_path),
+                method: VolumeMethod::BoxSweep { max_boxes: config.boxes_per_path },
+            },
+        };
+        measures.push(measure);
     }
-    if measured == 0 && interruption.is_some() {
+    if interruption.is_some() && measures.iter().all(|m| m.method == VolumeMethod::Unmeasured) {
         // Nothing was exactly measurable (all terminated paths need the box
         // sweep): sweep the first one with a tightly capped box budget so a
         // partial reply is nonzero whenever any path terminated, without
         // tying the caller up long past its expired deadline.
         if let Some(path) = exploration.terminated.first() {
-            let p = path.probability(config.boxes_per_path.min(128));
-            add(p, path.steps, &mut measured);
-            unmeasured -= 1;
+            let max_boxes = config.boxes_per_path.min(128);
+            measures[0] = PathMeasure {
+                volume: path.box_lower_bound(max_boxes),
+                method: VolumeMethod::BoxSweep { max_boxes },
+            };
         }
+    }
+    let mut probability = Rational::zero();
+    let mut expected_steps = Rational::zero();
+    let mut measured = 0usize;
+    let mut unmeasured = 0usize;
+    for (path, measure) in exploration.terminated.iter().zip(&measures) {
+        if measure.method == VolumeMethod::Unmeasured {
+            unmeasured += 1;
+            continue;
+        }
+        expected_steps += &measure.volume * &Rational::from_int(path.steps as i64);
+        probability += measure.volume.clone();
+        measured += 1;
     }
     let unexplored = exploration.out_of_fuel + unmeasured;
     let result = LowerBoundResult {
@@ -223,13 +281,9 @@ pub fn try_lower_bound<E>(
         stuck_paths: exploration.stuck,
         interrupted: exploration.interrupted || interruption.is_some(),
         elapsed: start.elapsed(),
-        profile: exploration.profile,
+        profile: exploration.profile.clone(),
     };
-    (result, interruption)
-}
-
-fn path_probability(path: &SymbolicPath, config: &LowerBoundConfig) -> Rational {
-    path.probability(config.boxes_per_path)
+    (result, exploration, measures, interruption)
 }
 
 /// Computes lower bounds at several increasing depths, demonstrating the

@@ -459,6 +459,166 @@ impl SymbolicPath {
             None => self.box_lower_bound(max_boxes),
         }
     }
+
+    /// Searches the path region for a concrete *witness*: a sample vector on
+    /// which the concrete machine provably follows this path. The search
+    /// bisects the unit cube until it finds a box on which every constraint
+    /// certainly holds and the terminal value is certainly defined, then
+    /// returns the box midpoints.
+    ///
+    /// Strict (`> 0`) constraints are satisfied strictly because a box only
+    /// passes `check_box` when the enclosure is certainly positive. Under
+    /// call-by-name, every primitive application the concrete machine forces
+    /// along the path occurs inside a recorded constraint or the terminal
+    /// result, so requiring the result's interval enclosure to exist on the
+    /// box rules out replays that would strand on a partial primitive (e.g.
+    /// `log`) applied outside its domain.
+    ///
+    /// Returns `None` when `max_boxes` bisections were not enough — possible
+    /// for thin or empty regions, never for a region containing an interior
+    /// box wider than the budget allows refining to.
+    pub fn find_witness(&self, max_boxes: usize) -> Option<Vec<Rational>> {
+        // How a box relates to the path region: certainly outside, certainly
+        // inside (with the result defined), or ambiguous — carrying the
+        // descent heuristic: how many conditions the whole box decides true,
+        // and how many its midpoint *point* satisfies.
+        enum Fit {
+            Outside,
+            Inside,
+            Ambiguous(usize, usize),
+        }
+        let conditions = self.constraints.len() + usize::from(self.result.is_some());
+        let holds_on = |cube: &IntervalBox| -> Option<usize> {
+            let mut decided = 0usize;
+            for c in &self.constraints {
+                match c.check_box(cube) {
+                    Some(true) => decided += 1,
+                    Some(false) => return None,
+                    None => {}
+                }
+            }
+            if let Some(result) = &self.result {
+                if result.eval_interval(cube).is_some() {
+                    decided += 1;
+                }
+            }
+            Some(decided)
+        };
+        let midpoint =
+            |cube: &IntervalBox| -> Vec<Rational> { cube.intervals().iter().map(Interval::midpoint).collect() };
+        // A rational point is a degenerate box, and interval arithmetic on a
+        // point decides affine constraints *exactly* (strict ones included —
+        // the very comparisons that stay ambiguous forever on any box whose
+        // edge sits on the constraint boundary). Transcendental enclosures
+        // stay outward-rounded, so a point test is still conservative, never
+        // unsound. Unlike `holds_on`, a failing condition does not zero the
+        // score: the count must keep its gradient so the descent can trade
+        // one violated constraint off against the others.
+        let point_fit = |cube: &IntervalBox| -> usize {
+            let point = IntervalBox::new(
+                cube.intervals().iter().map(|iv| Interval::point(iv.midpoint())).collect(),
+            );
+            let mut satisfied = 0usize;
+            for c in &self.constraints {
+                if c.check_box(&point) == Some(true) {
+                    satisfied += 1;
+                }
+            }
+            if let Some(result) = &self.result {
+                if result.eval_interval(&point).is_some() {
+                    satisfied += 1;
+                }
+            }
+            satisfied
+        };
+        let fit = |cube: &IntervalBox| -> Fit {
+            let Some(decided) = holds_on(cube) else { return Fit::Outside };
+            if decided == conditions {
+                return Fit::Inside;
+            }
+            let at_midpoint = point_fit(cube);
+            if at_midpoint == conditions {
+                // The midpoint itself is certified: every constraint holds
+                // there and the result is defined, so it is a witness even
+                // though the surrounding box still straddles a boundary.
+                return Fit::Inside;
+            }
+            Fit::Ambiguous(decided, at_midpoint)
+        };
+        let root = IntervalBox::unit(self.sample_count);
+        match fit(&root) {
+            Fit::Inside => return Some(midpoint(&root)),
+            Fit::Outside => return None,
+            Fit::Ambiguous(..) => {}
+        }
+        // Depth-first over ambiguous boxes — a witness is one point, so the
+        // search descends into one half of every ambiguous box and
+        // backtracks on refutation (breadth-first bisection would spread the
+        // budget over the whole frontier and exhaust it at shallow depths
+        // once a path has many sample dimensions). Children are evaluated
+        // *before* pushing and ordered by how promising they are: first by
+        // conditions the whole box decides true (bisecting the dimension of
+        // an undecided single-variable constraint yields one child that
+        // settles it), then by conditions the midpoint satisfies (the only
+        // gradient available for multivariate constraints like `α_i > α_j`,
+        // whose box checks tie on both halves of every bisection along the
+        // boundary diagonal).
+        let mut stack = vec![root];
+        let mut processed = 0usize;
+        while let Some(cube) = stack.pop() {
+            processed += 1;
+            if processed > max_boxes {
+                break;
+            }
+            let Some((a, b)) = cube.bisect_widest() else { continue };
+            let fit_a = fit(&a);
+            if matches!(fit_a, Fit::Inside) {
+                return Some(midpoint(&a));
+            }
+            let fit_b = fit(&b);
+            if matches!(fit_b, Fit::Inside) {
+                return Some(midpoint(&b));
+            }
+            match (fit_a, fit_b) {
+                (Fit::Ambiguous(da, pa), Fit::Ambiguous(db, pb)) => {
+                    // Last pushed is popped first.
+                    if (da, pa) <= (db, pb) {
+                        stack.push(a);
+                        stack.push(b);
+                    } else {
+                        stack.push(b);
+                        stack.push(a);
+                    }
+                }
+                (Fit::Ambiguous(..), _) => stack.push(a),
+                (_, Fit::Ambiguous(..)) => stack.push(b),
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// A path that was abandoned mid-flight: it neither terminated nor got
+/// stuck, but ran out of step budget, fell beyond the path budget, or was
+/// still paused in the BFS queue when an interruption cut the exploration
+/// short. Frontier paths carry the mass the reported lower bound is missing;
+/// the provenance layer summarises them as the `unaccounted_mass` gap and a
+/// depth histogram (see [`crate::provenance`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPath {
+    /// Small-step reductions performed before the path was cut off.
+    pub steps: usize,
+    /// Branch decisions taken so far — `branches.len()` is the path's depth
+    /// in the symbolic execution tree.
+    pub branches: Vec<Branch>,
+}
+
+impl FrontierPath {
+    /// Depth of the path in the symbolic execution tree (branches taken).
+    pub fn depth(&self) -> usize {
+        self.branches.len()
+    }
 }
 
 /// The outcome of a bounded symbolic exploration.
@@ -469,6 +629,11 @@ pub struct Exploration {
     /// Number of paths abandoned because the step budget, the path budget or
     /// an interruption cut them off.
     pub out_of_fuel: usize,
+    /// One record per abandoned path (so `frontier.len() == out_of_fuel`),
+    /// in abandonment order: what was still in flight when the exploration
+    /// stopped. The substitution reference populates this identically — the
+    /// differential suite compares whole [`Exploration`] values.
+    pub frontier: Vec<FrontierPath>,
     /// Number of paths that got stuck.
     pub stuck: usize,
     /// `true` when the exploration was cancelled by the cooperative check of
@@ -590,6 +755,7 @@ pub fn try_explore<E>(
     let mut result = Exploration {
         terminated: Vec::new(),
         out_of_fuel: 0,
+        frontier: Vec::new(),
         stuck: 0,
         interrupted: false,
         profile: None,
@@ -601,11 +767,27 @@ pub fn try_explore<E>(
         processed += 1;
         if processed > config.max_paths {
             result.out_of_fuel += 1 + queue.len();
+            result.frontier.push(FrontierPath {
+                steps: path.machine.steps(),
+                branches: path.branches,
+            });
+            result.frontier.extend(queue.drain(..).map(|p| FrontierPath {
+                steps: p.machine.steps(),
+                branches: p.branches,
+            }));
             break;
         }
         if let Err(e) = check(work) {
             result.interrupted = true;
             result.out_of_fuel += 1 + queue.len();
+            result.frontier.push(FrontierPath {
+                steps: path.machine.steps(),
+                branches: path.branches,
+            });
+            result.frontier.extend(queue.drain(..).map(|p| FrontierPath {
+                steps: p.machine.steps(),
+                branches: p.branches,
+            }));
             result.profile = profile.as_ref().map(|cell| cell.snapshot());
             return (result, Some(e));
         }
@@ -615,6 +797,14 @@ pub fn try_explore<E>(
                 if let Err(e) = check(work) {
                     result.interrupted = true;
                     result.out_of_fuel += 1 + queue.len();
+                    result.frontier.push(FrontierPath {
+                        steps: path.machine.steps(),
+                        branches: std::mem::take(&mut path.branches),
+                    });
+                    result.frontier.extend(queue.drain(..).map(|p| FrontierPath {
+                        steps: p.machine.steps(),
+                        branches: p.branches,
+                    }));
                     interruption = Some(e);
                     break 'exploration;
                 }
@@ -632,6 +822,10 @@ pub fn try_explore<E>(
                 }
                 Event::OutOfFuel => {
                     result.out_of_fuel += 1;
+                    result.frontier.push(FrontierPath {
+                        steps: path.machine.steps(),
+                        branches: std::mem::take(&mut path.branches),
+                    });
                     break;
                 }
                 Event::Stuck(_) => {
@@ -837,6 +1031,7 @@ pub fn explore_substitution(term: &Term, config: &ExplorationConfig) -> Explorat
     let mut result = Exploration {
         terminated: Vec::new(),
         out_of_fuel: 0,
+        frontier: Vec::new(),
         stuck: 0,
         interrupted: false,
         profile: None,
@@ -846,6 +1041,14 @@ pub fn explore_substitution(term: &Term, config: &ExplorationConfig) -> Explorat
         processed += 1;
         if processed > config.max_paths {
             result.out_of_fuel += 1 + queue.len();
+            result.frontier.push(FrontierPath {
+                steps: state.steps,
+                branches: state.branches,
+            });
+            result.frontier.extend(queue.drain(..).map(|s| FrontierPath {
+                steps: s.steps,
+                branches: s.branches,
+            }));
             break;
         }
         loop {
@@ -861,6 +1064,10 @@ pub fn explore_substitution(term: &Term, config: &ExplorationConfig) -> Explorat
             }
             if state.steps >= config.max_steps_per_path {
                 result.out_of_fuel += 1;
+                result.frontier.push(FrontierPath {
+                    steps: state.steps,
+                    branches: std::mem::take(&mut state.branches),
+                });
                 break;
             }
             match sym_step(state.term.clone(), &mut state) {

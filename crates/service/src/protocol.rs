@@ -77,6 +77,9 @@ pub enum Op {
     Simulate,
     /// Interval-semantics lower bound on `Pterm`.
     Lower,
+    /// Provenance of the lower bound: per-path attribution, replayable
+    /// witnesses and frontier summary, as the documented JSON artifact.
+    Explain,
     /// Counting-based AST verification.
     Verify,
     /// The combined report (type + lower bound + AST + optional Monte-Carlo).
@@ -97,6 +100,7 @@ impl Op {
         match self {
             Op::Simulate => "simulate",
             Op::Lower => "lower",
+            Op::Explain => "explain",
             Op::Verify => "verify",
             Op::Analyze => "analyze",
             Op::Catalog => "catalog",
@@ -110,6 +114,7 @@ impl Op {
         Some(match s {
             "simulate" => Op::Simulate,
             "lower" => Op::Lower,
+            "explain" => Op::Explain,
             "verify" => Op::Verify,
             "analyze" => Op::Analyze,
             "catalog" => Op::Catalog,
@@ -123,13 +128,14 @@ impl Op {
     /// Whether the op runs an analysis engine (as opposed to serving
     /// metadata or control traffic).
     pub fn is_engine_op(self) -> bool {
-        matches!(self, Op::Simulate | Op::Lower | Op::Verify | Op::Analyze)
+        matches!(self, Op::Simulate | Op::Lower | Op::Explain | Op::Verify | Op::Analyze)
     }
 
     /// Every op, in wire order — the index into the per-op metrics table.
-    pub const ALL: [Op; 8] = [
+    pub const ALL: [Op; 9] = [
         Op::Simulate,
         Op::Lower,
+        Op::Explain,
         Op::Verify,
         Op::Analyze,
         Op::Catalog,
@@ -154,8 +160,11 @@ pub struct Request {
     pub op: Op,
     /// SPCF source of the program to analyse (engine ops only).
     pub program: Option<String>,
-    /// Exploration depth (`lower`, `analyze`).
+    /// Exploration depth (`lower`, `explain`, `analyze`).
     pub depth: Option<usize>,
+    /// Limit the provenance artifact to the `K` largest path contributions
+    /// (`explain` only; totals are unaffected).
+    pub top: Option<usize>,
     /// Monte-Carlo run count (`simulate`, `analyze`).
     pub runs: Option<usize>,
     /// Step budget per Monte-Carlo run (`simulate`, `analyze`).
@@ -245,11 +254,12 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, ServiceError
         },
     };
     let depth = field_usize(&value, "depth").map_err(&fail)?;
+    let top = field_usize(&value, "top").map_err(&fail)?;
     let runs = field_usize(&value, "runs").map_err(&fail)?;
     let steps = field_usize(&value, "steps").map_err(&fail)?;
     let seed = field_u64(&value, "seed").map_err(&fail)?;
     let deadline_ms = field_u64(&value, "deadline_ms").map_err(&fail)?;
-    Ok(Request { id, op, program, depth, runs, steps, seed, strategy, deadline_ms })
+    Ok(Request { id, op, program, depth, top, runs, steps, seed, strategy, deadline_ms })
 }
 
 /// Builds a success reply line (without the trailing newline).

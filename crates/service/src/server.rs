@@ -33,7 +33,9 @@ use crate::protocol::{
 };
 use probterm_telemetry::{SpanTimer, TraceSink};
 use probterm_core::astver::{try_verify_ast, VerifyError};
-use probterm_core::intervalsem::{try_lower_bound, LowerBoundConfig, LowerBoundResult};
+use probterm_core::intervalsem::{
+    try_explain, try_lower_bound, ExplainConfig, LowerBoundConfig, LowerBoundResult,
+};
 use probterm_core::spcf::{
     catalog, parse_term, try_estimate_termination, MonteCarloConfig, Strategy, Term,
 };
@@ -63,6 +65,10 @@ pub struct ServerConfig {
     pub max_steps: usize,
     /// Hard cap on the byte length of submitted programs.
     pub max_program_bytes: usize,
+    /// Slow-request threshold in milliseconds: a request whose *engine-run
+    /// phase* exceeds this writes one structured JSONL line to the slow log
+    /// (stderr under `probterm serve --slow-ms N`). `None` disables it.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +80,7 @@ impl Default for ServerConfig {
             max_runs: 1_000_000,
             max_steps: 1_000_000,
             max_program_bytes: 64 * 1024,
+            slow_ms: None,
         }
     }
 }
@@ -113,10 +120,15 @@ pub struct ServerState {
     metrics: ServiceMetrics,
     request_seq: AtomicU64,
     trace: Option<TraceSink>,
+    slow: Option<TraceSink>,
 }
 
 impl ServerState {
-    fn new(config: ServerConfig, trace: Option<TraceSink>) -> ServerState {
+    fn new(
+        config: ServerConfig,
+        trace: Option<TraceSink>,
+        slow: Option<TraceSink>,
+    ) -> ServerState {
         ServerState {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             config,
@@ -127,6 +139,7 @@ impl ServerState {
             metrics: ServiceMetrics::new(),
             request_seq: AtomicU64::new(0),
             trace,
+            slow,
         }
     }
 
@@ -281,6 +294,43 @@ fn emit_trace(
     ]);
 }
 
+/// Writes one structured slow-request line when a request's *engine-run*
+/// phase exceeded the configured [`ServerConfig::slow_ms`] threshold.
+///
+/// Schema (one JSON object per line): `slow_ms` (the threshold), `seq`,
+/// `op`, `canonical_key` (first 16 hex digits of the α-invariant term hash)
+/// and the full phase breakdown in microseconds. Cache hits and control ops
+/// never trip it — their engine phase is zero.
+fn emit_slow(
+    state: &ServerState,
+    seq: u64,
+    op: Op,
+    canonical_key: Option<u128>,
+    phases: &PhaseTimes,
+) {
+    let (Some(threshold_ms), Some(sink)) = (state.config.slow_ms, &state.slow) else {
+        return;
+    };
+    if u128::from(phases.engine_us) <= u128::from(threshold_ms) * 1_000 {
+        return;
+    }
+    sink.emit(vec![
+        ("slow_ms".into(), Value::UInt(u128::from(threshold_ms))),
+        ("seq".into(), Value::UInt(u128::from(seq))),
+        ("op".into(), Value::Str(op.as_str().to_string())),
+        (
+            "canonical_key".into(),
+            canonical_key
+                .map_or(Value::Null, |k| Value::Str(format!("{k:032x}")[..16].to_string())),
+        ),
+        ("queue_us".into(), Value::UInt(u128::from(phases.queue_us))),
+        ("cache_us".into(), Value::UInt(u128::from(phases.cache_us))),
+        ("engine_us".into(), Value::UInt(u128::from(phases.engine_us))),
+        ("serialize_us".into(), Value::UInt(u128::from(phases.serialize_us))),
+        ("total_us".into(), Value::UInt(u128::from(phases.total_us))),
+    ]);
+}
+
 fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
     if line.trim().is_empty() {
         return LineOutcome { reply: None, shutdown: false };
@@ -323,6 +373,7 @@ fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
     phases.total_us = queue_us.saturating_add(timer.elapsed_us());
     state.metrics.record(op, &phases, ok);
     emit_trace(state, seq, &id, Some(op), canonical_key, &phases, outcome, cache_tag);
+    emit_slow(state, seq, op, canonical_key, &phases);
     LineOutcome { reply: Some(reply), shutdown }
 }
 
@@ -339,7 +390,7 @@ fn dispatch(
         Op::Stats => Ok((stats_payload(state), None)),
         Op::Metrics => Ok((metrics_payload(state), None)),
         Op::Shutdown => Ok((Value::Object(vec![]), None)),
-        Op::Simulate | Op::Lower | Op::Verify | Op::Analyze => {
+        Op::Simulate | Op::Lower | Op::Explain | Op::Verify | Op::Analyze => {
             engine_op(state, request, phases, canonical_key)
         }
     }
@@ -399,6 +450,10 @@ fn engine_op(
                 strategy_str(request.strategy)
             ),
             Op::Lower => format!("depth={depth}"),
+            Op::Explain => format!(
+                "depth={depth};top={}",
+                request.top.map_or_else(|| "all".to_string(), |t| t.to_string())
+            ),
             Op::Verify => String::new(),
             Op::Analyze => format!("depth={depth};runs={runs};steps={steps};seed={seed}"),
             _ => unreachable!("engine_op is only called for engine ops"),
@@ -453,6 +508,7 @@ fn engine_op(
     let computed = catch_unwind(AssertUnwindSafe(|| match request.op {
         Op::Simulate => simulate_payload(&term, runs, steps, seed, request.strategy, &deadline),
         Op::Lower => lower_payload(&term, depth, &deadline),
+        Op::Explain => explain_payload(&term, source, depth, request.top, &deadline),
         Op::Verify => verify_payload(&term, &deadline),
         Op::Analyze => analyze_payload(&term, depth, runs, steps, seed, &deadline),
         _ => unreachable!("engine_op is only called for engine ops"),
@@ -565,6 +621,36 @@ fn lower_result_value(result: &LowerBoundResult, depth: usize) -> Value {
         ("complete".into(), Value::Bool(!result.interrupted)),
         ("engine_ms".into(), Value::UInt(result.elapsed.as_millis())),
     ])
+}
+
+/// Interruptible provenance computation: the same symbolic engine as
+/// `lower`, but the reply is the full explainability artifact — per-path
+/// volume attribution with replayable witnesses, frontier summary and the
+/// documented `probterm-explain-v1` schema. Deadline handling mirrors
+/// `lower`: an expired budget yields the sound partial artifact (marked
+/// `"complete": false`) rather than a bare `budget_exceeded`.
+fn explain_payload(
+    term: &Term,
+    source: &str,
+    depth: usize,
+    top: Option<usize>,
+    deadline: &Deadline,
+) -> Result<Value, ServiceError> {
+    deadline.check("before the explain engine started")?;
+    let config = ExplainConfig::default()
+        .with_lower(LowerBoundConfig::default().with_depth(depth));
+    let mut check = |_work: usize| deadline.check("during symbolic exploration");
+    let (provenance, _interruption) = try_explain(term, &config, &mut check);
+    let engine_ms = provenance.result.elapsed.as_millis();
+    let Value::Object(mut fields) =
+        probterm_explain::render_json(&provenance, source, depth, top)
+    else {
+        unreachable!("render_json returns an object");
+    };
+    // `engine_ms` is the cache's partial-entry yardstick (the artifact's own
+    // `elapsed_ms` is part of the documented schema and stays untouched).
+    fields.push(("engine_ms".into(), Value::UInt(engine_ms)));
+    Ok(Value::Object(fields))
 }
 
 /// Interruptible AST verification: the deadline is polled inside tree
@@ -830,9 +916,23 @@ impl Server {
 
     /// Creates a server that additionally streams one JSONL trace record per
     /// request into `trace` (see [`handle_line`] for the record schema —
-    /// `probterm serve --trace <path|->` is the CLI spelling).
+    /// `probterm serve --trace <path|->` is the CLI spelling). When the
+    /// config sets [`ServerConfig::slow_ms`], slow-request lines go to
+    /// stderr.
     pub fn with_trace(config: ServerConfig, trace: Option<TraceSink>) -> Server {
-        Server { state: Arc::new(ServerState::new(config, trace)) }
+        let slow = config.slow_ms.map(|_| TraceSink::to_stderr());
+        Server::with_sinks(config, trace, slow)
+    }
+
+    /// Like [`Server::with_trace`], but with an explicit slow-request sink —
+    /// tests capture the slow log in memory instead of on stderr. The sink
+    /// is only consulted when [`ServerConfig::slow_ms`] is set.
+    pub fn with_sinks(
+        config: ServerConfig,
+        trace: Option<TraceSink>,
+        slow: Option<TraceSink>,
+    ) -> Server {
+        Server { state: Arc::new(ServerState::new(config, trace, slow)) }
     }
 
     /// The shared state (counters, shutdown flag).
@@ -1322,6 +1422,92 @@ mod tests {
         assert!(bad.get("canonical_key").unwrap().is_null());
         assert_eq!(stats.get("op").and_then(Value::as_str), Some("stats"));
         assert!(stats.get("cache").unwrap().is_null());
+    }
+
+    #[test]
+    fn explain_attributes_path_volumes_and_caches() {
+        use probterm_core::numerics::Rational;
+        let s = server();
+        let geo = "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0";
+        let request = format!(r#"{{"op":"explain","program":"{geo}","depth":40,"top":3}}"#);
+        let reply = s.handle_line(&request).unwrap();
+        let result = result_of(&reply);
+        assert_eq!(
+            result.get("schema").and_then(Value::as_str),
+            Some("probterm-explain-v1")
+        );
+        // No deadline: the run itself is complete even though the geometric
+        // exploration frontier never empties.
+        assert_eq!(result.get("complete").and_then(Value::as_bool), Some(true));
+        let frontier = result.get("frontier").unwrap();
+        assert_eq!(
+            frontier.get("exploration_complete").and_then(Value::as_bool),
+            Some(false)
+        );
+        assert!(frontier.get("paused").and_then(Value::as_u64).unwrap() >= 1);
+        // `top` caps the shown paths without changing the totals.
+        let total = result.get("paths_total").and_then(Value::as_u64).unwrap();
+        let shown = result.get("paths_shown").and_then(Value::as_u64).unwrap();
+        assert!(total > 3, "geometric at depth 40 has many paths, got {total}");
+        assert_eq!(shown, 3);
+        // Every shown path carries a witness that replayed concretely.
+        for path in result.get("paths").and_then(Value::as_array).unwrap() {
+            let witness = path.get("witness").unwrap();
+            assert_eq!(witness.get("replayed").and_then(Value::as_bool), Some(true));
+        }
+        // `engine_ms` (the partial-cache yardstick) rides on the artifact.
+        assert!(result.get("engine_ms").and_then(Value::as_u64).is_some());
+        // Identical resubmission is a cache hit; a different `top` is a
+        // different entry.
+        let again = s.handle_line(&request).unwrap();
+        let v = serde_json::from_str(&again).unwrap();
+        assert_eq!(v.get("cache").and_then(Value::as_str), Some("hit"));
+        let full_request = format!(r#"{{"op":"explain","program":"{geo}","depth":40}}"#);
+        let full = s.handle_line(&full_request).unwrap();
+        let v = serde_json::from_str(&full).unwrap();
+        assert_eq!(v.get("cache").and_then(Value::as_str), Some("miss"));
+        // The untruncated artifact's per-path volumes sum *exactly* to the
+        // reported lower bound (rational equality, not float tolerance).
+        let result = v.get("result").unwrap();
+        let mut sum = Rational::zero();
+        for path in result.get("paths").and_then(Value::as_array).unwrap() {
+            let volume = path.get("volume").and_then(Value::as_str).unwrap();
+            sum = &sum + &Rational::parse(volume).unwrap();
+        }
+        let probability = result.get("probability").and_then(Value::as_str).unwrap();
+        assert_eq!(sum, Rational::parse(probability).unwrap());
+    }
+
+    #[test]
+    fn slow_requests_emit_one_structured_line() {
+        let buf = SharedBuf::default();
+        let s = Server::with_sinks(
+            ServerConfig { workers: 1, slow_ms: Some(0), ..Default::default() },
+            None,
+            Some(TraceSink::new(Box::new(buf.clone()))),
+        );
+        let geo = "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0";
+        let lower = format!(r#"{{"op":"lower","program":"{geo}","depth":25}}"#);
+        // One engine run (any engine time beats the 0 ms threshold), one
+        // cache hit and one control op — only the engine run is slow-logged.
+        s.handle_line(&lower).unwrap();
+        s.handle_line(&lower).unwrap();
+        s.handle_line(r#"{"op":"stats"}"#).unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let records: Vec<Value> =
+            text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(records.len(), 1, "only the engine run is slow: {text}");
+        let r = &records[0];
+        assert_eq!(r.get("slow_ms").and_then(Value::as_u64), Some(0));
+        assert_eq!(r.get("op").and_then(Value::as_str), Some("lower"));
+        let key = r.get("canonical_key").and_then(Value::as_str).unwrap();
+        assert_eq!(key.len(), 16);
+        assert!(key.chars().all(|c| c.is_ascii_hexdigit()));
+        for field in ["queue_us", "cache_us", "engine_us", "serialize_us", "total_us"] {
+            assert!(r.get(field).and_then(Value::as_u64).is_some(), "missing {field}");
+        }
+        assert!(r.get("engine_us").and_then(Value::as_u64).unwrap() > 0);
     }
 
     #[test]

@@ -131,27 +131,62 @@ impl Criterion {
         self.records.push(Record { id, min, median, mean, samples: timings.len() });
     }
 
-    /// Writes collected results as JSON to `$CRITERION_JSON`, if set.
+    /// Writes collected results as JSON to `$CRITERION_JSON`, if set, and
+    /// appends one `{ts, git_rev, bench, metrics}` trajectory record to
+    /// `BENCH_history.jsonl` next to that file (bench name = the file stem
+    /// minus its `BENCH_` prefix).
     fn flush_json(&self) {
         let Ok(path) = std::env::var("CRITERION_JSON") else { return };
         if path.is_empty() {
             return;
         }
-        let mut out = String::from("[\n");
-        for (i, r) in self.records.iter().enumerate() {
-            out.push_str(&format!(
-                "  {{\"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
-                r.id.replace('"', "'"),
-                r.min.as_nanos(),
-                r.median.as_nanos(),
-                r.mean.as_nanos(),
-                r.samples,
-                if i + 1 == self.records.len() { "" } else { "," }
-            ));
-        }
-        out.push_str("]\n");
+        let entries: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}",
+                    r.id.replace('"', "'"),
+                    r.min.as_nanos(),
+                    r.median.as_nanos(),
+                    r.mean.as_nanos(),
+                    r.samples
+                )
+            })
+            .collect();
+        let out = format!("[\n  {}\n]\n", entries.join(",\n  "));
         if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
             let _ = file.write_all(out.as_bytes());
+        }
+        let report = std::path::Path::new(&path);
+        let bench = report
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .map_or("criterion", |s| s.strip_prefix("BENCH_").unwrap_or(s));
+        let history = report
+            .parent()
+            .map_or_else(|| "BENCH_history.jsonl".into(), |d| d.join("BENCH_history.jsonl"));
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let line = format!(
+            "{{\"ts\": {ts}, \"git_rev\": \"{git_rev}\", \"bench\": \"{bench}\", \"metrics\": [{}]}}\n",
+            entries.join(", ")
+        );
+        if let Ok(mut file) =
+            std::fs::OpenOptions::new().create(true).append(true).open(&history)
+        {
+            let _ = file.write_all(line.as_bytes());
         }
     }
 }

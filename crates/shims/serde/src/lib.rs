@@ -116,6 +116,12 @@ pub trait Serialize {
     fn serialize(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)

@@ -68,6 +68,75 @@ else
 fi
 
 # ---------------------------------------------------------------------------
+# Explainability smoke test: `probterm explain` on a catalogue-style term that
+# explores completely and on a deadline-truncated one; both JSON artifacts
+# must satisfy `probterm explain-check` (schema, exact mass accounting,
+# witness replay), and the DOT rendering must be a well-formed digraph.
+echo "== explain smoke test =="
+explain_status=0
+if [ -x target/release/probterm ]; then
+    complete_json=$(mktemp /tmp/probterm-explain.XXXXXX.json)
+    timeout 60 target/release/probterm explain \
+        -e 'if sample <= 1/3 then 0 else sample + 1' --depth 30 \
+        --format json > "$complete_json"
+    if grep -Eq '"complete": *true' "$complete_json"; then
+        echo "explain ok: complete exploration flagged complete"
+    else
+        echo "explain FAILED: complete term not flagged complete"
+        explain_status=1
+    fi
+    check_out=$(target/release/probterm explain-check "$complete_json")
+    case "$check_out" in
+        ok:*"unaccounted 0"*) echo "explain ok: explain-check ($check_out)" ;;
+        *) echo "explain FAILED: explain-check: $check_out"; explain_status=1 ;;
+    esac
+    truncated_json=$(mktemp /tmp/probterm-explain.XXXXXX.json)
+    timeout 60 target/release/probterm explain \
+        -e '(fix phi x. if sample <= 1/2 then x else phi (phi (phi x))) 0' \
+        --depth 4000 --deadline-ms 100 --format json > "$truncated_json"
+    if grep -Eq '"complete": *false' "$truncated_json"; then
+        echo "explain ok: deadline-cut exploration flagged incomplete"
+    else
+        echo "explain FAILED: truncated term not flagged incomplete"
+        explain_status=1
+    fi
+    truncated_out=$(target/release/probterm explain-check "$truncated_json")
+    case "$truncated_out" in
+        ok:*) echo "explain ok: truncated explain-check ($truncated_out)" ;;
+        *) echo "explain FAILED: truncated explain-check: $truncated_out"; explain_status=1 ;;
+    esac
+    rm -f "$complete_json" "$truncated_json"
+    dot_out=$(timeout 60 target/release/probterm explain \
+        -e '(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0' \
+        --depth 25 --format dot)
+    opens=$(printf '%s' "$dot_out" | grep -c '{')
+    closes=$(printf '%s' "$dot_out" | grep -c '}')
+    case "$dot_out" in
+        "digraph "*)
+            if [ "$opens" -eq "$closes" ] && [ "$opens" -ge 1 ]; then
+                echo "explain ok: DOT well-formed ($opens brace pairs)"
+            else
+                echo "explain FAILED: DOT braces unbalanced ($opens vs $closes)"
+                explain_status=1
+            fi
+            ;;
+        *)
+            echo "explain FAILED: DOT output missing digraph header"
+            explain_status=1
+            ;;
+    esac
+else
+    echo "explain FAILED: target/release/probterm missing (release build failed?)"
+    explain_status=1
+fi
+if [ "$explain_status" -ne 0 ]; then
+    echo "explain smoke test: FAILED"
+    status=1
+else
+    echo "explain smoke test: OK"
+fi
+
+# ---------------------------------------------------------------------------
 # Service smoke test: boot `probterm serve` on a loopback port with request
 # tracing on, drive a short mixed batch over bash's /dev/tcp (valid requests,
 # a deliberate parse error, a deadline-exceeded request), check each reply
@@ -121,6 +190,8 @@ if [ -x target/release/probterm ]; then
     smoke_request '{"id":8,"op":"stats"}' '"p95":'
     # Prometheus-style text exposition via the metrics op.
     smoke_request '{"id":9,"op":"metrics"}' 'probterm_requests_total'
+    # Provenance artifact through the cache-fronted explain op.
+    smoke_request '{"id":10,"op":"explain","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":30,"top":3}' '"schema":"probterm-explain-v1"'
     smoke_request '{"id":6,"op":"shutdown"}' '"ok":true'
     if wait "$server_pid"; then
         echo "smoke ok: graceful shutdown (exit 0)"
@@ -132,7 +203,7 @@ if [ -x target/release/probterm ]; then
     # trace record carrying the schema fields.
     trace_out=$(target/release/probterm trace-check "$trace_file")
     case "$trace_out" in
-        "ok: 10 trace records"*) echo "smoke ok: trace ($trace_out)" ;;
+        "ok: 11 trace records"*) echo "smoke ok: trace ($trace_out)" ;;
         *)
             echo "smoke FAILED: trace validation: $trace_out"
             smoke_status=1

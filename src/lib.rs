@@ -5,6 +5,7 @@
 //! re-exported through [`probterm_core`].
 
 pub use probterm_core as core;
+pub use probterm_explain as explain;
 pub use probterm_numerics as numerics;
 pub use probterm_service as service;
 pub use probterm_spcf as spcf;

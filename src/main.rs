@@ -3,10 +3,12 @@
 //! ```text
 //! probterm analyze   (<file> | -e <program>)   [--depth N] [--mc RUNS] [--seed N] [--profile]
 //! probterm lower     (<file> | -e <program>)   [--depth N] [--deadline-ms N] [--profile]
+//! probterm explain   (<file> | -e <program>)   [--format text|json|dot] [--top K] [--depth N] [--deadline-ms N] [--ast]
 //! probterm verify    (<file> | -e <program>)   [--profile]
 //! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--seed N] [--cbv] [--profile]
-//! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N] [--trace PATH|-]
+//! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N] [--trace PATH|-] [--slow-ms N]
 //! probterm trace-check <file>
+//! probterm explain-check <file>
 //! probterm catalog
 //! ```
 //!
@@ -16,15 +18,19 @@
 //! `serve` speaks newline-delimited JSON over TCP when `--addr` is given and
 //! over stdin/stdout otherwise; see the README for the wire protocol.
 
-use probterm::core::astver::try_verify_ast_profiled;
-use probterm::core::intervalsem::{lower_bound, try_lower_bound, LowerBoundConfig};
+use probterm::core::astver::{build_tree, try_verify_ast_profiled};
+use probterm::core::intervalsem::{
+    lower_bound, try_explain, try_lower_bound, ExplainConfig, LowerBoundConfig,
+};
 use probterm::core::{analyze, analyze_ast, AnalysisConfig};
+use probterm::numerics::Rational;
 use probterm::service::{Server, ServerConfig, TraceSink};
 use probterm::spcf::{
     catalog, estimate_termination, estimate_termination_profiled, parse_term, MonteCarloConfig,
     Strategy, Term,
 };
 use probterm_telemetry::EngineProfile;
+use serde::Value;
 use std::process::ExitCode;
 
 struct Options {
@@ -42,6 +48,10 @@ struct Options {
     cache: usize,
     profile: bool,
     trace: Option<String>,
+    format: String,
+    top: Option<usize>,
+    slow_ms: Option<u64>,
+    ast: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -60,6 +70,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache: 1024,
         profile: false,
         trace: None,
+        format: "text".to_string(),
+        top: None,
+        slow_ms: None,
+        ast: false,
     };
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -98,6 +112,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--cbv" => options.cbv = true,
             "--profile" => options.profile = true,
+            "--ast" => options.ast = true,
+            "--format" => {
+                options.format = iter
+                    .next()
+                    .ok_or_else(|| "--format requires text, json or dot".to_string())?
+                    .clone();
+            }
+            "--top" => {
+                options.top = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--top requires a number".to_string())?,
+                );
+            }
+            "--slow-ms" => {
+                options.slow_ms = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--slow-ms requires a number".to_string())?,
+                );
+            }
             "--trace" => {
                 options.trace = Some(
                     iter.next()
@@ -138,7 +173,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn load_program(options: &Options) -> Result<Term, String> {
+fn load_program(options: &Options) -> Result<(String, Term), String> {
     let source = if let Some(inline) = &options.inline {
         inline.clone()
     } else if let Some(path) = options.positional.first() {
@@ -146,27 +181,38 @@ fn load_program(options: &Options) -> Result<Term, String> {
     } else {
         return Err("no program given: pass a file or -e '<program>'".to_string());
     };
-    parse_term(&source).map_err(|e| format!("parse error: {e}"))
+    let term = parse_term(&source).map_err(|e| format!("parse error: {e}"))?;
+    Ok((source, term))
 }
 
 fn usage() -> &'static str {
-    "usage: probterm <analyze|lower|verify|simulate|serve|trace-check|catalog> [<file> | -e '<program>'] [options]\n\
+    "usage: probterm <analyze|lower|explain|verify|simulate|serve|trace-check|explain-check|catalog> [<file> | -e '<program>'] [options]\n\
      options: --depth N   exploration depth for the lower-bound engine (default 120)\n\
-              --deadline-ms N  wall-clock budget for `lower`; an expired budget\n\
-                          reports the sound partial bound computed so far\n\
+              --deadline-ms N  wall-clock budget for `lower`/`explain`; an expired\n\
+                          budget reports the sound partial result computed so far\n\
               --runs N    Monte-Carlo runs for `simulate` (default 10000)\n\
               --steps N   step budget per Monte-Carlo run (default 20000)\n\
               --seed N    RNG seed for Monte-Carlo runs (default 2021)\n\
               --cbv       simulate with call-by-value instead of call-by-name\n\
               --profile   print engine event profiles (steps, event kinds,\n\
                           forks, frontier depth) after the analysis\n\
+     explain: --format F  text (default), json (documented probterm-explain-v1\n\
+                          schema) or dot (graphviz digraph of the path tree)\n\
+              --top K     show only the K largest volume contributions\n\
+              --ast       render the AST-verifier execution tree instead of\n\
+                          the symbolic path provenance (text or dot)\n\
      serve:   --addr H:P  serve NDJSON over TCP on H:P (default: stdin/stdout)\n\
               --workers N worker threads (default 2)\n\
               --cache N   result-cache capacity, 0 disables (default 1024)\n\
               --trace P   stream one JSONL trace record per request to file P\n\
                           (`-` streams to stderr; stdout carries the protocol)\n\
+              --slow-ms N log a structured stderr line for every request whose\n\
+                          engine phase exceeds N ms\n\
      trace-check <file>:  validate a --trace output file (each line parses as\n\
-                          JSON and carries the trace schema fields)"
+                          JSON, carries the trace schema fields, `seq` increases\n\
+                          strictly and phase times sum to at most `total_us`)\n\
+     explain-check <file>: validate an `explain --format json` artifact (schema\n\
+                          fields, exact volume accounting, witness replays)"
 }
 
 /// Prints one engine profile under the `--profile` flag.
@@ -178,31 +224,150 @@ fn print_profile(label: &str, profile: Option<&EngineProfile>) {
 }
 
 /// `probterm trace-check <file>`: every non-empty line must parse as a JSON
-/// object carrying the per-request trace schema. Prints a one-line summary.
+/// object carrying the per-request trace schema, `seq` must increase
+/// strictly across records, and the four phase timings must sum to at most
+/// `total_us` (phases nest inside the end-to-end timer window, and flooring
+/// to whole microseconds only shrinks sums). Errors name the first
+/// offending line. Prints a one-line summary.
 fn trace_check(path: &str) -> Result<usize, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     const REQUIRED: [&str; 8] = [
         "seq", "op", "queue_us", "cache_us", "engine_us", "serialize_us", "total_us", "outcome",
     ];
+    const PHASES: [&str; 4] = ["queue_us", "cache_us", "engine_us", "serialize_us"];
     let mut records = 0usize;
+    let mut last_seq: Option<u64> = None;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
+        let lineno = lineno + 1;
         let value = serde_json::from_str(line)
-            .map_err(|e| format!("{path}:{}: not valid JSON: {e}", lineno + 1))?;
+            .map_err(|e| format!("{path}:{lineno}: not valid JSON: {e}"))?;
         for field in REQUIRED {
             if value.get(field).is_none() {
+                return Err(format!("{path}:{lineno}: trace record is missing `{field}`"));
+            }
+        }
+        let number = |field: &str| -> Result<u64, String> {
+            value
+                .get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{path}:{lineno}: `{field}` is not a non-negative integer"))
+        };
+        let seq = number("seq")?;
+        if let Some(prev) = last_seq {
+            if seq <= prev {
                 return Err(format!(
-                    "{path}:{}: trace record is missing `{field}`",
-                    lineno + 1
+                    "{path}:{lineno}: `seq` {seq} does not increase strictly (previous record had {prev})"
                 ));
             }
+        }
+        last_seq = Some(seq);
+        let total = number("total_us")?;
+        let mut phase_sum = 0u64;
+        for phase in PHASES {
+            phase_sum = phase_sum.saturating_add(number(phase)?);
+        }
+        if phase_sum > total {
+            return Err(format!(
+                "{path}:{lineno}: phase times sum to {phase_sum} µs, exceeding total_us {total}"
+            ));
         }
         records += 1;
     }
     Ok(records)
+}
+
+/// `probterm explain-check <file>`: validates an `explain --format json`
+/// artifact. Checks the `probterm-explain-v1` schema fields, that every
+/// present witness replayed on the concrete machine, and the exact rational
+/// accounting: shown path volumes re-sum to `probability` (equality when
+/// the artifact is untruncated, `<=` under `--top`) and
+/// `attributed_mass + unaccounted_mass = 1`. Returns a one-line summary.
+fn explain_check(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: Value =
+        serde_json::from_str(text.trim()).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let schema = value.get("schema").and_then(Value::as_str);
+    if schema != Some(probterm::explain::SCHEMA) {
+        return Err(format!(
+            "{path}: schema is {schema:?}, expected {:?}",
+            probterm::explain::SCHEMA
+        ));
+    }
+    for field in [
+        "program", "depth", "complete", "probability", "probability_f64", "expected_steps",
+        "elapsed_ms", "paths_total", "paths_shown", "paths", "frontier",
+    ] {
+        if value.get(field).is_none() {
+            return Err(format!("{path}: artifact is missing `{field}`"));
+        }
+    }
+    let rational = |object: &Value, field: &str| -> Result<Rational, String> {
+        object
+            .get(field)
+            .and_then(Value::as_str)
+            .and_then(Rational::parse)
+            .ok_or_else(|| format!("{path}: `{field}` is not a rational string"))
+    };
+    let probability = rational(&value, "probability")?;
+    let frontier = value.get("frontier").unwrap();
+    for field in ["paused", "stuck", "interrupted", "exploration_complete", "depth_histogram"] {
+        if frontier.get(field).is_none() {
+            return Err(format!("{path}: frontier is missing `{field}`"));
+        }
+    }
+    let attributed = rational(frontier, "attributed_mass")?;
+    let unaccounted = rational(frontier, "unaccounted_mass")?;
+    if &attributed + &unaccounted != Rational::one() {
+        return Err(format!(
+            "{path}: attributed_mass {attributed} + unaccounted_mass {unaccounted} != 1"
+        ));
+    }
+    let paths = value
+        .get("paths")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: `paths` is not an array"))?;
+    let shown = value.get("paths_shown").and_then(Value::as_u64).unwrap_or(0);
+    let total = value.get("paths_total").and_then(Value::as_u64).unwrap_or(0);
+    if paths.len() as u64 != shown {
+        return Err(format!("{path}: paths_shown {shown} != {} paths listed", paths.len()));
+    }
+    let mut sum = Rational::zero();
+    let mut witnesses = 0usize;
+    for (i, p) in paths.iter().enumerate() {
+        for field in ["index", "volume", "method", "samples", "steps", "branches", "constraints"] {
+            if p.get(field).is_none() {
+                return Err(format!("{path}: path {i} is missing `{field}`"));
+            }
+        }
+        sum = &sum + &rational(p, "volume")?;
+        let witness = p.get("witness").unwrap_or(&Value::Null);
+        if !witness.is_null() {
+            witnesses += 1;
+            if witness.get("replayed").and_then(Value::as_bool) != Some(true) {
+                return Err(format!(
+                    "{path}: path {i} carries a witness that did not replay"
+                ));
+            }
+        }
+    }
+    if shown == total && sum != probability {
+        return Err(format!(
+            "{path}: path volumes sum to {sum}, but probability is {probability}"
+        ));
+    }
+    if shown < total && sum > probability {
+        return Err(format!(
+            "{path}: truncated path volumes sum to {sum}, exceeding probability {probability}"
+        ));
+    }
+    Ok(format!(
+        "ok: {shown}/{total} paths, {witnesses} witnesses replayed, probability {probability}, unaccounted {unaccounted}"
+    ))
 }
 
 fn main() -> ExitCode {
@@ -247,6 +412,22 @@ fn main() -> ExitCode {
                 }
             },
         },
+        "explain-check" => match options.positional.first() {
+            None => {
+                eprintln!("error: explain-check requires a file argument\n{}", usage());
+                ExitCode::FAILURE
+            }
+            Some(path) => match explain_check(path) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+        },
         "serve" => {
             let trace = match options.trace.as_deref() {
                 None => None,
@@ -263,6 +444,7 @@ fn main() -> ExitCode {
                 ServerConfig {
                     workers: options.workers,
                     cache_capacity: options.cache,
+                    slow_ms: options.slow_ms,
                     ..Default::default()
                 },
                 trace,
@@ -291,9 +473,9 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "analyze" | "lower" | "verify" | "simulate" => {
-            let term = match load_program(&options) {
-                Ok(t) => t,
+        "analyze" | "lower" | "explain" | "verify" | "simulate" => {
+            let (source, term) = match load_program(&options) {
+                Ok(loaded) => loaded,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
@@ -359,6 +541,76 @@ fn main() -> ExitCode {
                     );
                     if options.profile {
                         print_profile("lower", result.profile.as_ref());
+                    }
+                }
+                "explain" => {
+                    if options.ast {
+                        // The AST-verifier execution tree, through the same
+                        // DOT renderer the provenance artifacts use.
+                        match build_tree(&term) {
+                            Ok(sym) => match options.format.as_str() {
+                                "dot" => print!("{}", probterm::explain::exec_tree_dot(&sym.tree)),
+                                "text" => print!("{}", sym.tree.render()),
+                                other => {
+                                    eprintln!(
+                                        "error: --ast supports text or dot, not `{other}`"
+                                    );
+                                    return ExitCode::FAILURE;
+                                }
+                            },
+                            Err(e) => {
+                                eprintln!("error: cannot build the execution tree: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    } else {
+                        let config = ExplainConfig::default()
+                            .with_lower(LowerBoundConfig::default().with_depth(options.depth));
+                        let deadline = options.deadline_ms.map(|ms| {
+                            std::time::Instant::now() + std::time::Duration::from_millis(ms)
+                        });
+                        let mut check = |_work: usize| match deadline {
+                            Some(d) if std::time::Instant::now() > d => Err(()),
+                            _ => Ok(()),
+                        };
+                        // Under an expired deadline the provenance is still a
+                        // sound partial artifact (marked incomplete).
+                        let (provenance, _interrupted) = try_explain(&term, &config, &mut check);
+                        match options.format.as_str() {
+                            "text" => {
+                                print!(
+                                    "{}",
+                                    probterm::explain::render_text(&provenance, options.top)
+                                );
+                            }
+                            "dot" => {
+                                print!(
+                                    "{}",
+                                    probterm::explain::render_dot(&provenance, options.top)
+                                );
+                            }
+                            "json" => {
+                                let artifact = probterm::explain::render_json(
+                                    &provenance,
+                                    &source,
+                                    options.depth,
+                                    options.top,
+                                );
+                                match serde_json::to_string_pretty(&artifact) {
+                                    Ok(json) => println!("{json}"),
+                                    Err(e) => {
+                                        eprintln!("error: cannot render JSON: {e}");
+                                        return ExitCode::FAILURE;
+                                    }
+                                }
+                            }
+                            other => {
+                                eprintln!(
+                                    "error: unknown format `{other}` (use text, json or dot)"
+                                );
+                                return ExitCode::FAILURE;
+                            }
+                        }
                     }
                 }
                 "verify" => {
