@@ -12,8 +12,13 @@
 //!   verification, so every request runs the full §6 engine: this measures
 //!   verification-heavy traffic with a useless cache.
 //! * **mixed** — 4:1 hot:cold interleaving, the expected production shape.
+//! * **overload** — offered load ~4× over a single deadline-bounded worker
+//!   with a shallow admission queue: this measures the shed rate, the p99
+//!   latency of the *admitted* requests (the overload-protection contract:
+//!   shedding keeps admitted latency flat), and the wall-time speedup of
+//!   resuming a checkpointed exploration over recomputing it from scratch.
 
-use probterm_service::{Server, ServerConfig};
+use probterm_service::{handle_line, Server, ServerConfig};
 use probterm_telemetry::{Histogram, HistogramSnapshot, SpanTimer};
 use serde::Serialize;
 use std::io::{BufRead, BufReader, Write};
@@ -39,6 +44,16 @@ struct ScenarioRow {
     latency_p95_us: u64,
     latency_p99_us: u64,
     latency_max_us: u64,
+    /// Requests refused by admission control with `overloaded` (overload
+    /// scenario only — the other scenarios never saturate their queue).
+    shed: u64,
+    /// p99 round-trip latency of admitted (non-shed) requests only, in µs.
+    /// Equal to `latency_p99_us` when nothing is shed.
+    admitted_p99_us: u64,
+    /// Wall-time ratio of a from-scratch full-budget `lower` run over a
+    /// resumed completion from a half-budget checkpoint of the same
+    /// exploration (overload scenario only; 0 elsewhere).
+    resume_speedup: f64,
 }
 
 struct Client {
@@ -163,7 +178,137 @@ fn run_scenario(
         latency_p95_us: latency.p95(),
         latency_p99_us: latency.p99(),
         latency_max_us: latency.max(),
+        shed: 0,
+        admitted_p99_us: latency.p99(),
+        resume_speedup: 0.0,
     }
+}
+
+/// A deadline-bounded `lower` on a fresh cache key per (client, index): the
+/// geometric chain never empties its frontier before the depth cap, so every
+/// admitted request busies the engine for the whole deadline.
+fn overload_lower_request(client: usize, index: usize) -> String {
+    let k = 1 + client * 500 + index;
+    format!(
+        r#"{{"id":"o{client}-{index}","op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + {k})) 0","depth":400,"deadline_ms":150}}"#
+    )
+}
+
+/// Offered load over capacity: 4 lock-step clients against 1 worker whose
+/// every engine run burns a full 150 ms deadline, behind a queue of depth 2.
+/// Admission control must shed the excess with `overloaded` while the
+/// admitted requests keep their deadline-bounded latency.
+fn run_overload() -> ScenarioRow {
+    let workers = 1;
+    let clients = 4;
+    let per_client = 12;
+    let server = Server::new(ServerConfig { workers, queue_depth: 2, ..Default::default() });
+    let running = server.spawn_tcp("127.0.0.1:0").expect("bind loopback");
+    let addr = running.addr;
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|client_index| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut errors = 0u64;
+                let admitted = Histogram::new();
+                for index in 0..per_client {
+                    let line = overload_lower_request(client_index, index);
+                    let timer = SpanTimer::start();
+                    let framed = format!("{line}\n");
+                    client.writer.write_all(framed.as_bytes()).expect("send request");
+                    client.writer.flush().expect("flush request");
+                    let mut reply = String::new();
+                    client.reader.read_line(&mut reply).expect("read reply");
+                    let us = timer.elapsed_us();
+                    client.latency.record(us);
+                    if reply.contains("\"overloaded\"") {
+                        continue; // shed — counted from the server's stats
+                    }
+                    admitted.record(us);
+                    if !reply.contains("\"ok\":true") {
+                        errors += 1;
+                    }
+                }
+                (errors, client.latency.snapshot(), admitted.snapshot())
+            })
+        })
+        .collect();
+    let mut errors = 0u64;
+    let mut latency = HistogramSnapshot::empty();
+    let mut admitted = HistogramSnapshot::empty();
+    for handle in handles {
+        let (client_errors, client_latency, client_admitted) = handle.join().expect("client");
+        errors += client_errors;
+        latency.merge(&client_latency);
+        admitted.merge(&client_admitted);
+    }
+    let elapsed = started.elapsed();
+
+    let stats = running.state().stats();
+    Client::connect(addr).request(r#"{"op":"shutdown"}"#);
+    running.join().expect("clean shutdown");
+
+    let requests = (clients * per_client) as u64;
+    ScenarioRow {
+        scenario: "overload".to_string(),
+        clients,
+        workers,
+        requests,
+        errors,
+        elapsed_ms: elapsed.as_millis(),
+        requests_per_sec: requests as f64 / elapsed.as_secs_f64(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        latency_p50_us: latency.p50(),
+        latency_p95_us: latency.p95(),
+        latency_p99_us: latency.p99(),
+        latency_max_us: latency.max(),
+        shed: stats.shed,
+        admitted_p99_us: admitted.p99(),
+        resume_speedup: measure_resume_speedup(),
+    }
+}
+
+/// Times the same depth-capped geometric exploration twice: once from
+/// scratch at an unbounded budget, and once resumed from the checkpoint a
+/// half-budget run left behind. Returns `t_full / t_resume` — the payoff of
+/// shipping the frontier in the partial-result cache instead of recomputing.
+/// Returns 0.0 if the half-budget run finished outright (nothing to resume).
+fn measure_resume_speedup() -> f64 {
+    const GEO: &str = "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0";
+    let depth = 400;
+
+    let fresh = Server::new(ServerConfig { workers: 1, ..Default::default() });
+    let full_timer = Instant::now();
+    let full = handle_line(
+        fresh.state(),
+        &format!(r#"{{"op":"lower","program":"{GEO}","depth":{depth}}}"#),
+    )
+    .expect("lower replies");
+    let t_full = full_timer.elapsed();
+    assert!(full.contains("\"complete\":true"), "unbounded run completes: {full}");
+
+    let resumable = Server::new(ServerConfig { workers: 1, ..Default::default() });
+    let half_ms = (t_full.as_millis() / 2).max(1);
+    let partial = handle_line(
+        resumable.state(),
+        &format!(r#"{{"op":"lower","program":"{GEO}","depth":{depth},"deadline_ms":{half_ms}}}"#),
+    )
+    .expect("partial replies");
+    if !partial.contains("\"checkpoint\"") {
+        return 0.0;
+    }
+    let resume_timer = Instant::now();
+    let resumed = handle_line(
+        resumable.state(),
+        &format!(r#"{{"op":"lower","program":"{GEO}","depth":{depth}}}"#),
+    )
+    .expect("resumed replies");
+    let t_resume = resume_timer.elapsed();
+    assert!(resumed.contains("\"resumed\":true"), "retry resumes the checkpoint: {resumed}");
+    t_full.as_secs_f64() / t_resume.as_secs_f64().max(1e-9)
 }
 
 fn main() {
@@ -184,16 +329,17 @@ fn main() {
                 hot_verify_request(client * 10_000 + index)
             }
         }),
+        run_overload(),
     ];
 
     println!(
-        "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>12} {:>8}",
         "scenario", "clients", "reqs", "errors", "t (ms)", "req/s", "hits", "misses", "p50 (us)",
-        "p95 (us)", "p99 (us)"
+        "p95 (us)", "p99 (us)", "shed", "adm p99 (us)", "resume"
     );
     for r in &rows {
         println!(
-            "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12.1} {:>8} {:>8} {:>9} {:>9} {:>9}",
+            "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12.1} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>12} {:>7.2}x",
             r.scenario,
             r.clients,
             r.requests,
@@ -204,7 +350,10 @@ fn main() {
             r.cache_misses,
             r.latency_p50_us,
             r.latency_p95_us,
-            r.latency_p99_us
+            r.latency_p99_us,
+            r.shed,
+            r.admitted_p99_us,
+            r.resume_speedup
         );
     }
 

@@ -42,8 +42,9 @@ pub use iterm::{
     IntervalTrace,
 };
 pub use lowerbound::{
-    lower_bound, lower_bound_profile, try_lower_bound, try_lower_bound_measured, LowerBoundConfig,
-    LowerBoundResult, PathMeasure, VolumeMethod,
+    lower_bound, lower_bound_profile, try_lower_bound, try_lower_bound_measured,
+    try_lower_bound_resumable, LowerBoundCheckpoint, LowerBoundConfig, LowerBoundResult,
+    PathMeasure, VolumeMethod,
 };
 pub use past::{
     divergence_ratio, expected_steps_profile, refute_past_bound, ExpectedStepsPoint, PastProbe,
@@ -53,6 +54,7 @@ pub use provenance::{
     explain, try_explain, ExplainConfig, FrontierSummary, PathProvenance, Provenance, Witness,
 };
 pub use symbolic::{
-    explore, explore_substitution, try_explore, Branch, ConstraintKind, Exploration,
-    ExplorationConfig, FrontierPath, SymConstraint, SymValue, SymbolicPath,
+    explore, explore_substitution, frontier_seeds, try_explore, try_explore_seeded, Branch,
+    ConstraintKind, Exploration, ExplorationConfig, FrontierPath, ReplaySeed, SymConstraint,
+    SymValue, SymbolicPath,
 };

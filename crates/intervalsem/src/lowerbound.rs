@@ -21,7 +21,9 @@
 //! and the bound computed so far is still valid — merely smaller than what a
 //! completed run would certify.
 
-use crate::symbolic::{try_explore, Exploration, ExplorationConfig};
+use crate::symbolic::{
+    frontier_seeds, try_explore_seeded, Exploration, ExplorationConfig, ReplaySeed, SymbolicPath,
+};
 use probterm_numerics::Rational;
 use probterm_spcf::Term;
 use probterm_telemetry::EngineProfile;
@@ -42,8 +44,11 @@ pub enum VolumeMethod {
         /// The box budget the sweep ran with.
         max_boxes: usize,
     },
-    /// Not measured: the computation was interrupted before the non-affine
-    /// sweep could run. Contributes zero mass and is tallied as unexplored.
+    /// Not measured. Kept for provenance-artifact compatibility: since
+    /// measurement moved *into* the exploration loop (every path is measured
+    /// the instant it terminates, with an interruptible sweep), the engine no
+    /// longer produces this variant — an interrupted sweep reports its sound
+    /// partial sum as `BoxSweep` instead of discarding it.
     Unmeasured,
 }
 
@@ -190,11 +195,12 @@ pub fn lower_bound(term: &Term, config: &LowerBoundConfig) -> LowerBoundResult {
 /// **sound partial bound** accumulated so far: every terminating path found
 /// before the interruption certifies its probability mass (Thm. 3.4), so a
 /// deadline-bounded caller still gets a nonzero monotone lower bound instead
-/// of nothing. After the interruption, paths that already terminated are
-/// still measured when their constraint system is affine (exact volumes,
-/// bounded work); only the adaptive box sweep for non-affine paths — the one
-/// unbounded-ish cost left — is skipped, with those paths tallied as
-/// unexplored.
+/// of nothing. Volumes are measured *incrementally, inside the exploration
+/// loop*, the instant each path terminates — there is no deadline-blind
+/// post-hoc measurement phase, and even the non-affine box sweep is
+/// interruptible mid-flight (its partial sum stays counted). The bound
+/// therefore tightens monotonically in real time and the engine can stop
+/// within one check interval of any step.
 pub fn try_lower_bound<E>(
     term: &Term,
     config: &LowerBoundConfig,
@@ -218,47 +224,68 @@ pub fn try_lower_bound_measured<E>(
     config: &LowerBoundConfig,
     check: &mut dyn FnMut(usize) -> Result<(), E>,
 ) -> (LowerBoundResult, Exploration, Vec<PathMeasure>, Option<E>) {
+    let (result, _, exploration, measures, interruption) =
+        run_accumulated(term, config, None, check);
+    (result, exploration, measures, interruption)
+}
+
+/// A paused lower-bound computation, complete enough to *resume*: the mass
+/// accumulated so far (exact rationals) plus the replayable frontier — one
+/// [`ReplaySeed`] per unexplored subtree. A resumed run explores exactly
+/// those subtrees and adds its mass to the checkpointed tallies, so chaining
+/// runs reproduces a from-scratch run at the combined budget with
+/// exact-rational equality (the terminated paths partition identically), and
+/// no measured path is ever re-explored.
+///
+/// The rationals and seeds round-trip through strings
+/// ([`Rational`]'s `Display`/`parse`, [`ReplaySeed::render`]/`parse`), which
+/// is how the analysis service stores checkpoints in partial-result cache
+/// entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerBoundCheckpoint {
+    /// Termination mass accumulated across all runs so far.
+    pub probability: Rational,
+    /// Expected-steps mass accumulated across all runs so far.
+    pub expected_steps: Rational,
+    /// Terminated (and measured) paths across all runs so far.
+    pub paths: usize,
+    /// Stuck paths across all runs so far.
+    pub stuck_paths: usize,
+    /// The unexplored frontier: replay seeds for every paused subtree. Empty
+    /// iff the exploration ran to completion (nothing left to resume).
+    pub frontier: Vec<ReplaySeed>,
+}
+
+/// Like [`try_lower_bound`], but resumable: pass `resume = Some(checkpoint)`
+/// to continue a previously interrupted computation from its saved frontier
+/// instead of recomputing from scratch. Returns the (cumulative) result, a
+/// fresh checkpoint for the *next* resume, and the interruption error if the
+/// cooperative check fired.
+///
+/// The result's tallies are cumulative — they include the checkpointed
+/// mass — so callers can treat a resumed reply exactly like a from-scratch
+/// one. `max_paths` is a per-run safety valve and starts afresh each resume.
+pub fn try_lower_bound_resumable<E>(
+    term: &Term,
+    config: &LowerBoundConfig,
+    resume: Option<&LowerBoundCheckpoint>,
+    check: &mut dyn FnMut(usize) -> Result<(), E>,
+) -> (LowerBoundResult, LowerBoundCheckpoint, Option<E>) {
+    let (result, checkpoint, _, _, interruption) = run_accumulated(term, config, resume, check);
+    (result, checkpoint, interruption)
+}
+
+/// The single engine core: seeded exploration with in-loop measurement,
+/// cumulative accounting, checkpoint construction.
+fn run_accumulated<E>(
+    term: &Term,
+    config: &LowerBoundConfig,
+    resume: Option<&LowerBoundCheckpoint>,
+    check: &mut dyn FnMut(usize) -> Result<(), E>,
+) -> (LowerBoundResult, LowerBoundCheckpoint, Exploration, Vec<PathMeasure>, Option<E>) {
     let start = Instant::now();
-    let (exploration, mut interruption) = try_explore(term, &config.exploration(), check);
-    let mut measures: Vec<PathMeasure> = Vec::with_capacity(exploration.terminated.len());
-    for (index, path) in exploration.terminated.iter().enumerate() {
-        if interruption.is_none() {
-            if let Err(e) = check(index) {
-                interruption = Some(e);
-            }
-        }
-        let measure = match path.exact_probability() {
-            Some(p) => PathMeasure { volume: p, method: VolumeMethod::Exact },
-            // The exploration (the unbounded part of the work) is over, so
-            // measuring the already-terminated paths is bounded — but the
-            // adaptive box sweep for non-affine paths is the one knob that
-            // can still be expensive, so after an interruption only the
-            // exactly-measurable (affine) paths contribute; sweep-only paths
-            // are tallied as unexplored. Either way the accumulated mass
-            // stays a sound lower bound.
-            None if interruption.is_some() => {
-                PathMeasure { volume: Rational::zero(), method: VolumeMethod::Unmeasured }
-            }
-            None => PathMeasure {
-                volume: path.box_lower_bound(config.boxes_per_path),
-                method: VolumeMethod::BoxSweep { max_boxes: config.boxes_per_path },
-            },
-        };
-        measures.push(measure);
-    }
-    if interruption.is_some() && measures.iter().all(|m| m.method == VolumeMethod::Unmeasured) {
-        // Nothing was exactly measurable (all terminated paths need the box
-        // sweep): sweep the first one with a tightly capped box budget so a
-        // partial reply is nonzero whenever any path terminated, without
-        // tying the caller up long past its expired deadline.
-        if let Some(path) = exploration.terminated.first() {
-            let max_boxes = config.boxes_per_path.min(128);
-            measures[0] = PathMeasure {
-                volume: path.box_lower_bound(max_boxes),
-                method: VolumeMethod::BoxSweep { max_boxes },
-            };
-        }
-    }
+    let seeds = resume.map(|c| c.frontier.as_slice());
+    let (exploration, measures, interruption) = run_measured(term, config, seeds, check);
     let mut probability = Rational::zero();
     let mut expected_steps = Rational::zero();
     let mut measured = 0usize;
@@ -272,18 +299,74 @@ pub fn try_lower_bound_measured<E>(
         probability += measure.volume.clone();
         measured += 1;
     }
-    let unexplored = exploration.out_of_fuel + unmeasured;
+    let mut stuck = exploration.stuck;
+    if let Some(prior) = resume {
+        probability += prior.probability.clone();
+        expected_steps += prior.expected_steps.clone();
+        measured += prior.paths;
+        stuck += prior.stuck_paths;
+    }
+    let checkpoint = LowerBoundCheckpoint {
+        probability: probability.clone(),
+        expected_steps: expected_steps.clone(),
+        paths: measured,
+        stuck_paths: stuck,
+        frontier: frontier_seeds(&exploration.frontier),
+    };
     let result = LowerBoundResult {
         probability,
         expected_steps,
         paths: measured,
-        unexplored_paths: unexplored,
-        stuck_paths: exploration.stuck,
+        unexplored_paths: exploration.out_of_fuel + unmeasured,
+        stuck_paths: stuck,
         interrupted: exploration.interrupted || interruption.is_some(),
         elapsed: start.elapsed(),
         profile: exploration.profile.clone(),
     };
-    (result, exploration, measures, interruption)
+    (result, checkpoint, exploration, measures, interruption)
+}
+
+/// Seeded exploration with the measuring hook folded into the explore loop:
+/// every terminating path is measured the moment it terminates (exact
+/// polytope volume when affine, interruptible box sweep otherwise), so
+/// `measures` is always aligned index-for-index with
+/// `exploration.terminated` — even across interruptions.
+fn run_measured<E>(
+    term: &Term,
+    config: &LowerBoundConfig,
+    seeds: Option<&[ReplaySeed]>,
+    check: &mut dyn FnMut(usize) -> Result<(), E>,
+) -> (Exploration, Vec<PathMeasure>, Option<E>) {
+    let boxes_per_path = config.boxes_per_path;
+    let mut measures: Vec<PathMeasure> = Vec::new();
+    let (exploration, interruption) = {
+        let measures = &mut measures;
+        let mut on_terminated = move |path: &SymbolicPath,
+                                      check: &mut dyn FnMut(usize) -> Result<(), E>|
+              -> Result<(), E> {
+            match path.exact_probability() {
+                Some(volume) => {
+                    measures.push(PathMeasure { volume, method: VolumeMethod::Exact });
+                    Ok(())
+                }
+                None => {
+                    // An interrupted sweep keeps its partial sum: boxes
+                    // already proven inside the region are sound mass.
+                    let (volume, failed) = path.try_box_lower_bound(boxes_per_path, check);
+                    measures.push(PathMeasure {
+                        volume,
+                        method: VolumeMethod::BoxSweep { max_boxes: boxes_per_path },
+                    });
+                    match failed {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    }
+                }
+            }
+        };
+        try_explore_seeded(term, &config.exploration(), seeds, check, &mut on_terminated)
+    };
+    (exploration, measures, interruption)
 }
 
 /// Computes lower bounds at several increasing depths, demonstrating the
@@ -435,5 +518,81 @@ mod tests {
         );
         assert_eq!(config.exploration().max_steps_per_path, 300);
         assert_eq!(config.exploration().max_paths, config.max_paths);
+    }
+
+    #[test]
+    fn resumed_runs_equal_from_scratch_runs_exactly() {
+        let geo = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+        let config = LowerBoundConfig::default().with_depth(200).with_profile(true);
+        let full = lower_bound(&geo, &config);
+        // Interrupt early, then resume to completion from the checkpoint.
+        let mut budget = 10usize;
+        let (partial, checkpoint, err) = try_lower_bound_resumable(&geo, &config, None, &mut |_| {
+            if budget == 0 {
+                Err("deadline exceeded")
+            } else {
+                budget -= 1;
+                Ok(())
+            }
+        });
+        assert_eq!(err, Some("deadline exceeded"));
+        assert!(partial.interrupted);
+        assert!(!checkpoint.frontier.is_empty(), "interrupted run must leave a frontier");
+        assert_eq!(checkpoint.probability, partial.probability);
+        let (resumed, done, err2) = try_lower_bound_resumable::<std::convert::Infallible>(
+            &geo,
+            &config,
+            Some(&checkpoint),
+            &mut |_| Ok(()),
+        );
+        assert!(err2.is_none());
+        assert!(!resumed.interrupted);
+        // What is left to resume is exactly what a from-scratch run leaves:
+        // the fuel-exhausted leaves at depth 200 (geo never fully explores).
+        assert_eq!(resumed.unexplored_paths, full.unexplored_paths);
+        assert_eq!(done.frontier.len(), full.unexplored_paths);
+        // Exact-rational equality with the from-scratch run at the same
+        // depth: the two runs' terminated paths partition identically.
+        assert_eq!(resumed.probability, full.probability);
+        assert_eq!(resumed.expected_steps, full.expected_steps);
+        assert_eq!(resumed.paths, full.paths);
+        assert_eq!(resumed.stuck_paths, full.stuck_paths);
+        // Monotone tightening: the resumed bound dominates the partial.
+        assert!(partial.probability < resumed.probability);
+        // No re-exploration of measured paths: the resumed run's machine
+        // steps (replay + new work) stay strictly below a from-scratch run.
+        let full_steps = full.profile.as_ref().expect("profile on").steps;
+        let resumed_steps = resumed.profile.as_ref().expect("profile on").steps;
+        assert!(
+            resumed_steps < full_steps,
+            "resume re-explored measured paths: {resumed_steps} vs {full_steps} steps"
+        );
+    }
+
+    #[test]
+    fn exhausted_frontier_seeds_short_circuit_without_replay() {
+        // Depth-limited run: every frontier path exhausted its fuel. Resuming
+        // at the same depth must not grind through the replays — the seeds
+        // are re-tallied directly and the result matches the original run.
+        let geo = parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+        let config = LowerBoundConfig::default().with_depth(40).with_profile(true);
+        let (first, checkpoint, err) =
+            try_lower_bound_resumable::<std::convert::Infallible>(&geo, &config, None, &mut |_| {
+                Ok(())
+            });
+        assert!(err.is_none());
+        assert!(!checkpoint.frontier.is_empty(), "depth 40 leaves out-of-fuel paths");
+        let (again, checkpoint2, err2) = try_lower_bound_resumable::<std::convert::Infallible>(
+            &geo,
+            &config,
+            Some(&checkpoint),
+            &mut |_| Ok(()),
+        );
+        assert!(err2.is_none());
+        // No new mass at the same depth; the frontier survives verbatim.
+        assert_eq!(again.probability, first.probability);
+        assert_eq!(checkpoint2.frontier, checkpoint.frontier);
+        // Short-circuit: no machine ran at all in the resumed pass.
+        assert_eq!(again.profile.as_ref().expect("profile on").steps, 0);
     }
 }

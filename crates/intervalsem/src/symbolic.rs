@@ -412,6 +412,21 @@ impl SymbolicPath {
     /// splitting with interval arithmetic — the "sweep" of §7.1. Works for
     /// arbitrary (non-linear) constraints; `max_boxes` bounds the work.
     pub fn box_lower_bound(&self, max_boxes: usize) -> Rational {
+        self.try_box_lower_bound::<std::convert::Infallible>(max_boxes, &mut |_| Ok(()))
+            .0
+    }
+
+    /// Interruptible [`SymbolicPath::box_lower_bound`]: `check(work)` runs
+    /// periodically during the sweep and, when it fails, the partial sum
+    /// accumulated so far is returned together with the error. Boxes already
+    /// proven inside the region stay counted — a truncated sweep is still a
+    /// sound lower bound, just a looser one, so deadline-bounded measurement
+    /// never has to discard work.
+    pub fn try_box_lower_bound<E>(
+        &self,
+        max_boxes: usize,
+        check: &mut dyn FnMut(usize) -> Result<(), E>,
+    ) -> (Rational, Option<E>) {
         let mut total = Rational::zero();
         let mut queue: VecDeque<IntervalBox> = VecDeque::new();
         queue.push_back(IntervalBox::unit(self.sample_count));
@@ -420,6 +435,11 @@ impl SymbolicPath {
             processed += 1;
             if processed > max_boxes {
                 break;
+            }
+            if processed % 64 == 0 {
+                if let Err(e) = check(processed) {
+                    return (total, Some(e));
+                }
             }
             let mut all_hold = true;
             let mut any_fail = false;
@@ -448,7 +468,7 @@ impl SymbolicPath {
                 None => continue,
             }
         }
-        total
+        (total, None)
     }
 
     /// Probability of the path region: exact for linear constraint systems,
@@ -709,13 +729,96 @@ fn sym_spec() -> DomainSpec<SymValue, NoAtom> {
     }
 }
 
+/// One paused path of a checkpointed exploration, as *replayable data*: the
+/// branch decisions (`κ` prefix) that lead from the root to the paused node,
+/// plus the step count at which the path was cut off.
+///
+/// Machines borrow the term they run, so a frontier cannot be serialised as
+/// machine state; instead a resumed exploration replays each seed
+/// deterministically on a fresh machine, consuming the recorded branches as
+/// an oracle at every symbolic conditional (constant guards decide
+/// themselves and consume nothing). Symbolic execution is deterministic
+/// given the oracle, so replay lands on exactly the paused node; the sibling
+/// subtrees along the way were already accounted for (terminated, stuck, or
+/// their own frontier records) by the run that produced the checkpoint, and
+/// are *not* re-explored — replay follows the oracle without forking.
+///
+/// `steps` lets a resume short-circuit fuel-exhausted paths: a seed with
+/// `steps >= max_steps_per_path` would only exhaust again under the same
+/// budget, so it is re-tallied into the frontier without replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySeed {
+    /// Small-step reductions the path had performed when it was cut off.
+    pub steps: usize,
+    /// Branch decisions from the root to the paused node.
+    pub branches: Vec<Branch>,
+}
+
+impl ReplaySeed {
+    /// Renders the seed as `"<steps>:<TE...>"` — one `T`/`E` per branch —
+    /// the compact form partial-result cache entries store.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{}:", self.steps);
+        for b in &self.branches {
+            out.push(match b {
+                Branch::Then => 'T',
+                Branch::Else => 'E',
+            });
+        }
+        out
+    }
+
+    /// Parses the [`ReplaySeed::render`] form; `None` on any malformation.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<ReplaySeed> {
+        let (steps, branches) = text.split_once(':')?;
+        let steps = steps.parse().ok()?;
+        let branches = branches
+            .chars()
+            .map(|c| match c {
+                'T' => Some(Branch::Then),
+                'E' => Some(Branch::Else),
+                _ => None,
+            })
+            .collect::<Option<Vec<Branch>>>()?;
+        Some(ReplaySeed { steps, branches })
+    }
+}
+
+/// Converts a checkpointed frontier into the seeds a resumed exploration
+/// takes: the [`ReplaySeed::render`]-compatible data of every frontier path.
+#[must_use]
+pub fn frontier_seeds(frontier: &[FrontierPath]) -> Vec<ReplaySeed> {
+    frontier
+        .iter()
+        .map(|p| ReplaySeed { steps: p.steps, branches: p.branches.clone() })
+        .collect()
+}
+
 /// One in-flight path of the exploration: a paused machine plus the symbolic
-/// bookkeeping (sample counter, oracle, constraints).
+/// bookkeeping (sample counter, oracle, constraints). `oracle` holds branch
+/// decisions still to be *replayed* from a [`ReplaySeed`] — empty except
+/// while a resumed path is being driven back to its paused node.
 struct PathState<'a> {
     machine: Machine<'a, SymValue, NoAtom>,
     samples: usize,
     branches: Vec<Branch>,
     constraints: Vec<SymConstraint>,
+    oracle: VecDeque<Branch>,
+}
+
+impl PathState<'_> {
+    /// The frontier record for an abandoned path. Replay decisions not yet
+    /// consumed are appended: recording only the replayed prefix would name
+    /// an *ancestor* of the checkpointed node, and resuming from an ancestor
+    /// re-explores sibling subtrees whose mass the previous run already
+    /// counted — double counting, i.e. an unsound bound.
+    fn into_frontier(self) -> FrontierPath {
+        let PathState { machine, mut branches, oracle, .. } = self;
+        branches.extend(oracle);
+        FrontierPath { steps: machine.steps(), branches }
+    }
 }
 
 /// Explores the CbN symbolic execution tree of a closed term breadth-first,
@@ -740,18 +843,53 @@ pub fn try_explore<E>(
     config: &ExplorationConfig,
     check: &mut dyn FnMut(usize) -> Result<(), E>,
 ) -> (Exploration, Option<E>) {
+    try_explore_seeded(term, config, None, check, &mut |_, _| Ok(()))
+}
+
+/// The resumable, incrementally-measuring variant of [`try_explore`].
+///
+/// * `seeds` — `None` starts a fresh exploration from the root;
+///   `Some(seeds)` *resumes* a checkpointed one: each seed is replayed
+///   deterministically back to its paused node (see [`ReplaySeed`]) and
+///   exploration continues from there. The resulting exploration covers
+///   exactly the subtrees the checkpoint left unexplored, so combining it
+///   with the checkpointed run's tallies reproduces a from-scratch run —
+///   terminated paths partition identically, and no measured path is ever
+///   re-explored.
+/// * `on_terminated` — called with every path the instant it terminates,
+///   *before* exploration continues, so callers can measure path volumes
+///   incrementally instead of post-hoc. It receives the cooperative check
+///   as its second argument (for deadline-aware measurement); returning an
+///   error interrupts the exploration exactly like a failing `check`: the
+///   queue drains to the frontier and the partial result stays sound.
+///
+/// With `seeds = None` and a no-op hook this is exactly [`try_explore`] —
+/// the differential suite's guarantee carries over unchanged.
+pub fn try_explore_seeded<'t, E>(
+    term: &'t Term,
+    config: &ExplorationConfig,
+    seeds: Option<&[ReplaySeed]>,
+    check: &mut dyn FnMut(usize) -> Result<(), E>,
+    on_terminated: &mut dyn FnMut(
+        &SymbolicPath,
+        &mut dyn FnMut(usize) -> Result<(), E>,
+    ) -> Result<(), E>,
+) -> (Exploration, Option<E>) {
     let profile = config.profile.then(ProfileCell::shared);
-    let mut root = Machine::new(sym_spec(), term, config.max_steps_per_path);
-    if let Some(cell) = &profile {
-        root.set_profile(Rc::clone(cell));
-    }
+    let new_machine = |oracle: VecDeque<Branch>| {
+        let mut machine = Machine::new(sym_spec(), term, config.max_steps_per_path);
+        if let Some(cell) = &profile {
+            machine.set_profile(Rc::clone(cell));
+        }
+        PathState {
+            machine,
+            samples: 0,
+            branches: Vec::new(),
+            constraints: Vec::new(),
+            oracle,
+        }
+    };
     let mut queue: VecDeque<PathState<'_>> = VecDeque::new();
-    queue.push_back(PathState {
-        machine: root,
-        samples: 0,
-        branches: Vec::new(),
-        constraints: Vec::new(),
-    });
     let mut result = Exploration {
         terminated: Vec::new(),
         out_of_fuel: 0,
@@ -760,6 +898,26 @@ pub fn try_explore<E>(
         interrupted: false,
         profile: None,
     };
+    match seeds {
+        None => queue.push_back(new_machine(VecDeque::new())),
+        Some(seeds) => {
+            for seed in seeds {
+                if seed.steps >= config.max_steps_per_path {
+                    // The seed exhausted this very step budget: replaying it
+                    // would grind through `max_steps_per_path` reductions
+                    // only to run out of fuel at the same node. Re-tally it
+                    // into the frontier directly.
+                    result.out_of_fuel += 1;
+                    result.frontier.push(FrontierPath {
+                        steps: seed.steps,
+                        branches: seed.branches.clone(),
+                    });
+                } else {
+                    queue.push_back(new_machine(seed.branches.iter().copied().collect()));
+                }
+            }
+        }
+    }
     let mut processed = 0usize;
     let mut work = 0usize;
     let mut interruption: Option<E> = None;
@@ -767,27 +925,15 @@ pub fn try_explore<E>(
         processed += 1;
         if processed > config.max_paths {
             result.out_of_fuel += 1 + queue.len();
-            result.frontier.push(FrontierPath {
-                steps: path.machine.steps(),
-                branches: path.branches,
-            });
-            result.frontier.extend(queue.drain(..).map(|p| FrontierPath {
-                steps: p.machine.steps(),
-                branches: p.branches,
-            }));
+            result.frontier.push(path.into_frontier());
+            result.frontier.extend(queue.drain(..).map(PathState::into_frontier));
             break;
         }
         if let Err(e) = check(work) {
             result.interrupted = true;
             result.out_of_fuel += 1 + queue.len();
-            result.frontier.push(FrontierPath {
-                steps: path.machine.steps(),
-                branches: path.branches,
-            });
-            result.frontier.extend(queue.drain(..).map(|p| FrontierPath {
-                steps: p.machine.steps(),
-                branches: p.branches,
-            }));
+            result.frontier.push(path.into_frontier());
+            result.frontier.extend(queue.drain(..).map(PathState::into_frontier));
             result.profile = profile.as_ref().map(|cell| cell.snapshot());
             return (result, Some(e));
         }
@@ -797,35 +943,35 @@ pub fn try_explore<E>(
                 if let Err(e) = check(work) {
                     result.interrupted = true;
                     result.out_of_fuel += 1 + queue.len();
-                    result.frontier.push(FrontierPath {
-                        steps: path.machine.steps(),
-                        branches: std::mem::take(&mut path.branches),
-                    });
-                    result.frontier.extend(queue.drain(..).map(|p| FrontierPath {
-                        steps: p.machine.steps(),
-                        branches: p.branches,
-                    }));
+                    result.frontier.push(path.into_frontier());
+                    result.frontier.extend(queue.drain(..).map(PathState::into_frontier));
                     interruption = Some(e);
                     break 'exploration;
                 }
             }
             match path.machine.next_event() {
                 Event::Done(value) => {
-                    result.terminated.push(SymbolicPath {
+                    let terminated = SymbolicPath {
                         sample_count: path.samples,
-                        branches: path.branches,
-                        constraints: path.constraints,
+                        branches: std::mem::take(&mut path.branches),
+                        constraints: std::mem::take(&mut path.constraints),
                         steps: path.machine.steps(),
                         result: value.into_lit(),
-                    });
+                    };
+                    let hooked = on_terminated(&terminated, check);
+                    result.terminated.push(terminated);
+                    if let Err(e) = hooked {
+                        result.interrupted = true;
+                        result.out_of_fuel += queue.len();
+                        result.frontier.extend(queue.drain(..).map(PathState::into_frontier));
+                        interruption = Some(e);
+                        break 'exploration;
+                    }
                     break;
                 }
                 Event::OutOfFuel => {
                     result.out_of_fuel += 1;
-                    result.frontier.push(FrontierPath {
-                        steps: path.machine.steps(),
-                        branches: std::mem::take(&mut path.branches),
-                    });
+                    result.frontier.push(path.into_frontier());
                     break;
                 }
                 Event::Stuck(_) => {
@@ -856,16 +1002,32 @@ pub fn try_explore<E>(
                 }
                 Event::BranchReady(guard) => {
                     // Constant guards are decided outright; symbolic guards
-                    // fork the paused machine into both branches.
+                    // fork the paused machine into both branches — unless a
+                    // replay oracle is pending, in which case the recorded
+                    // decision is followed without forking (the sibling
+                    // subtree belongs to the run that wrote the checkpoint).
                     if let SymValue::Const(r) = &guard {
                         let take_then = !r.is_positive();
                         path.machine.resume_branch(take_then);
+                    } else if let Some(b) = path.oracle.pop_front() {
+                        let take_then = matches!(b, Branch::Then);
+                        path.machine.resume_branch(take_then);
+                        path.branches.push(b);
+                        path.constraints.push(SymConstraint {
+                            value: guard,
+                            kind: if take_then {
+                                ConstraintKind::NonPositive
+                            } else {
+                                ConstraintKind::Positive
+                            },
+                        });
                     } else {
                         let mut else_path = PathState {
                             machine: path.machine.clone(),
                             samples: path.samples,
                             branches: path.branches.clone(),
                             constraints: path.constraints.clone(),
+                            oracle: VecDeque::new(),
                         };
                         path.machine.resume_branch(true);
                         path.branches.push(Branch::Then);
@@ -1293,6 +1455,62 @@ mod tests {
             assert_eq!(p.constraints.len(), 1);
             assert!(p.is_linear());
         }
+    }
+
+    #[test]
+    fn replay_seeds_round_trip_and_reject_garbage() {
+        let seed = ReplaySeed {
+            steps: 42,
+            branches: vec![Branch::Then, Branch::Else, Branch::Else, Branch::Then],
+        };
+        assert_eq!(seed.render(), "42:TEET");
+        assert_eq!(ReplaySeed::parse("42:TEET"), Some(seed));
+        assert_eq!(ReplaySeed::parse("7:"), Some(ReplaySeed { steps: 7, branches: vec![] }));
+        for bad in ["", "TEET", "42", "42:TXET", "-1:T", "9:te"] {
+            assert_eq!(ReplaySeed::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn seeded_exploration_covers_exactly_the_frontier_subtrees() {
+        // Cut a geometric exploration short, then re-explore from its
+        // frontier seeds: the union of terminated paths must equal a full
+        // exploration's, with no path appearing twice.
+        let term =
+            parse_term("(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0").unwrap();
+        let config = ExplorationConfig::default().with_max_steps_per_path(150);
+        let full = explore(&term, &config);
+        let mut budget = 6usize;
+        let (first, err) = try_explore(&term, &config, &mut |_| {
+            if budget == 0 {
+                Err(())
+            } else {
+                budget -= 1;
+                Ok(())
+            }
+        });
+        assert!(err.is_some());
+        assert!(first.interrupted && !first.frontier.is_empty());
+        let seeds = frontier_seeds(&first.frontier);
+        let (second, err2) = try_explore_seeded::<()>(
+            &term,
+            &config,
+            Some(&seeds),
+            &mut |_| Ok(()),
+            &mut |_, _| Ok(()),
+        );
+        assert!(err2.is_none());
+        let key = |p: &&SymbolicPath| -> Vec<bool> {
+            p.branches.iter().map(|b| matches!(b, Branch::Else)).collect()
+        };
+        let mut combined: Vec<&SymbolicPath> =
+            first.terminated.iter().chain(second.terminated.iter()).collect();
+        combined.sort_by_key(key);
+        let mut reference: Vec<&SymbolicPath> = full.terminated.iter().collect();
+        reference.sort_by_key(key);
+        assert_eq!(combined, reference, "resume must partition the path tree");
+        assert_eq!(first.stuck + second.stuck, full.stuck);
+        assert_eq!(second.out_of_fuel, full.out_of_fuel);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Deterministic fault injection for chaos-testing the service
+//! (`probterm serve --inject <spec>`).
+//!
+//! The spec is a `;`-separated list of clauses:
+//!
+//! ```text
+//! seed=N        PRNG seed for probabilistic rules (default 0)
+//! panic=RULE    panic inside the engine (caught; structured `internal` reply)
+//! slow=RULE:MS  sleep MS milliseconds before running the engine
+//! drop=RULE     write half the reply bytes, then hard-close the connection
+//! ```
+//!
+//! where `RULE` is either a probability in `[0,1]` (e.g. `0.2`, decided by a
+//! seeded splitmix64 hash of the engine-run counter — deterministic across
+//! runs with the same seed) or `@N` (every `N`-th engine run, exactly —
+//! the form scripted smoke tests use, since it makes *which* request gets
+//! hit a pure function of request order). Example:
+//!
+//! ```text
+//! --inject 'seed=7;panic=@4;slow=0.1:50;drop=@9'
+//! ```
+//!
+//! Faults apply only to engine runs (cache misses of engine ops): control
+//! ops, cache hits and shed requests are never injected, so the fault
+//! schedule of a lock-step script is stable under cache warm-up.
+
+/// When a fault rule fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultRule {
+    /// Never fires (the clause was absent).
+    Never,
+    /// Fires on every `N`-th engine run (1-based: runs N, 2N, ...).
+    Every(u64),
+    /// Fires with this probability, decided by a seeded hash of the run
+    /// counter.
+    Rate(f64),
+}
+
+impl FaultRule {
+    fn fires(self, seed: u64, salt: u64, run: u64) -> bool {
+        match self {
+            FaultRule::Never => false,
+            FaultRule::Every(n) => n > 0 && run % n == 0,
+            FaultRule::Rate(p) => {
+                // splitmix64 of (seed, salt, run): uniform in [0, 1).
+                let mut z = seed
+                    .wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    .wrapping_add(run.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                ((z >> 11) as f64) / ((1u64 << 53) as f64) < p
+            }
+        }
+    }
+}
+
+/// The faults one engine run should suffer, as decided by
+/// [`InjectSpec::decide`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectDecision {
+    /// Panic inside the engine (caught by the worker's panic guard).
+    pub panic: bool,
+    /// Sleep this long before running the engine.
+    pub slow_ms: Option<u64>,
+    /// Truncate the reply mid-line and hard-close the connection.
+    pub drop_reply: bool,
+}
+
+impl InjectDecision {
+    /// Number of faults this decision injects (for the `injected_faults`
+    /// counter).
+    pub fn fault_count(&self) -> u64 {
+        u64::from(self.panic) + u64::from(self.slow_ms.is_some()) + u64::from(self.drop_reply)
+    }
+}
+
+/// A parsed `--inject` specification. See the module docs for the grammar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectSpec {
+    /// Seed for probabilistic rules.
+    pub seed: u64,
+    /// Engine-panic rule.
+    pub panic: FaultRule,
+    /// Engine-slowdown rule and the sleep it injects.
+    pub slow: FaultRule,
+    /// Milliseconds the `slow` rule sleeps for.
+    pub slow_ms: u64,
+    /// Mid-reply connection-drop rule.
+    pub drop: FaultRule,
+}
+
+impl InjectSpec {
+    /// Parses the `--inject` grammar; `Err` carries a human-readable reason.
+    pub fn parse(spec: &str) -> Result<InjectSpec, String> {
+        let mut parsed = InjectSpec {
+            seed: 0,
+            panic: FaultRule::Never,
+            slow: FaultRule::Never,
+            slow_ms: 0,
+            drop: FaultRule::Never,
+        };
+        for clause in spec.split(';').filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("clause `{clause}` is not `key=value`"))?;
+            match key {
+                "seed" => {
+                    parsed.seed =
+                        value.parse().map_err(|_| format!("seed `{value}` is not a u64"))?;
+                }
+                "panic" => parsed.panic = parse_rule(value)?,
+                "drop" => parsed.drop = parse_rule(value)?,
+                "slow" => {
+                    let (rule, ms) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("slow clause `{value}` needs `RULE:MS`"))?;
+                    parsed.slow = parse_rule(rule)?;
+                    parsed.slow_ms =
+                        ms.parse().map_err(|_| format!("slow ms `{ms}` is not a u64"))?;
+                }
+                other => return Err(format!("unknown inject clause `{other}`")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The faults to inject into the `run`-th engine run (1-based).
+    pub fn decide(&self, run: u64) -> InjectDecision {
+        InjectDecision {
+            panic: self.panic.fires(self.seed, 1, run),
+            slow_ms: self.slow.fires(self.seed, 2, run).then_some(self.slow_ms),
+            drop_reply: self.drop.fires(self.seed, 3, run),
+        }
+    }
+}
+
+fn parse_rule(text: &str) -> Result<FaultRule, String> {
+    if let Some(n) = text.strip_prefix('@') {
+        let n: u64 = n.parse().map_err(|_| format!("modulus `{text}` is not `@N`"))?;
+        if n == 0 {
+            return Err("modulus `@0` is meaningless".to_string());
+        }
+        Ok(FaultRule::Every(n))
+    } else {
+        let p: f64 = text.parse().map_err(|_| format!("rate `{text}` is not a number"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("rate `{text}` is outside [0, 1]"));
+        }
+        Ok(FaultRule::Rate(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let spec = InjectSpec::parse("seed=7;panic=@4;slow=0.5:50;drop=@9").unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.panic, FaultRule::Every(4));
+        assert_eq!(spec.slow, FaultRule::Rate(0.5));
+        assert_eq!(spec.slow_ms, 50);
+        assert_eq!(spec.drop, FaultRule::Every(9));
+        assert!(InjectSpec::parse("").unwrap().decide(1) == InjectDecision::default());
+        for bad in ["panic", "panic=@0", "panic=2.0", "slow=@3", "wat=1", "seed=x"] {
+            assert!(InjectSpec::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn modulus_rules_hit_exactly_every_nth_run() {
+        let spec = InjectSpec::parse("panic=@4").unwrap();
+        let hits: Vec<u64> = (1..=12).filter(|&run| spec.decide(run).panic).collect();
+        assert_eq!(hits, vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn rates_are_deterministic_in_the_seed_and_roughly_calibrated() {
+        let spec = InjectSpec::parse("seed=42;drop=0.25").unwrap();
+        let first: Vec<bool> = (1..=1000).map(|run| spec.decide(run).drop_reply).collect();
+        let second: Vec<bool> = (1..=1000).map(|run| spec.decide(run).drop_reply).collect();
+        assert_eq!(first, second, "decisions must be reproducible");
+        let hits = first.iter().filter(|&&b| b).count();
+        assert!((150..=350).contains(&hits), "0.25 rate fired {hits}/1000 times");
+        // Different fault kinds draw independent decisions.
+        let both = InjectSpec::parse("seed=42;drop=0.5;panic=0.5").unwrap();
+        let disagree =
+            (1..=200).any(|run| both.decide(run).drop_reply != both.decide(run).panic);
+        assert!(disagree, "panic and drop must not share a decision stream");
+    }
+}

@@ -23,7 +23,14 @@
 //!   log-bucketed latency histograms; the `stats` op reports per-op
 //!   p50/p95/p99, the `metrics` op renders a Prometheus-style text
 //!   exposition, and an optional [`probterm_telemetry::TraceSink`] streams
-//!   one JSONL record per request.
+//!   one JSONL record per request,
+//! * **robustness** ([`inject`], [`server`]): bounded admission with load
+//!   shedding (structured `overloaded` replies carrying `retry_after_ms`),
+//!   resumable anytime analyses (a deadline-truncated `lower` checkpoints
+//!   its exploration frontier into the cache; a richer retry resumes from it
+//!   instead of recomputing), graceful drain on shutdown, per-connection
+//!   idle timeouts, and a deterministic fault-injection harness
+//!   (`--inject`) for chaos testing.
 //!
 //! Everything is std-only: like the rest of the workspace, the crate builds
 //! offline with path-only dependencies.
@@ -43,11 +50,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod inject;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
+pub use inject::{FaultRule, InjectDecision, InjectSpec};
 pub use metrics::{OpMetrics, OpMetricsSnapshot, PhaseTimes, ServiceMetrics};
 pub use protocol::{ErrorCode, Op, Request, ServiceError};
 pub use server::{

@@ -193,6 +193,24 @@ pub fn render_prometheus(snapshots: &[OpMetricsSnapshot], stats: &StatsSnapshot)
     out.push_str("# HELP probterm_workers Worker threads in the pool.\n");
     out.push_str("# TYPE probterm_workers gauge\n");
     let _ = writeln!(out, "probterm_workers {}", stats.workers);
+    out.push_str("# HELP probterm_shed_total Requests shed by admission control with an overloaded reply.\n");
+    out.push_str("# TYPE probterm_shed_total counter\n");
+    let _ = writeln!(out, "probterm_shed_total {}", stats.shed);
+    out.push_str("# HELP probterm_resumed_total Lower-bound runs resumed from a cached exploration checkpoint.\n");
+    out.push_str("# TYPE probterm_resumed_total counter\n");
+    let _ = writeln!(out, "probterm_resumed_total {}", stats.resumed);
+    out.push_str("# HELP probterm_checkpointed_frontiers_total Partial replies that carried a resumable frontier checkpoint.\n");
+    out.push_str("# TYPE probterm_checkpointed_frontiers_total counter\n");
+    let _ = writeln!(out, "probterm_checkpointed_frontiers_total {}", stats.checkpointed_frontiers);
+    out.push_str("# HELP probterm_injected_faults_total Faults injected by the chaos harness.\n");
+    out.push_str("# TYPE probterm_injected_faults_total counter\n");
+    let _ = writeln!(out, "probterm_injected_faults_total {}", stats.injected_faults);
+    out.push_str("# HELP probterm_drained_in_flight_total Engine requests that finished while the server was draining.\n");
+    out.push_str("# TYPE probterm_drained_in_flight_total counter\n");
+    let _ = writeln!(out, "probterm_drained_in_flight_total {}", stats.drained_in_flight);
+    out.push_str("# HELP probterm_idle_closed_total Connections closed by the idle read timeout.\n");
+    out.push_str("# TYPE probterm_idle_closed_total counter\n");
+    let _ = writeln!(out, "probterm_idle_closed_total {}", stats.idle_closed);
 
     out.push_str("# HELP probterm_requests_total Requests handled, by op.\n");
     out.push_str("# TYPE probterm_requests_total counter\n");
@@ -308,9 +326,21 @@ mod tests {
             cache_entries: 5,
             cache_capacity: 1024,
             workers: 2,
+            shed: 7,
+            resumed: 2,
+            checkpointed_frontiers: 3,
+            injected_faults: 1,
+            drained_in_flight: 4,
+            idle_closed: 6,
         };
         let text = render_prometheus(&m.snapshot(), &stats);
         assert!(text.contains("probterm_uptime_milliseconds 1234\n"));
+        assert!(text.contains("probterm_shed_total 7\n"));
+        assert!(text.contains("probterm_resumed_total 2\n"));
+        assert!(text.contains("probterm_checkpointed_frontiers_total 3\n"));
+        assert!(text.contains("probterm_injected_faults_total 1\n"));
+        assert!(text.contains("probterm_drained_in_flight_total 4\n"));
+        assert!(text.contains("probterm_idle_closed_total 6\n"));
         assert!(text.contains("probterm_requests_total{op=\"verify\"} 100\n"));
         assert!(text.contains("probterm_request_errors_total{op=\"verify\"} 10\n"));
         assert!(text

@@ -39,6 +39,14 @@ pub enum ErrorCode {
     NotApplicable,
     /// The engine panicked or otherwise failed; the worker survived.
     Internal,
+    /// Admission control shed the request (queue over depth, or the deadline
+    /// would expire before the predicted queue wait) or the server is
+    /// draining. The error object carries `retry_after_ms` when a retry can
+    /// succeed.
+    Overloaded,
+    /// The connection sat idle past the server's `--idle-timeout-ms` and is
+    /// being closed; sent as a final structured line before the close.
+    IdleTimeout,
 }
 
 impl ErrorCode {
@@ -50,6 +58,8 @@ impl ErrorCode {
             ErrorCode::BudgetExceeded => "budget_exceeded",
             ErrorCode::NotApplicable => "not_applicable",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::IdleTimeout => "idle_timeout",
         }
     }
 }
@@ -61,12 +71,23 @@ pub struct ServiceError {
     pub code: ErrorCode,
     /// Human-readable description.
     pub message: String,
+    /// For `overloaded` sheds: how long (in milliseconds) a client should
+    /// wait before retrying — the predicted queue wait, never zero. Rendered
+    /// as `retry_after_ms` inside the error object when present.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServiceError {
     /// Convenience constructor.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> ServiceError {
-        ServiceError { code, message: message.into() }
+        ServiceError { code, message: message.into(), retry_after_ms: None }
+    }
+
+    /// Builder: attaches the shed-retry hint.
+    #[must_use]
+    pub fn with_retry_after(mut self, retry_after_ms: u64) -> ServiceError {
+        self.retry_after_ms = Some(retry_after_ms.max(1));
+        self
     }
 }
 
@@ -285,16 +306,17 @@ pub fn ok_reply(
 
 /// Builds an error reply line (without the trailing newline).
 pub fn error_reply(id: &Option<Value>, error: &ServiceError) -> String {
+    let mut body = vec![
+        ("code".to_string(), Value::Str(error.code.as_str().to_string())),
+        ("message".to_string(), Value::Str(error.message.clone())),
+    ];
+    if let Some(retry_after_ms) = error.retry_after_ms {
+        body.push(("retry_after_ms".to_string(), Value::UInt(u128::from(retry_after_ms))));
+    }
     render_line(Value::Object(vec![
         ("id".to_string(), id.clone().unwrap_or(Value::Null)),
         ("ok".to_string(), Value::Bool(false)),
-        (
-            "error".to_string(),
-            Value::Object(vec![
-                ("code".to_string(), Value::Str(error.code.as_str().to_string())),
-                ("message".to_string(), Value::Str(error.message.clone())),
-            ]),
-        ),
+        ("error".to_string(), Value::Object(body)),
     ]))
 }
 
@@ -384,5 +406,25 @@ mod tests {
             Some("budget_exceeded")
         );
         assert!(v.get("id").unwrap().is_null());
+    }
+
+    #[test]
+    fn overloaded_errors_carry_retry_after_ms() {
+        let err = error_reply(
+            &Some(Value::UInt(9)),
+            &ServiceError::new(ErrorCode::Overloaded, "admission queue full")
+                .with_retry_after(120),
+        );
+        let v = serde_json::from_str(&err).unwrap();
+        let error = v.get("error").unwrap();
+        assert_eq!(error.get("code").and_then(Value::as_str), Some("overloaded"));
+        assert_eq!(error.get("retry_after_ms").and_then(Value::as_u64), Some(120));
+        // The hint is clamped away from zero: "retry immediately" defeats
+        // the point of shedding.
+        let zero = ServiceError::new(ErrorCode::Overloaded, "x").with_retry_after(0);
+        assert_eq!(zero.retry_after_ms, Some(1));
+        // Non-shed errors never render the field.
+        let plain = error_reply(&None, &ServiceError::new(ErrorCode::Internal, "boom"));
+        assert!(!plain.contains("retry_after_ms"));
     }
 }

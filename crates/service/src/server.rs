@@ -23,10 +23,28 @@
 //! `(canonical_key, analysis, config)` key: a retry whose budget is
 //! comparable to the engine time the entry burned is an instant hit on the
 //! partial bound, while a meaningfully richer (or unbounded) retry
-//! recomputes and upgrades the entry — partials never downgrade a complete
-//! entry or a deeper partial.
+//! **resumes** from the entry — partial `lower` payloads embed the
+//! exploration frontier as a replayable checkpoint, so the retry replays
+//! straight to the unexplored subtrees and only pays for new work — and
+//! upgrades the entry. Partials never downgrade a complete entry or a
+//! deeper partial.
+//!
+//! Overload protection: the transport readers run admission control before
+//! enqueueing. When the shared queue is deeper than
+//! [`ServerConfig::queue_depth`], or a request's `deadline_ms` would expire
+//! before the predicted queue wait (queued jobs × the op's p95 engine time ÷
+//! workers), the reader replies immediately with a structured `overloaded`
+//! error carrying `retry_after_ms` instead of letting the request rot in the
+//! queue. Control ops (`stats`, `metrics`, `shutdown`, `catalog`) are never
+//! shed — they matter most under load. On shutdown the server drains
+//! gracefully: the accept loop stops, in-flight engine runs observe the
+//! draining flag through their budget checks and checkpoint to the cache,
+//! and the workers exit once the queue is empty. A deterministic
+//! fault-injection harness ([`crate::inject`], CLI `--inject`) can make
+//! engine runs panic, stall, or drop their reply mid-line for chaos testing.
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::inject::{InjectDecision, InjectSpec};
 use crate::metrics::{ops_value, render_prometheus, PhaseTimes, ServiceMetrics};
 use crate::protocol::{
     error_reply, ok_reply, parse_request, ErrorCode, Op, Request, ServiceError,
@@ -34,8 +52,10 @@ use crate::protocol::{
 use probterm_telemetry::{SpanTimer, TraceSink};
 use probterm_core::astver::{try_verify_ast, VerifyError};
 use probterm_core::intervalsem::{
-    try_explain, try_lower_bound, ExplainConfig, LowerBoundConfig, LowerBoundResult,
+    try_explain, try_lower_bound_resumable, ExplainConfig, LowerBoundCheckpoint,
+    LowerBoundConfig, LowerBoundResult, ReplaySeed,
 };
+use probterm_core::numerics::Rational;
 use probterm_core::spcf::{
     catalog, parse_term, try_estimate_termination, MonteCarloConfig, Strategy, Term,
 };
@@ -69,6 +89,16 @@ pub struct ServerConfig {
     /// phase* exceeds this writes one structured JSONL line to the slow log
     /// (stderr under `probterm serve --slow-ms N`). `None` disables it.
     pub slow_ms: Option<u64>,
+    /// Admission-queue depth above which engine requests are shed with a
+    /// structured `overloaded` reply (`0` disables admission control).
+    pub queue_depth: usize,
+    /// Per-connection idle read timeout: a TCP connection that stays silent
+    /// this long gets a structured `idle_timeout` notice and is closed.
+    /// `None` (the default) disables it.
+    pub idle_timeout_ms: Option<u64>,
+    /// Deterministic fault injection for chaos testing (`--inject`); `None`
+    /// in production.
+    pub inject: Option<InjectSpec>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +111,9 @@ impl Default for ServerConfig {
             max_steps: 1_000_000,
             max_program_bytes: 64 * 1024,
             slow_ms: None,
+            queue_depth: 256,
+            idle_timeout_ms: None,
+            inject: None,
         }
     }
 }
@@ -105,6 +138,18 @@ pub struct StatsSnapshot {
     pub cache_capacity: usize,
     /// Number of worker threads.
     pub workers: usize,
+    /// Requests shed by admission control with an `overloaded` reply.
+    pub shed: u64,
+    /// `lower` runs that resumed from a cached exploration checkpoint.
+    pub resumed: u64,
+    /// Partial `lower` replies that carried a resumable frontier checkpoint.
+    pub checkpointed_frontiers: u64,
+    /// Faults injected by the `--inject` harness.
+    pub injected_faults: u64,
+    /// Engine requests that finished while the server was draining.
+    pub drained_in_flight: u64,
+    /// Connections closed by the idle read timeout.
+    pub idle_closed: u64,
 }
 
 /// Shared server state: configuration, result cache, counters, per-op
@@ -116,6 +161,20 @@ pub struct ServerState {
     served: AtomicU64,
     inflight: AtomicU64,
     shutdown: AtomicBool,
+    /// Set when the server stops accepting work and starts its graceful
+    /// drain; engine budget checks observe it and checkpoint early.
+    draining: AtomicBool,
+    /// Jobs currently sitting in the shared queue (admission control input).
+    queued: AtomicU64,
+    /// Engine runs started, 1-based; the fault-injection schedule is a pure
+    /// function of this counter.
+    engine_runs: AtomicU64,
+    shed: AtomicU64,
+    resumed: AtomicU64,
+    checkpointed_frontiers: AtomicU64,
+    injected_faults: AtomicU64,
+    drained_in_flight: AtomicU64,
+    idle_closed: AtomicU64,
     started: Instant,
     metrics: ServiceMetrics,
     request_seq: AtomicU64,
@@ -135,6 +194,15 @@ impl ServerState {
             served: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            queued: AtomicU64::new(0),
+            engine_runs: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            checkpointed_frontiers: AtomicU64::new(0),
+            injected_faults: AtomicU64::new(0),
+            drained_in_flight: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
             started: Instant::now(),
             metrics: ServiceMetrics::new(),
             request_seq: AtomicU64::new(0),
@@ -165,6 +233,12 @@ impl ServerState {
             cache_entries: cache.len(),
             cache_capacity: cache.capacity(),
             workers: self.config.workers,
+            shed: self.shed.load(Ordering::SeqCst),
+            resumed: self.resumed.load(Ordering::SeqCst),
+            checkpointed_frontiers: self.checkpointed_frontiers.load(Ordering::SeqCst),
+            injected_faults: self.injected_faults.load(Ordering::SeqCst),
+            drained_in_flight: self.drained_in_flight.load(Ordering::SeqCst),
+            idle_closed: self.idle_closed.load(Ordering::SeqCst),
         }
     }
 }
@@ -208,6 +282,44 @@ impl Deadline {
     }
 }
 
+/// The interruption signal threaded into one engine run: the request's own
+/// deadline plus the server-wide draining flag, so a graceful shutdown
+/// checkpoints in-flight anytime analyses instead of waiting them out.
+#[derive(Clone, Copy)]
+struct RunBudget<'a> {
+    deadline: Deadline,
+    draining: &'a AtomicBool,
+}
+
+impl RunBudget<'_> {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn exceeded(&self) -> bool {
+        self.deadline.exceeded() || self.draining()
+    }
+
+    fn error(&self, phase: &str) -> ServiceError {
+        if self.deadline.exceeded() {
+            self.deadline.budget_error(phase)
+        } else {
+            ServiceError::new(
+                ErrorCode::Overloaded,
+                format!("server is draining; interrupted {phase}"),
+            )
+        }
+    }
+
+    fn check(&self, phase: &str) -> Result<(), ServiceError> {
+        if self.exceeded() {
+            Err(self.error(phase))
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// `true` when a cached/computed payload is a deadline-truncated partial
 /// result (`"complete": false`) rather than a finished analysis.
 fn payload_is_partial(payload: &Value) -> bool {
@@ -230,12 +342,67 @@ fn payload_engine_ms(payload: &Value) -> u128 {
 /// instead of being handed a bound it had ample time to improve.
 const PARTIAL_SERVE_BUDGET_FACTOR: u128 = 2;
 
+/// Frontier-size cap on serialized checkpoints: a partial result with more
+/// paused paths than this is cached without one (a retry recomputes from
+/// scratch) — the entry stays bounded instead of ballooning the cache.
+const CHECKPOINT_MAX_FRONTIER: usize = 4096;
+
+/// Serializes a lower-bound checkpoint into the partial payload, so a richer
+/// retry can resume the exploration instead of recomputing it. Empty
+/// frontiers carry no resumable work and oversized ones are dropped (see
+/// [`CHECKPOINT_MAX_FRONTIER`]).
+fn checkpoint_value(checkpoint: &LowerBoundCheckpoint) -> Option<Value> {
+    if checkpoint.frontier.is_empty() || checkpoint.frontier.len() > CHECKPOINT_MAX_FRONTIER {
+        return None;
+    }
+    Some(Value::Object(vec![
+        ("probability".into(), Value::Str(checkpoint.probability.to_string())),
+        ("expected_steps".into(), Value::Str(checkpoint.expected_steps.to_string())),
+        ("paths".into(), Value::UInt(checkpoint.paths as u128)),
+        ("stuck".into(), Value::UInt(checkpoint.stuck_paths as u128)),
+        (
+            "frontier".into(),
+            Value::Array(
+                checkpoint.frontier.iter().map(|seed| Value::Str(seed.render())).collect(),
+            ),
+        ),
+    ]))
+}
+
+/// Recovers a resumable checkpoint from a cached partial `lower` payload.
+/// Returns `None` for complete entries, entries cached before checkpoints
+/// existed, and anything malformed — the caller then recomputes from
+/// scratch, which is always sound.
+fn checkpoint_from_payload(payload: &Value) -> Option<LowerBoundCheckpoint> {
+    if !payload_is_partial(payload) {
+        return None;
+    }
+    let checkpoint = payload.get("checkpoint")?;
+    let probability = Rational::parse(checkpoint.get("probability")?.as_str()?)?;
+    let expected_steps = Rational::parse(checkpoint.get("expected_steps")?.as_str()?)?;
+    let paths = usize::try_from(checkpoint.get("paths")?.as_u64()?).ok()?;
+    let stuck_paths = usize::try_from(checkpoint.get("stuck")?.as_u64()?).ok()?;
+    let frontier = checkpoint
+        .get("frontier")?
+        .as_array()?
+        .iter()
+        .map(|seed| seed.as_str().and_then(ReplaySeed::parse))
+        .collect::<Option<Vec<ReplaySeed>>>()?;
+    if frontier.is_empty() {
+        return None;
+    }
+    Some(LowerBoundCheckpoint { probability, expected_steps, paths, stuck_paths, frontier })
+}
+
 // ------------------------------------------------------------------ dispatch
 
 /// What processing one line produced (pool-internal).
 struct LineOutcome {
     reply: Option<String>,
     shutdown: bool,
+    /// Injected fault: write only half the reply, then hard-close the
+    /// connection.
+    drop_reply: bool,
 }
 
 /// Handles one NDJSON request line; returns the reply line (without trailing
@@ -333,7 +500,7 @@ fn emit_slow(
 
 fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
     if line.trim().is_empty() {
-        return LineOutcome { reply: None, shutdown: false };
+        return LineOutcome { reply: None, shutdown: false, drop_reply: false };
     }
     state.served.fetch_add(1, Ordering::SeqCst);
     let seq = state.request_seq.fetch_add(1, Ordering::SeqCst) + 1;
@@ -349,7 +516,7 @@ fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
             // Unparseable lines have no op to attribute latency to; they are
             // traced but kept out of the per-op histograms.
             emit_trace(state, seq, &id, None, None, &phases, e.code.as_str(), None);
-            return LineOutcome { reply: Some(reply), shutdown: false };
+            return LineOutcome { reply: Some(reply), shutdown: false, drop_reply: false };
         }
     };
     let id = request.id.clone();
@@ -357,7 +524,8 @@ fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
     let started = Instant::now();
     let shutdown = op == Op::Shutdown;
     let mut canonical_key = None;
-    let dispatched = dispatch(state, &request, &mut phases, &mut canonical_key);
+    let mut drop_reply = false;
+    let dispatched = dispatch(state, &request, &mut phases, &mut canonical_key, &mut drop_reply);
     let (ok, cache_tag, outcome) = match &dispatched {
         Ok((_, tag)) => (true, *tag, "ok"),
         Err(e) => (false, None, e.code.as_str()),
@@ -374,7 +542,7 @@ fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
     state.metrics.record(op, &phases, ok);
     emit_trace(state, seq, &id, Some(op), canonical_key, &phases, outcome, cache_tag);
     emit_slow(state, seq, op, canonical_key, &phases);
-    LineOutcome { reply: Some(reply), shutdown }
+    LineOutcome { reply: Some(reply), shutdown, drop_reply }
 }
 
 type DispatchResult = Result<(Value, Option<&'static str>), ServiceError>;
@@ -384,6 +552,7 @@ fn dispatch(
     request: &Request,
     phases: &mut PhaseTimes,
     canonical_key: &mut Option<u128>,
+    drop_reply: &mut bool,
 ) -> DispatchResult {
     match request.op {
         Op::Catalog => Ok((catalog_payload(), None)),
@@ -391,7 +560,7 @@ fn dispatch(
         Op::Metrics => Ok((metrics_payload(state), None)),
         Op::Shutdown => Ok((Value::Object(vec![]), None)),
         Op::Simulate | Op::Lower | Op::Explain | Op::Verify | Op::Analyze => {
-            engine_op(state, request, phases, canonical_key)
+            engine_op(state, request, phases, canonical_key, drop_reply)
         }
     }
 }
@@ -401,6 +570,7 @@ fn engine_op(
     request: &Request,
     phases: &mut PhaseTimes,
     canonical_key: &mut Option<u128>,
+    drop_reply: &mut bool,
 ) -> DispatchResult {
     let config = &state.config;
     let source = request.program.as_deref().expect("validated by parse_request");
@@ -462,9 +632,12 @@ fn engine_op(
     // Complete entries are always served. Partial (deadline-truncated)
     // entries are served only to retries whose budget is comparable to what
     // the entry already burned — the caller gets the monotone bound computed
-    // so far instantly. A meaningfully richer (or unbounded) budget
-    // recomputes and upgrades the entry; that bypass is counted as a miss,
-    // since nothing was served from the cache.
+    // so far instantly. A meaningfully richer (or unbounded) budget bypasses
+    // the entry instead — counted as a miss, since nothing was served — and
+    // when the entry embeds a resumable checkpoint, the recomputation
+    // *resumes* from the cached frontier, so the already-measured paths are
+    // never re-explored.
+    let mut resume: Option<(LowerBoundCheckpoint, u128)> = None;
     {
         enum Lookup {
             Absent,
@@ -496,25 +669,63 @@ fn engine_op(
             Lookup::Absent => {
                 let _ = cache.get(&cache_key);
             }
-            Lookup::Decline => cache.record_declined(),
+            Lookup::Decline => {
+                if request.op == Op::Lower {
+                    resume = cache.peek(&cache_key).and_then(|cached| {
+                        let checkpoint = checkpoint_from_payload(cached)?;
+                        Some((checkpoint, payload_engine_ms(cached)))
+                    });
+                }
+                cache.record_declined();
+            }
         }
         drop(cache);
         phases.cache_us = cache_timer.elapsed_us();
     }
 
+    // Fault injection draws its decision from the engine-run counter, so the
+    // schedule is a pure function of request order over cache misses.
+    let inject = state.config.inject.as_ref().map_or_else(InjectDecision::default, |spec| {
+        let run = state.engine_runs.fetch_add(1, Ordering::SeqCst) + 1;
+        let decision = spec.decide(run);
+        let faults = decision.fault_count();
+        if faults > 0 {
+            state.injected_faults.fetch_add(faults, Ordering::SeqCst);
+        }
+        decision
+    });
+    *drop_reply = inject.drop_reply;
+    if resume.is_some() {
+        state.resumed.fetch_add(1, Ordering::SeqCst);
+    }
+
     let deadline = Deadline::new(request.deadline_ms);
+    let budget = RunBudget { deadline, draining: &state.draining };
     let engine_timer = SpanTimer::start();
     state.inflight.fetch_add(1, Ordering::SeqCst);
-    let computed = catch_unwind(AssertUnwindSafe(|| match request.op {
-        Op::Simulate => simulate_payload(&term, runs, steps, seed, request.strategy, &deadline),
-        Op::Lower => lower_payload(&term, depth, &deadline),
-        Op::Explain => explain_payload(&term, source, depth, request.top, &deadline),
-        Op::Verify => verify_payload(&term, &deadline),
-        Op::Analyze => analyze_payload(&term, depth, runs, steps, seed, &deadline),
-        _ => unreachable!("engine_op is only called for engine ops"),
+    let computed = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(ms) = inject.slow_ms {
+            thread::sleep(Duration::from_millis(ms));
+        }
+        if inject.panic {
+            panic!("injected fault: engine panic");
+        }
+        match request.op {
+            Op::Simulate => {
+                simulate_payload(&term, runs, steps, seed, request.strategy, &budget)
+            }
+            Op::Lower => lower_payload(&term, depth, &budget, resume.as_ref()),
+            Op::Explain => explain_payload(&term, source, depth, request.top, &budget),
+            Op::Verify => verify_payload(&term, &budget),
+            Op::Analyze => analyze_payload(&term, depth, runs, steps, seed, &budget),
+            _ => unreachable!("engine_op is only called for engine ops"),
+        }
     }));
     state.inflight.fetch_sub(1, Ordering::SeqCst);
     phases.engine_us = engine_timer.elapsed_us();
+    if budget.draining() {
+        state.drained_in_flight.fetch_add(1, Ordering::SeqCst);
+    }
     let payload = computed
         .map_err(|panic| {
             let message = panic
@@ -525,6 +736,9 @@ fn engine_op(
             ServiceError::new(ErrorCode::Internal, format!("engine failure: {message}"))
         })
         .and_then(|r| r)?;
+    if payload.get("checkpoint").is_some() {
+        state.checkpointed_frontiers.fetch_add(1, Ordering::SeqCst);
+    }
     // Cache before the final deadline check: a result that finished late is
     // still a result, and caching it makes an identical retry an instant hit
     // instead of a doomed recomputation. The re-check happens under the lock
@@ -570,13 +784,13 @@ fn simulate_payload(
     max_steps: usize,
     seed: u64,
     strategy: Strategy,
-    deadline: &Deadline,
+    budget: &RunBudget,
 ) -> Result<Value, ServiceError> {
     const CHUNK: usize = 32;
     let config = MonteCarloConfig { runs, max_steps, seed, strategy };
     let estimate = try_estimate_termination(term, &config, |i| {
         if i % CHUNK == 0 {
-            deadline.check(&format!("after {i}/{runs} Monte-Carlo runs"))
+            budget.check(&format!("after {i}/{runs} Monte-Carlo runs"))
         } else {
             Ok(())
         }
@@ -596,21 +810,39 @@ fn simulate_payload(
     ]))
 }
 
-/// Interruptible lower-bound computation: the deadline is polled *inside*
-/// the symbolic exploration (the environment machine pauses at every redex),
-/// so an expired budget yields the sound partial bound accumulated so far,
-/// marked `"complete": false`, instead of a bare `budget_exceeded`.
-fn lower_payload(term: &Term, depth: usize, deadline: &Deadline) -> Result<Value, ServiceError> {
-    deadline.check("before the lower-bound engine started")?;
+/// Interruptible, *resumable* lower-bound computation. The budget (deadline
+/// or drain) is polled inside the symbolic exploration — which now measures
+/// each path's volume the moment it terminates, so the accumulated bound is
+/// monotone and interruptible at every step, never a deadline-blind post-hoc
+/// pass. An expired budget yields the sound partial bound so far, marked
+/// `"complete": false`, together with a replayable `checkpoint` of the
+/// exploration frontier; a retry with a richer budget passes the cached
+/// checkpoint back in and resumes where the truncated run stopped.
+fn lower_payload(
+    term: &Term,
+    depth: usize,
+    budget: &RunBudget,
+    resume: Option<&(LowerBoundCheckpoint, u128)>,
+) -> Result<Value, ServiceError> {
+    budget.check("before the lower-bound engine started")?;
     let config = LowerBoundConfig::default().with_depth(depth);
-    let mut check =
-        |_work: usize| deadline.check("during symbolic exploration");
-    let (result, _interruption) = try_lower_bound(term, &config, &mut check);
-    Ok(lower_result_value(&result, depth))
+    let mut check = |_work: usize| budget.check("during symbolic exploration");
+    let (result, checkpoint, _interruption) =
+        try_lower_bound_resumable(term, &config, resume.map(|(c, _)| c), &mut check);
+    Ok(lower_result_value(&result, depth, &checkpoint, resume))
 }
 
-fn lower_result_value(result: &LowerBoundResult, depth: usize) -> Value {
-    Value::Object(vec![
+fn lower_result_value(
+    result: &LowerBoundResult,
+    depth: usize,
+    checkpoint: &LowerBoundCheckpoint,
+    resume: Option<&(LowerBoundCheckpoint, u128)>,
+) -> Value {
+    // Cumulative engine time across the resume chain: the cache's yardstick
+    // for "is this entry worth serving" must count the work the bound
+    // embodies, not just this run's slice.
+    let prior_ms = resume.map_or(0, |(_, ms)| *ms);
+    let mut fields = vec![
         ("probability".into(), Value::Str(result.probability.to_decimal_string(10))),
         ("probability_f64".into(), Value::Num(result.probability.to_f64())),
         ("expected_steps_lb".into(), Value::Num(result.expected_steps.to_f64())),
@@ -619,8 +851,17 @@ fn lower_result_value(result: &LowerBoundResult, depth: usize) -> Value {
         ("stuck_paths".into(), Value::UInt(result.stuck_paths as u128)),
         ("depth".into(), Value::UInt(depth as u128)),
         ("complete".into(), Value::Bool(!result.interrupted)),
-        ("engine_ms".into(), Value::UInt(result.elapsed.as_millis())),
-    ])
+        ("engine_ms".into(), Value::UInt(prior_ms + result.elapsed.as_millis())),
+    ];
+    if resume.is_some() {
+        fields.push(("resumed".into(), Value::Bool(true)));
+    }
+    if result.interrupted {
+        if let Some(value) = checkpoint_value(checkpoint) {
+            fields.push(("checkpoint".into(), value));
+        }
+    }
+    Value::Object(fields)
 }
 
 /// Interruptible provenance computation: the same symbolic engine as
@@ -634,12 +875,12 @@ fn explain_payload(
     source: &str,
     depth: usize,
     top: Option<usize>,
-    deadline: &Deadline,
+    budget: &RunBudget,
 ) -> Result<Value, ServiceError> {
-    deadline.check("before the explain engine started")?;
+    budget.check("before the explain engine started")?;
     let config = ExplainConfig::default()
         .with_lower(LowerBoundConfig::default().with_depth(depth));
-    let mut check = |_work: usize| deadline.check("during symbolic exploration");
+    let mut check = |_work: usize| budget.check("during symbolic exploration");
     let (provenance, _interruption) = try_explain(term, &config, &mut check);
     let engine_ms = provenance.result.elapsed.as_millis();
     let Value::Object(mut fields) =
@@ -658,11 +899,11 @@ fn explain_payload(
 /// sound partial answer (a truncated strategy enumeration proves nothing),
 /// so an expired budget is still a structured `budget_exceeded` — but it now
 /// fires *mid-engine* instead of only before/after it.
-fn verify_payload(term: &Term, deadline: &Deadline) -> Result<Value, ServiceError> {
-    deadline.check("before the AST verifier started")?;
-    let mut check = || if deadline.exceeded() { Err(()) } else { Ok(()) };
+fn verify_payload(term: &Term, budget: &RunBudget) -> Result<Value, ServiceError> {
+    budget.check("before the AST verifier started")?;
+    let mut check = || if budget.exceeded() { Err(()) } else { Ok(()) };
     let v = try_verify_ast(term, &mut check).map_err(|e| match e {
-        VerifyError::Interrupted => deadline.budget_error("inside the AST verifier"),
+        VerifyError::Interrupted => budget.error("inside the AST verifier"),
         other => ServiceError::new(ErrorCode::NotApplicable, other.to_string()),
     })?;
     Ok(Value::Object(vec![
@@ -690,9 +931,9 @@ fn analyze_payload(
     runs: usize,
     steps: usize,
     seed: u64,
-    deadline: &Deadline,
+    budget: &RunBudget,
 ) -> Result<Value, ServiceError> {
-    deadline.check("before the combined analysis started")?;
+    budget.check("before the combined analysis started")?;
     let engine_started = Instant::now();
     let config = AnalysisConfig {
         lower_bound_depth: depth,
@@ -701,7 +942,7 @@ fn analyze_payload(
         seed,
         profile: false,
     };
-    let mut check = || if deadline.exceeded() { Err(()) } else { Ok(()) };
+    let mut check = || if budget.exceeded() { Err(()) } else { Ok(()) };
     let analysis = try_analyze_budgeted(term, &config, &mut check)
         .map_err(|e| ServiceError::new(ErrorCode::NotApplicable, e.to_string()))?;
     let engine_ms = engine_started.elapsed().as_millis();
@@ -801,6 +1042,25 @@ fn stats_payload(state: &ServerState) -> Value {
         ("cache_entries".into(), Value::UInt(stats.cache_entries as u128)),
         ("cache_capacity".into(), Value::UInt(stats.cache_capacity as u128)),
         ("workers".into(), Value::UInt(stats.workers as u128)),
+        // Robustness counters: load shedding, resumable anytime engines,
+        // fault injection, graceful drain and idle-connection reaping.
+        (
+            "robustness".into(),
+            Value::Object(vec![
+                ("shed".into(), Value::UInt(u128::from(stats.shed))),
+                ("resumed".into(), Value::UInt(u128::from(stats.resumed))),
+                (
+                    "checkpointed_frontiers".into(),
+                    Value::UInt(u128::from(stats.checkpointed_frontiers)),
+                ),
+                ("injected_faults".into(), Value::UInt(u128::from(stats.injected_faults))),
+                (
+                    "drained_in_flight".into(),
+                    Value::UInt(u128::from(stats.drained_in_flight)),
+                ),
+                ("idle_closed".into(), Value::UInt(u128::from(stats.idle_closed))),
+            ]),
+        ),
         // Per-op latency metrics: requests/errors plus p50/p95/p99/max/mean
         // (µs) for the end-to-end latency and each phase. Ops with zero
         // requests are omitted.
@@ -820,7 +1080,23 @@ fn metrics_payload(state: &ServerState) -> Value {
 
 // ---------------------------------------------------------------- transport
 
-type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+/// A reply sink: a writer that can additionally hard-close its transport.
+/// `abort` backs the `--inject` mid-reply connection drop and the idle
+/// timeout; the default is a no-op (stdio has nothing to close).
+trait ReplySink: Write + Send {
+    /// Hard-closes the underlying transport, if there is one.
+    fn abort(&mut self) {}
+}
+
+impl ReplySink for io::Stdout {}
+
+impl ReplySink for std::net::TcpStream {
+    fn abort(&mut self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+type SharedWriter = Arc<Mutex<Box<dyn ReplySink>>>;
 
 struct Job {
     line: String,
@@ -828,6 +1104,96 @@ struct Job {
     /// When the reader enqueued the job; the worker's pop time minus this is
     /// the request's queue-wait phase.
     enqueued: Instant,
+}
+
+/// Admission control, run by transport readers *before* enqueueing a line.
+/// Returns the shed reply to write immediately (bypassing the queue), or
+/// `None` to admit. A request is shed when the shared queue is already at
+/// [`ServerConfig::queue_depth`], or when its `deadline_ms` would expire
+/// before the predicted queue wait (queued jobs × the op's p95 engine time ÷
+/// workers, from the live latency histograms). Only parseable engine-op
+/// lines are ever shed: control ops must stay responsive under load —
+/// that is when `stats` matters most — and malformed lines get their
+/// structured parse error from a worker.
+fn admission_reply(state: &ServerState, line: &str) -> Option<String> {
+    let depth = state.config.queue_depth;
+    if depth == 0 {
+        return None;
+    }
+    let Ok(request) = parse_request(line) else { return None };
+    if !request.op.is_engine_op() {
+        return None;
+    }
+    let queued = state.queued.load(Ordering::SeqCst);
+    let workers = state.config.workers.max(1) as u64;
+    let p95_us = state.metrics.op(request.op).engine.snapshot().p95();
+    let predicted_wait_ms = queued.saturating_mul(p95_us) / workers / 1000;
+    let over_depth = queued >= depth as u64;
+    let doomed = request.deadline_ms.is_some_and(|d| p95_us > 0 && predicted_wait_ms > d);
+    if !over_depth && !doomed {
+        return None;
+    }
+    let message = if over_depth {
+        format!("admission queue is full ({queued} queued, depth {depth}); request shed")
+    } else {
+        format!(
+            "deadline of {} ms would expire before the predicted queue wait of \
+             {predicted_wait_ms} ms; request shed",
+            request.deadline_ms.unwrap_or(0)
+        )
+    };
+    let error = ServiceError::new(ErrorCode::Overloaded, message)
+        .with_retry_after(predicted_wait_ms.max(1));
+    state.shed.fetch_add(1, Ordering::SeqCst);
+    state.served.fetch_add(1, Ordering::SeqCst);
+    let seq = state.request_seq.fetch_add(1, Ordering::SeqCst) + 1;
+    let reply = error_reply(&request.id, &error);
+    let phases = PhaseTimes::default();
+    state.metrics.record(request.op, &phases, false);
+    emit_trace(
+        state,
+        seq,
+        &request.id,
+        Some(request.op),
+        None,
+        &phases,
+        error.code.as_str(),
+        None,
+    );
+    Some(reply)
+}
+
+/// Structured close of a connection that hit the idle read timeout: one
+/// `idle_timeout` error line, then a hard shutdown of the stream.
+fn idle_close(state: &ServerState, out: &SharedWriter) {
+    state.idle_closed.fetch_add(1, Ordering::SeqCst);
+    let ms = state.config.idle_timeout_ms.unwrap_or(0);
+    let mut notice = error_reply(
+        &None,
+        &ServiceError::new(
+            ErrorCode::IdleTimeout,
+            format!("connection idle for more than {ms} ms; closing"),
+        ),
+    );
+    notice.push('\n');
+    if let Ok(mut out) = out.lock() {
+        let _ = out.write_all(notice.as_bytes());
+        let _ = out.flush();
+        out.abort();
+    }
+}
+
+/// Enqueues one admitted line for the worker pool, keeping the queued-jobs
+/// gauge (the admission-control input) in sync. Returns `false` when the
+/// pool is gone.
+fn enqueue_job(state: &ServerState, sender: &mpsc::Sender<Job>, line: String, out: &SharedWriter) -> bool {
+    state.queued.fetch_add(1, Ordering::SeqCst);
+    let job = Job { line, out: Arc::clone(out), enqueued: Instant::now() };
+    if sender.send(job).is_err() {
+        state.queued.fetch_sub(1, Ordering::SeqCst);
+        return false;
+    }
+    true
 }
 
 fn spawn_workers(
@@ -844,22 +1210,47 @@ fn spawn_workers(
                 .name(format!("probterm-worker-{i}"))
                 .spawn(move || loop {
                     // Hold the queue lock only for the pop, never the job.
+                    // The pop polls so the graceful drain can end the loop:
+                    // connection readers keep sender clones alive, so a bare
+                    // `recv` would never observe disconnection.
                     let job = match receiver.lock() {
-                        Ok(guard) => guard.recv(),
+                        Ok(guard) => guard.recv_timeout(Duration::from_millis(25)),
                         Err(_) => break,
                     };
-                    let Ok(job) = job else { break };
+                    let job = match job {
+                        Ok(job) => job,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if state.draining.load(Ordering::SeqCst) {
+                                // Draining and the queue stayed empty for a
+                                // full poll: every queued request has been
+                                // finished (or checkpointed) — exit.
+                                break;
+                            }
+                            continue;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    };
+                    state.queued.fetch_sub(1, Ordering::SeqCst);
                     let queue_us =
                         u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
                     let outcome = process_line(&state, &job.line, queue_us);
                     if let Some(mut reply) = outcome.reply {
                         reply.push('\n');
                         if let Ok(mut out) = job.out.lock() {
-                            // One write per reply: two small writes would
-                            // interact with Nagle + delayed ACKs and cost
-                            // ~10 ms per lock-step request on TCP.
-                            let _ = out.write_all(reply.as_bytes());
-                            let _ = out.flush();
+                            if outcome.drop_reply {
+                                // Injected fault: half the bytes, then a hard
+                                // close mid-line.
+                                let half = reply.len() / 2;
+                                let _ = out.write_all(&reply.as_bytes()[..half]);
+                                let _ = out.flush();
+                                out.abort();
+                            } else {
+                                // One write per reply: two small writes would
+                                // interact with Nagle + delayed ACKs and cost
+                                // ~10 ms per lock-step request on TCP.
+                                let _ = out.write_all(reply.as_bytes());
+                                let _ = out.flush();
+                            }
                         }
                     }
                     // The flag is set only after the reply is flushed, so a
@@ -976,8 +1367,13 @@ impl Server {
         while !self.state.shutdown_requested() {
             match line_receiver.recv_timeout(Duration::from_millis(25)) {
                 Ok(Ok(line)) => {
-                    let job = Job { line, out: Arc::clone(&out), enqueued: Instant::now() };
-                    if sender.send(job).is_err() {
+                    if let Some(mut reply) = admission_reply(&self.state, &line) {
+                        reply.push('\n');
+                        if let Ok(mut out) = out.lock() {
+                            let _ = out.write_all(reply.as_bytes());
+                            let _ = out.flush();
+                        }
+                    } else if !enqueue_job(&self.state, &sender, line, &out) {
                         break;
                     }
                 }
@@ -989,6 +1385,9 @@ impl Server {
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
+        // Graceful drain: stop accepting input (done — the loop exited), let
+        // the workers finish or checkpoint everything queued, then leave.
+        self.state.draining.store(true, Ordering::SeqCst);
         drop(sender);
         for worker in workers {
             let _ = worker.join();
@@ -1003,16 +1402,18 @@ impl Server {
     ///
     /// One reader thread per connection; replies go out on the same
     /// connection the request came in on, possibly out of request order.
-    /// After shutdown the accept loop returns promptly; queued requests from
-    /// still-connected clients are not drained (clients should stop sending
-    /// and disconnect once they have read the shutdown reply).
+    /// After shutdown the accept loop stops and the server drains
+    /// gracefully: workers finish (or checkpoint, via the draining flag the
+    /// engine budget checks observe) everything already queued before the
+    /// pool is torn down; lines a still-connected client sends *after* the
+    /// drain completes are not processed.
     ///
     /// # Errors
     ///
     /// Propagates accept errors (other than transient would-block/timeouts).
     pub fn serve_listener(&self, listener: TcpListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
-        let (sender, _workers) = spawn_workers(&self.state, self.state.config.workers);
+        let (sender, workers) = spawn_workers(&self.state, self.state.config.workers);
         while !self.state.shutdown_requested() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
@@ -1021,9 +1422,13 @@ impl Server {
                     // plain blocking reads.
                     let _ = stream.set_nonblocking(false);
                     let _ = stream.set_nodelay(true);
+                    if let Some(ms) = self.state.config.idle_timeout_ms {
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(ms)));
+                    }
                     let reader = stream.try_clone()?;
                     let out: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
                     let sender = sender.clone();
+                    let state = Arc::clone(&self.state);
                     thread::Builder::new()
                         .name("probterm-conn".into())
                         .spawn(move || {
@@ -1032,14 +1437,31 @@ impl Server {
                             loop {
                                 line.clear();
                                 match reader.read_line(&mut line) {
-                                    Ok(0) | Err(_) => break,
+                                    Ok(0) => break,
+                                    Err(e)
+                                        if matches!(
+                                            e.kind(),
+                                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                                        ) =>
+                                    {
+                                        // Idle read timeout: a structured
+                                        // close instead of a silent hangup.
+                                        idle_close(&state, &out);
+                                        break;
+                                    }
+                                    Err(_) => break,
                                     Ok(_) => {
-                                        let job = Job {
-                                            line: line.trim_end_matches(['\r', '\n']).to_string(),
-                                            out: Arc::clone(&out),
-                                            enqueued: Instant::now(),
-                                        };
-                                        if sender.send(job).is_err() {
+                                        let trimmed =
+                                            line.trim_end_matches(['\r', '\n']).to_string();
+                                        if let Some(mut reply) =
+                                            admission_reply(&state, &trimmed)
+                                        {
+                                            reply.push('\n');
+                                            if let Ok(mut out) = out.lock() {
+                                                let _ = out.write_all(reply.as_bytes());
+                                                let _ = out.flush();
+                                            }
+                                        } else if !enqueue_job(&state, &sender, trimmed, &out) {
                                             break;
                                         }
                                     }
@@ -1053,6 +1475,13 @@ impl Server {
                 }
                 Err(e) => return Err(e),
             }
+        }
+        // Graceful drain: the accept loop has stopped; workers finish or
+        // checkpoint what is queued and in flight, then the pool exits.
+        self.state.draining.store(true, Ordering::SeqCst);
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
         }
         Ok(())
     }
@@ -1261,6 +1690,122 @@ mod tests {
         let stats = s.state().stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn partial_lower_checkpoints_and_a_richer_retry_resumes() {
+        let s = server();
+        // geo's path tree is a single chain, so its frontier stays tiny, but
+        // its path volumes are high-dimensional polytopes: depth 400 cannot
+        // finish in 120 ms, so the first run truncates with a checkpoint.
+        let geo = "(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0";
+        let reply = s
+            .handle_line(&format!(
+                r#"{{"op":"lower","program":"{geo}","depth":400,"deadline_ms":120}}"#
+            ))
+            .unwrap();
+        let partial = result_of(&reply);
+        assert_eq!(
+            partial.get("complete").and_then(Value::as_bool),
+            Some(false),
+            "{reply}"
+        );
+        let checkpoint = partial.get("checkpoint").expect("partial carries a checkpoint");
+        let frontier = checkpoint.get("frontier").and_then(Value::as_array).unwrap();
+        assert!(!frontier.is_empty());
+        for seed in frontier {
+            assert!(
+                ReplaySeed::parse(seed.as_str().unwrap()).is_some(),
+                "frontier entries must round-trip as replay seeds: {seed:?}"
+            );
+        }
+        let p1 = partial.get("probability_f64").and_then(Value::as_f64).unwrap();
+        let ms1 = partial.get("engine_ms").and_then(Value::as_u64).unwrap();
+        // A meaningfully richer budget declines the cached partial and
+        // *resumes* from its checkpoint instead of recomputing: the reply
+        // says so and the bound is monotone.
+        let reply = s
+            .handle_line(&format!(
+                r#"{{"op":"lower","program":"{geo}","depth":400,"deadline_ms":60000}}"#
+            ))
+            .unwrap();
+        let resumed = result_of(&reply);
+        assert_eq!(resumed.get("resumed").and_then(Value::as_bool), Some(true), "{reply}");
+        let p2 = resumed.get("probability_f64").and_then(Value::as_f64).unwrap();
+        assert!(p2 >= p1, "resumed bound {p2} must not regress below the partial {p1}");
+        // engine_ms is cumulative across the resume chain — the cache
+        // yardstick must reflect the work the bound embodies.
+        assert!(resumed.get("engine_ms").and_then(Value::as_u64).unwrap() >= ms1);
+        let stats = s.state().stats();
+        assert_eq!(stats.resumed, 1);
+        assert!(stats.checkpointed_frontiers >= 1);
+    }
+
+    #[test]
+    fn admission_sheds_engine_ops_when_overloaded() {
+        let s = Server::new(ServerConfig { workers: 1, queue_depth: 2, ..Default::default() });
+        let state = s.state();
+        let lower = r#"{"id":9,"op":"lower","program":"sample","depth":10}"#;
+        // Under depth with no deadline: admitted.
+        assert!(admission_reply(state, lower).is_none());
+        // Queue at depth: shed with a structured overloaded reply.
+        state.queued.store(2, Ordering::SeqCst);
+        let reply = admission_reply(state, lower).expect("over-depth engine op is shed");
+        assert_eq!(error_code_of(&reply), "overloaded");
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        let retry = v
+            .get("error")
+            .and_then(|e| e.get("retry_after_ms"))
+            .and_then(Value::as_u64)
+            .unwrap();
+        assert!(retry >= 1);
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(9), "shed echoes the id");
+        // Control ops and unparseable lines are never shed.
+        assert!(admission_reply(state, r#"{"op":"stats"}"#).is_none());
+        assert!(admission_reply(state, "not json").is_none());
+        // Deadline-doomed shedding: with a recorded 1 s p95 engine time and
+        // one queued job, a 10 ms deadline cannot survive the predicted wait.
+        state.queued.store(1, Ordering::SeqCst);
+        let phases = PhaseTimes { engine_us: 1_000_000, total_us: 1_000_000, ..Default::default() };
+        state.metrics.record(Op::Lower, &phases, true);
+        let doomed = r#"{"op":"lower","program":"sample","depth":10,"deadline_ms":10}"#;
+        let reply = admission_reply(state, doomed).expect("doomed deadline is shed");
+        assert_eq!(error_code_of(&reply), "overloaded");
+        // Shed requests are counted, and the stats payload mirrors them.
+        assert_eq!(state.stats().shed, 2);
+        assert_eq!(state.stats().served, 2);
+        let robustness = stats_payload(state);
+        let shed = robustness
+            .get("robustness")
+            .and_then(|r| r.get("shed"))
+            .and_then(Value::as_u64);
+        assert_eq!(shed, Some(2));
+        // queue_depth 0 disables admission control entirely.
+        let off = Server::new(ServerConfig { queue_depth: 0, ..Default::default() });
+        off.state().queued.store(1000, Ordering::SeqCst);
+        assert!(admission_reply(off.state(), lower).is_none());
+    }
+
+    #[test]
+    fn injected_engine_panics_are_structured_and_counted() {
+        let s = Server::new(ServerConfig {
+            inject: Some(InjectSpec::parse("panic=@2").unwrap()),
+            ..Default::default()
+        });
+        let lower = r#"{"op":"lower","program":"sample","depth":5}"#;
+        let first = s.handle_line(lower).unwrap();
+        let _ = result_of(&first); // engine run 1: no fault
+        let second = s
+            .handle_line(r#"{"op":"lower","program":"sample + 0","depth":5}"#)
+            .unwrap();
+        assert_eq!(error_code_of(&second), "internal", "{second}");
+        assert!(second.contains("injected fault"), "{second}");
+        // The worker survives and the cache is intact: the first program is
+        // still a hit (cache hits never draw injection decisions).
+        let again = s.handle_line(lower).unwrap();
+        let v: Value = serde_json::from_str(&again).unwrap();
+        assert_eq!(v.get("cache").and_then(Value::as_str), Some("hit"));
+        assert_eq!(s.state().stats().injected_faults, 1);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Seeded fuzzing of the NDJSON line parser through the full service
+//! pipeline: arbitrary bytes, truncations of valid requests, and oversized
+//! programs must all produce a structured error reply (or no reply, for
+//! blank lines) — never a panic and never a silently dropped line.
+
+use probterm_service::{handle_line, Server, ServerConfig};
+use proptest::prelude::*;
+use serde::Value;
+
+fn server() -> Server {
+    Server::new(ServerConfig { workers: 1, ..Default::default() })
+}
+
+/// The reply to `line`, asserting the structural protocol invariants that
+/// must hold for *any* input: blank lines get no reply, everything else gets
+/// exactly one single-line JSON reply with an `ok` field, and error replies
+/// carry a non-empty machine-readable code.
+fn check_structured(server: &Server, line: &str) {
+    let reply = handle_line(server.state(), line);
+    if line.trim().is_empty() {
+        assert!(reply.is_none(), "blank lines must produce no reply");
+        return;
+    }
+    let reply = reply.expect("non-blank lines always get a reply");
+    assert!(!reply.contains('\n'), "replies are single lines: {reply:?}");
+    let v = serde_json::from_str(&reply).expect("replies are valid JSON");
+    let ok = v.get("ok").and_then(Value::as_bool).expect("replies carry ok");
+    if !ok {
+        let code = v
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            .expect("error replies carry a code");
+        assert!(!code.is_empty());
+    }
+}
+
+const TEMPLATE: &str =
+    r#"{"id":7,"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":12,"deadline_ms":800}"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Arbitrary byte soup (lossily decoded) never panics the pipeline and
+    /// always yields a structured reply.
+    #[test]
+    fn arbitrary_bytes_get_structured_replies(
+        bytes in proptest::collection::vec(proptest::any::<u8>(), 0..160)
+    ) {
+        let s = server();
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        check_structured(&s, &line);
+    }
+
+    /// Every proper prefix of a valid request is malformed JSON and must
+    /// come back as a structured `parse_error`, not a panic or a hang.
+    #[test]
+    fn truncated_requests_are_structured_parse_errors(cut in 1usize..126) {
+        let s = server();
+        let truncated: String = TEMPLATE.chars().take(cut).collect();
+        if truncated.len() < TEMPLATE.len() {
+            let reply = handle_line(s.state(), &truncated).expect("truncations get replies");
+            let v = serde_json::from_str(&reply).unwrap();
+            prop_assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+            let code = v
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_str)
+                .unwrap();
+            prop_assert_eq!(code, "parse_error");
+        }
+    }
+
+    /// Splicing arbitrary garbage into the middle of a valid request stays
+    /// structured: the reply is parse_error, bad_request, or (if the line
+    /// happens to survive as valid JSON) a normal reply.
+    #[test]
+    fn mutated_requests_stay_structured(
+        at in 0usize..126,
+        garbage in proptest::collection::vec(32u8..127, 1..8)
+    ) {
+        let s = server();
+        let mut line = TEMPLATE.to_string();
+        let at = at.min(line.len());
+        line.insert_str(at, &String::from_utf8_lossy(&garbage));
+        check_structured(&s, &line);
+    }
+}
+
+/// An oversized program (beyond `max_program_bytes`) is rejected with a
+/// structured `bad_request`, not an attempt to parse or run it.
+#[test]
+fn oversized_programs_are_rejected_structurally() {
+    let s = server();
+    let huge = "x".repeat(70 * 1024);
+    let reply = handle_line(
+        s.state(),
+        &format!(r#"{{"id":1,"op":"lower","program":"{huge}"}}"#),
+    )
+    .unwrap();
+    let v = serde_json::from_str(&reply).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+        Some("bad_request")
+    );
+}

@@ -221,6 +221,147 @@ else
     echo "service smoke test: OK"
 fi
 
+# ---------------------------------------------------------------------------
+# Chaos smoke test: boot `probterm serve` with deterministic fault injection
+# (every 4th engine run panics), a single worker and an admission queue of
+# depth 1, then drive a scripted batch that exercises the robustness layer
+# end to end: a deadline-cut lower that leaves a resumable checkpoint, a
+# richer retry that *resumes* it, an injected engine panic surfacing as a
+# structured `internal` error, and a queue-saturation shed with
+# `overloaded` + `retry_after_ms`. The `stats` robustness counters and the
+# JSONL trace must account for all of it, and shutdown must stay graceful.
+echo "== chaos smoke test =="
+chaos_status=0
+if [ -x target/release/probterm ]; then
+    chaos_port=$((21000 + RANDOM % 20000))
+    chaos_trace=$(mktemp /tmp/probterm-chaos.XXXXXX.jsonl)
+    target/release/probterm serve --addr "127.0.0.1:$chaos_port" --workers 1 \
+        --queue-depth 1 --inject 'seed=11;panic=@4' --trace "$chaos_trace" &
+    chaos_pid=$!
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$chaos_port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            break
+        fi
+        sleep 0.1
+    done
+    chaos_request() { # chaos_request <request-json> <required-substring>
+        local reply
+        if ! exec 3<>"/dev/tcp/127.0.0.1/$chaos_port"; then
+            echo "chaos: cannot connect for: $1"
+            chaos_status=1
+            return
+        fi
+        printf '%s\n' "$1" >&3
+        IFS= read -r -t 30 reply <&3 || reply=""
+        exec 3>&- 3<&-
+        case "$reply" in
+            *"$2"*) echo "chaos ok: $2" ;;
+            *)
+                echo "chaos FAILED: request $1"
+                echo "  wanted substring: $2"
+                echo "  got reply:        $reply"
+                chaos_status=1
+                ;;
+        esac
+    }
+    geo='(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0'
+    # Engine run 1: a plain complete lower.
+    chaos_request '{"id":1,"op":"lower","program":"'"$geo"'","depth":25}' '"ok":true'
+    # Engine run 2: deadline-cut partial that must embed a resume checkpoint.
+    chaos_request '{"id":2,"op":"lower","program":"'"$geo"'","depth":400,"deadline_ms":60}' '"checkpoint"'
+    # Engine run 3: a much richer retry resumes the checkpoint instead of
+    # recomputing from scratch.
+    chaos_request '{"id":3,"op":"lower","program":"'"$geo"'","depth":400,"deadline_ms":2000}' '"resumed":true'
+    # Engine run 4: the injected panic (panic=@4) surfaces as a structured
+    # internal error, not a dead worker or a dropped line.
+    chaos_request '{"id":4,"op":"verify","program":"(fix phi x. if sample <= 1/2 then x else phi (phi (x + 1))) 1"}' '"code":"internal"'
+    # Queue saturation: pin the single worker with a deadline-bounded run,
+    # then send two quick engine requests back to back on one connection —
+    # the first fills the depth-1 queue, the second must be shed immediately
+    # by the reader with `overloaded` + `retry_after_ms`.
+    if exec 4<>"/dev/tcp/127.0.0.1/$chaos_port" &&
+        exec 5<>"/dev/tcp/127.0.0.1/$chaos_port"; then
+        printf '%s\n' '{"id":20,"op":"simulate","program":"(fix phi x. phi x) 0","runs":400000,"steps":2500,"deadline_ms":600}' >&4
+        sleep 0.3
+        printf '%s\n' '{"id":21,"op":"simulate","program":"sample","runs":10}' >&5
+        printf '%s\n' '{"id":22,"op":"simulate","program":"sample","runs":10}' >&5
+        IFS= read -r -t 30 shed_reply <&5 || shed_reply=""
+        case "$shed_reply" in
+            *'"overloaded"'*'"retry_after_ms"'*) echo "chaos ok: shed with retry_after_ms" ;;
+            *)
+                echo "chaos FAILED: expected overloaded shed, got: $shed_reply"
+                chaos_status=1
+                ;;
+        esac
+        IFS= read -r -t 30 admitted_reply <&5 || admitted_reply=""
+        case "$admitted_reply" in
+            *'"ok":true'*) echo "chaos ok: admitted request completed" ;;
+            *)
+                echo "chaos FAILED: admitted request: $admitted_reply"
+                chaos_status=1
+                ;;
+        esac
+        IFS= read -r -t 30 pinned_reply <&4 || pinned_reply=""
+        case "$pinned_reply" in
+            *'"code":"budget_exceeded"'*) echo "chaos ok: pinned request hit its own budget" ;;
+            *)
+                echo "chaos FAILED: pinned request: $pinned_reply"
+                chaos_status=1
+                ;;
+        esac
+        exec 4>&- 4<&- 5>&- 5<&-
+    else
+        echo "chaos FAILED: cannot open shed connections"
+        chaos_status=1
+    fi
+    # The robustness counters must account for everything injected above.
+    if exec 3<>"/dev/tcp/127.0.0.1/$chaos_port"; then
+        printf '%s\n' '{"id":23,"op":"stats"}' >&3
+        IFS= read -r -t 30 stats_reply <&3 || stats_reply=""
+        exec 3>&- 3<&-
+        for want in '"shed":1' '"resumed":1' '"injected_faults":1' '"checkpointed_frontiers":1'; do
+            case "$stats_reply" in
+                *"$want"*) echo "chaos ok: stats $want" ;;
+                *)
+                    echo "chaos FAILED: stats missing $want: $stats_reply"
+                    chaos_status=1
+                    ;;
+            esac
+        done
+    else
+        echo "chaos FAILED: cannot connect for stats"
+        chaos_status=1
+    fi
+    chaos_request '{"id":24,"op":"shutdown"}' '"ok":true'
+    if wait "$chaos_pid"; then
+        echo "chaos ok: graceful shutdown after injected faults (exit 0)"
+    else
+        echo "chaos FAILED: server exited non-zero"
+        chaos_status=1
+    fi
+    # Every request — including the shed one, replied by the reader thread —
+    # must appear exactly once in the trace.
+    chaos_trace_out=$(target/release/probterm trace-check "$chaos_trace")
+    case "$chaos_trace_out" in
+        "ok: 9 trace records"*) echo "chaos ok: trace ($chaos_trace_out)" ;;
+        *)
+            echo "chaos FAILED: trace validation: $chaos_trace_out"
+            chaos_status=1
+            ;;
+    esac
+    rm -f "$chaos_trace"
+else
+    echo "chaos FAILED: target/release/probterm missing (release build failed?)"
+    chaos_status=1
+fi
+if [ "$chaos_status" -ne 0 ]; then
+    echo "chaos smoke test: FAILED"
+    status=1
+else
+    echo "chaos smoke test: OK"
+fi
+
 if [ "$status" -ne 0 ]; then
     echo "CI: FAILED (status $status)"
 else

@@ -7,6 +7,7 @@
 //! probterm verify    (<file> | -e <program>)   [--profile]
 //! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--seed N] [--cbv] [--profile]
 //! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N] [--trace PATH|-] [--slow-ms N]
+//!                    [--queue-depth N] [--idle-timeout-ms N] [--inject SPEC]
 //! probterm trace-check <file>
 //! probterm explain-check <file>
 //! probterm catalog
@@ -24,7 +25,7 @@ use probterm::core::intervalsem::{
 };
 use probterm::core::{analyze, analyze_ast, AnalysisConfig};
 use probterm::numerics::Rational;
-use probterm::service::{Server, ServerConfig, TraceSink};
+use probterm::service::{InjectSpec, Server, ServerConfig, TraceSink};
 use probterm::spcf::{
     catalog, estimate_termination, estimate_termination_profiled, parse_term, MonteCarloConfig,
     Strategy, Term,
@@ -51,6 +52,9 @@ struct Options {
     format: String,
     top: Option<usize>,
     slow_ms: Option<u64>,
+    queue_depth: usize,
+    idle_timeout_ms: Option<u64>,
+    inject: Option<String>,
     ast: bool,
 }
 
@@ -73,6 +77,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         format: "text".to_string(),
         top: None,
         slow_ms: None,
+        queue_depth: 256,
+        idle_timeout_ms: None,
+        inject: None,
         ast: false,
     };
     let mut iter = args.iter().peekable();
@@ -167,6 +174,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| "--cache requires a number".to_string())?;
             }
+            "--queue-depth" => {
+                options.queue_depth = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--queue-depth requires a number".to_string())?;
+            }
+            "--idle-timeout-ms" => {
+                options.idle_timeout_ms = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or_else(|| {
+                            "--idle-timeout-ms requires a positive number".to_string()
+                        })?,
+                );
+            }
+            "--inject" => {
+                options.inject = Some(
+                    iter.next()
+                        .ok_or_else(|| "--inject requires a fault spec".to_string())?
+                        .clone(),
+                );
+            }
             other => options.positional.push(other.to_string()),
         }
     }
@@ -208,9 +238,17 @@ fn usage() -> &'static str {
                           (`-` streams to stderr; stdout carries the protocol)\n\
               --slow-ms N log a structured stderr line for every request whose\n\
                           engine phase exceeds N ms\n\
+              --queue-depth N  shed engine requests with a structured\n\
+                          `overloaded` reply (carrying retry_after_ms) once N\n\
+                          jobs are queued; 0 disables (default 256)\n\
+              --idle-timeout-ms N  close TCP connections idle for N ms with a\n\
+                          structured `idle_timeout` notice (default: off)\n\
+              --inject S  deterministic fault injection for chaos testing,\n\
+                          e.g. 'seed=7;panic=@4;slow=0.1:50;drop=@9'\n\
+                          (RULE is a probability or @N = every Nth engine run)\n\
      trace-check <file>:  validate a --trace output file (each line parses as\n\
-                          JSON, carries the trace schema fields, `seq` increases\n\
-                          strictly and phase times sum to at most `total_us`)\n\
+                          JSON, carries the trace schema fields, every `seq` is\n\
+                          unique and phase times sum to at most `total_us`)\n\
      explain-check <file>: validate an `explain --format json` artifact (schema\n\
                           fields, exact volume accounting, witness replays)"
 }
@@ -224,11 +262,15 @@ fn print_profile(label: &str, profile: Option<&EngineProfile>) {
 }
 
 /// `probterm trace-check <file>`: every non-empty line must parse as a JSON
-/// object carrying the per-request trace schema, `seq` must increase
-/// strictly across records, and the four phase timings must sum to at most
-/// `total_us` (phases nest inside the end-to-end timer window, and flooring
-/// to whole microseconds only shrinks sums). Errors name the first
-/// offending line. Prints a one-line summary.
+/// object carrying the per-request trace schema, every `seq` must be unique
+/// (records land in *completion* order — a shed reply written by the reader
+/// thread, or one of several workers finishing early, legitimately outruns
+/// an earlier-numbered request still in flight — so uniqueness, not file
+/// order, is the invariant: one record per request, none dropped or
+/// duplicated), and the four phase timings must sum to at most `total_us`
+/// (phases nest inside the end-to-end timer window, and flooring to whole
+/// microseconds only shrinks sums). Errors name the first offending line.
+/// Prints a one-line summary.
 fn trace_check(path: &str) -> Result<usize, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -237,7 +279,7 @@ fn trace_check(path: &str) -> Result<usize, String> {
     ];
     const PHASES: [&str; 4] = ["queue_us", "cache_us", "engine_us", "serialize_us"];
     let mut records = 0usize;
-    let mut last_seq: Option<u64> = None;
+    let mut seen_seqs = std::collections::HashSet::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -257,14 +299,11 @@ fn trace_check(path: &str) -> Result<usize, String> {
                 .ok_or_else(|| format!("{path}:{lineno}: `{field}` is not a non-negative integer"))
         };
         let seq = number("seq")?;
-        if let Some(prev) = last_seq {
-            if seq <= prev {
-                return Err(format!(
-                    "{path}:{lineno}: `seq` {seq} does not increase strictly (previous record had {prev})"
-                ));
-            }
+        if !seen_seqs.insert(seq) {
+            return Err(format!(
+                "{path}:{lineno}: duplicate `seq` {seq} — every request must trace exactly once"
+            ));
         }
-        last_seq = Some(seq);
         let total = number("total_us")?;
         let mut phase_sum = 0u64;
         for phase in PHASES {
@@ -440,11 +479,22 @@ fn main() -> ExitCode {
                     }
                 },
             };
+            let inject = match options.inject.as_deref().map(InjectSpec::parse) {
+                None => None,
+                Some(Ok(spec)) => Some(spec),
+                Some(Err(e)) => {
+                    eprintln!("error: bad --inject spec: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let server = Server::with_trace(
                 ServerConfig {
                     workers: options.workers,
                     cache_capacity: options.cache,
                     slow_ms: options.slow_ms,
+                    queue_depth: options.queue_depth,
+                    idle_timeout_ms: options.idle_timeout_ms,
+                    inject,
                     ..Default::default()
                 },
                 trace,
