@@ -11,9 +11,11 @@
 //! single-CPU box, so each measurement takes the minimum of several
 //! repetitions (the same discipline as the `symbolic_scaling` test).
 
-use probterm_intervalsem::{explore, ExplorationConfig};
+use probterm_intervalsem::{explore, lower_bound, ExplorationConfig, LowerBoundConfig};
 use probterm_numerics::Rational;
 use probterm_spcf::catalog;
+use probterm_telemetry::ProgressCell;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn time_exploration(profile: bool) -> Duration {
@@ -38,6 +40,29 @@ fn time_exploration(profile: bool) -> Duration {
     best
 }
 
+fn time_lower_bound(progress: Option<Arc<ProgressCell>>) -> Duration {
+    let geo = catalog::geometric(Rational::from_ratio(1, 2)).term;
+    let mut best = Duration::MAX;
+    for _ in 0..7 {
+        let mut config = LowerBoundConfig::default().with_depth(400).with_max_paths(20_000);
+        if let Some(cell) = &progress {
+            config = config.with_progress(Arc::clone(cell));
+        }
+        let start = Instant::now();
+        let result = lower_bound(&geo, &config);
+        let elapsed = start.elapsed();
+        assert!(result.probability.is_positive());
+        if let Some(cell) = &progress {
+            let snap = cell.snapshot();
+            assert!(snap.steps > 0, "an attached cell must see exploration work");
+            assert!(snap.paths_terminated > 0, "an attached cell must see terminated paths");
+            assert!(snap.bound_scaled > 0, "an attached cell must see a nonzero bound");
+        }
+        best = best.min(elapsed);
+    }
+    best
+}
+
 #[test]
 fn disabled_profiling_costs_less_than_five_percent() {
     // Warm up allocators and caches.
@@ -49,5 +74,22 @@ fn disabled_profiling_costs_less_than_five_percent() {
         disabled.as_secs_f64() <= budget,
         "the disabled-instrumentation path ({disabled:?}) costs more than 5 % over the \
          fully profiled run ({enabled:?}); the per-step enabled check is not near-free"
+    );
+}
+
+/// The live-progress hook is one `Option` discriminant check per cooperative
+/// poll point when no [`ProgressCell`] is attached. Same discipline as the
+/// profiling guard above: the disabled path must stay within 5 % of the
+/// *publishing* run (plus timer-noise slack), which does strictly more work.
+#[test]
+fn disabled_progress_costs_less_than_five_percent() {
+    let _ = time_lower_bound(None); // warm-up
+    let disabled = time_lower_bound(None);
+    let enabled = time_lower_bound(Some(Arc::new(ProgressCell::new())));
+    let budget = enabled.as_secs_f64() * 1.05 + 0.002;
+    assert!(
+        disabled.as_secs_f64() <= budget,
+        "the disabled-progress path ({disabled:?}) costs more than 5 % over the \
+         publishing run ({enabled:?}); the per-poll disabled check is not near-free"
     );
 }

@@ -54,7 +54,8 @@ pub use provenance::{
     explain, try_explain, ExplainConfig, FrontierSummary, PathProvenance, Provenance, Witness,
 };
 pub use symbolic::{
-    explore, explore_substitution, frontier_seeds, try_explore, try_explore_seeded, Branch,
+    explore, explore_substitution, frontier_seeds, try_explore, try_explore_seeded,
+    try_explore_seeded_progress, Branch,
     ConstraintKind, Exploration, ExplorationConfig, FrontierPath, ReplaySeed, SymConstraint,
     SymValue, SymbolicPath,
 };

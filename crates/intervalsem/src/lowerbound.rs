@@ -22,11 +22,13 @@
 //! completed run would certify.
 
 use crate::symbolic::{
-    frontier_seeds, try_explore_seeded, Exploration, ExplorationConfig, ReplaySeed, SymbolicPath,
+    frontier_seeds, try_explore_seeded_progress, Exploration, ExplorationConfig, ReplaySeed,
+    SymbolicPath,
 };
 use probterm_numerics::Rational;
 use probterm_spcf::Term;
-use probterm_telemetry::EngineProfile;
+use probterm_telemetry::{EngineProfile, ProgressCell};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the volume contribution of one terminated symbolic path was computed.
@@ -66,7 +68,7 @@ pub struct PathMeasure {
 ///
 /// All defaults live here; the CLI, the analysis service and the benchmark
 /// harness derive their configurations through the `with_*` builders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct LowerBoundConfig {
     /// Exploration depth: the maximum number of small steps per symbolic path
     /// (the column `d` of Table 1).
@@ -78,6 +80,12 @@ pub struct LowerBoundConfig {
     /// When `true`, the underlying exploration attaches a machine profile,
     /// reported in [`LowerBoundResult::profile`].
     pub profile: bool,
+    /// Live-progress cell the engine publishes into at its cooperative-check
+    /// poll points (steps, frontier, depth) and on every path termination
+    /// (path count, monotone bound). `None` — the default — costs one
+    /// `Option` check at each poll point, guarded by the telemetry overhead
+    /// test.
+    pub progress: Option<Arc<ProgressCell>>,
 }
 
 impl Default for LowerBoundConfig {
@@ -87,9 +95,24 @@ impl Default for LowerBoundConfig {
             max_paths: 50_000,
             boxes_per_path: 2_000,
             profile: false,
+            progress: None,
         }
     }
 }
+
+/// Equality compares the *analysis* parameters; the progress handle is an
+/// observer, not part of the configured analysis (two configs differing only
+/// in where they publish progress compute identical results).
+impl PartialEq for LowerBoundConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.depth == other.depth
+            && self.max_paths == other.max_paths
+            && self.boxes_per_path == other.boxes_per_path
+            && self.profile == other.profile
+    }
+}
+
+impl Eq for LowerBoundConfig {}
 
 impl LowerBoundConfig {
     /// Builder: sets the exploration depth.
@@ -117,6 +140,17 @@ impl LowerBoundConfig {
     #[must_use]
     pub fn with_profile(mut self, profile: bool) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Builder: attaches a live-progress cell. The engine publishes
+    /// steps/frontier/depth at its cooperative-check poll points and the
+    /// monotone bound-so-far the instant each path's volume lands, so
+    /// concurrent observers (the analysis service's `inspect` op, streamed
+    /// progress frames) see a consistent, never-regressing view mid-run.
+    #[must_use]
+    pub fn with_progress(mut self, progress: Arc<ProgressCell>) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -285,7 +319,10 @@ fn run_accumulated<E>(
 ) -> (LowerBoundResult, LowerBoundCheckpoint, Exploration, Vec<PathMeasure>, Option<E>) {
     let start = Instant::now();
     let seeds = resume.map(|c| c.frontier.as_slice());
-    let (exploration, measures, interruption) = run_measured(term, config, seeds, check);
+    // A resumed run's live bound starts from the checkpointed mass, so the
+    // streamed/inspected progress stays monotone across the resume chain.
+    let prior = resume.map_or((Rational::zero(), 0), |c| (c.probability.clone(), c.paths));
+    let (exploration, measures, interruption) = run_measured(term, config, seeds, prior, check);
     let mut probability = Rational::zero();
     let mut expected_steps = Rational::zero();
     let mut measured = 0usize;
@@ -335,16 +372,27 @@ fn run_measured<E>(
     term: &Term,
     config: &LowerBoundConfig,
     seeds: Option<&[ReplaySeed]>,
+    prior: (Rational, usize),
     check: &mut dyn FnMut(usize) -> Result<(), E>,
 ) -> (Exploration, Vec<PathMeasure>, Option<E>) {
     let boxes_per_path = config.boxes_per_path;
+    let progress = config.progress.as_deref();
     let mut measures: Vec<PathMeasure> = Vec::new();
+    let (prior_mass, prior_paths) = prior;
+    // Live-bound accumulator: floats here only feed the progress display
+    // (the result itself stays exact rational); the cell's fixed-point
+    // ratchet keeps the published bound monotone regardless of drift.
+    let mut live_bound = prior_mass.to_f64();
+    let mut live_paths = prior_paths as u64;
+    if let Some(cell) = progress {
+        cell.publish_terminated(live_paths, live_bound);
+    }
     let (exploration, interruption) = {
         let measures = &mut measures;
         let mut on_terminated = move |path: &SymbolicPath,
                                       check: &mut dyn FnMut(usize) -> Result<(), E>|
               -> Result<(), E> {
-            match path.exact_probability() {
+            let outcome = match path.exact_probability() {
                 Some(volume) => {
                     measures.push(PathMeasure { volume, method: VolumeMethod::Exact });
                     Ok(())
@@ -362,9 +410,22 @@ fn run_measured<E>(
                         None => Ok(()),
                     }
                 }
+            };
+            if let Some(cell) = progress {
+                live_bound += measures.last().expect("just pushed").volume.to_f64();
+                live_paths += 1;
+                cell.publish_terminated(live_paths, live_bound);
             }
+            outcome
         };
-        try_explore_seeded(term, &config.exploration(), seeds, check, &mut on_terminated)
+        try_explore_seeded_progress(
+            term,
+            &config.exploration(),
+            seeds,
+            progress,
+            check,
+            &mut on_terminated,
+        )
     };
     (exploration, measures, interruption)
 }

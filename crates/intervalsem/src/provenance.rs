@@ -28,7 +28,7 @@ use probterm_numerics::Rational;
 use probterm_spcf::{terminates_on_trace, FixedTrace, Strategy, Term};
 
 /// Configuration of a provenance computation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExplainConfig {
     /// The lower-bound configuration the attribution runs under. The
     /// resulting [`Provenance::result`] is exactly what

@@ -37,7 +37,7 @@ use probterm_numerics::{Interval, IntervalBox, Rational};
 use probterm_polytope::UnitCubePolytope;
 use probterm_spcf::absmachine::{DomainSpec, Event, Machine, NoAtom};
 use probterm_spcf::{Ident, Prim, Strategy, Term};
-use probterm_telemetry::{EngineProfile, ProfileCell};
+use probterm_telemetry::{EngineProfile, ProfileCell, ProgressCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
@@ -875,6 +875,30 @@ pub fn try_explore_seeded<'t, E>(
         &mut dyn FnMut(usize) -> Result<(), E>,
     ) -> Result<(), E>,
 ) -> (Exploration, Option<E>) {
+    try_explore_seeded_progress(term, config, seeds, None, check, on_terminated)
+}
+
+/// Like [`try_explore_seeded`], but additionally publishes live progress
+/// (work counter, frontier size, current path depth) into `progress` at the
+/// existing cooperative-check poll points — once per path plus every 256
+/// work units within long paths. When `progress` is `None` the cost is a
+/// single `Option` discriminant check per poll point; the overhead guard in
+/// `crates/bench` holds the disabled path to within 5% of baseline.
+///
+/// Terminated-path counts and the monotone bound are published by the
+/// *measuring* caller ([`try_lower_bound`](crate::try_lower_bound) and
+/// friends), which alone knows path volumes.
+pub fn try_explore_seeded_progress<'t, E>(
+    term: &'t Term,
+    config: &ExplorationConfig,
+    seeds: Option<&[ReplaySeed]>,
+    progress: Option<&ProgressCell>,
+    check: &mut dyn FnMut(usize) -> Result<(), E>,
+    on_terminated: &mut dyn FnMut(
+        &SymbolicPath,
+        &mut dyn FnMut(usize) -> Result<(), E>,
+    ) -> Result<(), E>,
+) -> (Exploration, Option<E>) {
     let profile = config.profile.then(ProfileCell::shared);
     let new_machine = |oracle: VecDeque<Branch>| {
         let mut machine = Machine::new(sym_spec(), term, config.max_steps_per_path);
@@ -929,6 +953,9 @@ pub fn try_explore_seeded<'t, E>(
             result.frontier.extend(queue.drain(..).map(PathState::into_frontier));
             break;
         }
+        if let Some(cell) = progress {
+            cell.publish_exploration(work as u64, queue.len() as u64, path.machine.steps() as u64);
+        }
         if let Err(e) = check(work) {
             result.interrupted = true;
             result.out_of_fuel += 1 + queue.len();
@@ -940,6 +967,13 @@ pub fn try_explore_seeded<'t, E>(
         loop {
             work += 1;
             if work % 256 == 0 {
+                if let Some(cell) = progress {
+                    cell.publish_exploration(
+                        work as u64,
+                        queue.len() as u64,
+                        path.machine.steps() as u64,
+                    );
+                }
                 if let Err(e) = check(work) {
                     result.interrupted = true;
                     result.out_of_fuel += 1 + queue.len();

@@ -14,6 +14,7 @@
 
 use serde::Value;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// The content address of one analysis result.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -30,10 +31,46 @@ pub struct CacheKey {
 struct Entry {
     value: Value,
     tick: u64,
+    /// Approximate rendered size of the payload, in bytes (see
+    /// [`approx_bytes`]).
+    bytes: usize,
+    /// When this entry was last inserted or served — the "last-hit" clock
+    /// behind [`ResultCache::oldest_entry_ms`].
+    last_hit: Instant,
+}
+
+/// Approximate rendered size of a payload in bytes: string/number lengths
+/// plus structural punctuation, without actually rendering. Close enough for
+/// capacity planning — the gauge is a statistic, not an accountant.
+fn approx_bytes(value: &Value) -> usize {
+    match value {
+        Value::Null => 4,
+        Value::Bool(b) => {
+            if *b {
+                4
+            } else {
+                5
+            }
+        }
+        Value::Num(_) => 16,
+        Value::UInt(u) => 1 + u.checked_ilog10().unwrap_or(0) as usize,
+        Value::Int(_) => 16,
+        Value::Str(s) => s.len() + 2,
+        Value::Array(items) => {
+            2 + items.iter().map(|v| approx_bytes(v) + 1).sum::<usize>()
+        }
+        Value::Object(fields) => {
+            2 + fields
+                .iter()
+                .map(|(k, v)| k.len() + 4 + approx_bytes(v))
+                .sum::<usize>()
+        }
+    }
 }
 
 /// A bounded LRU map from [`CacheKey`] to result payloads, with hit/miss
-/// counters. Capacity 0 disables storage (every lookup is a miss).
+/// counters and byte accounting. Capacity 0 disables storage (every lookup
+/// is a miss).
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
@@ -41,6 +78,9 @@ pub struct ResultCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Sum of the per-entry `bytes`, maintained incrementally across
+    /// insert/overwrite/evict.
+    bytes: usize,
 }
 
 impl ResultCache {
@@ -52,6 +92,7 @@ impl ResultCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            bytes: 0,
         }
     }
 
@@ -61,6 +102,7 @@ impl ResultCache {
         match self.map.get_mut(key) {
             Some(entry) => {
                 entry.tick = self.tick;
+                entry.last_hit = Instant::now();
                 self.hits += 1;
                 Some(entry.value.clone())
             }
@@ -84,10 +126,17 @@ impl ResultCache {
                 .min_by_key(|(_, e)| e.tick)
                 .map(|(k, _)| k.clone())
             {
-                self.map.remove(&oldest);
+                if let Some(evicted) = self.map.remove(&oldest) {
+                    self.bytes -= evicted.bytes;
+                }
             }
         }
-        self.map.insert(key, Entry { value, tick: self.tick });
+        let bytes = approx_bytes(&value);
+        let entry = Entry { value, tick: self.tick, bytes, last_hit: Instant::now() };
+        if let Some(displaced) = self.map.insert(key, entry) {
+            self.bytes -= displaced.bytes;
+        }
+        self.bytes += bytes;
     }
 
     /// Looks a result up *without* touching recency or the hit/miss
@@ -126,6 +175,22 @@ impl ResultCache {
     /// Number of lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Approximate total bytes held by cached payloads.
+    pub fn bytes(&self) -> u64 {
+        self.bytes as u64
+    }
+
+    /// Milliseconds since the *least recently served* entry was last
+    /// inserted or hit — `None` when the cache is empty. A growing value
+    /// under steady load means the tail of the cache is dead weight.
+    pub fn oldest_entry_ms(&self) -> Option<u64> {
+        self.map
+            .values()
+            .map(|e| e.last_hit)
+            .min()
+            .map(|t| t.elapsed().as_millis() as u64)
     }
 }
 
@@ -198,6 +263,35 @@ mod tests {
         cache.put(key(3, ""), payload(3));
         assert!(cache.peek(&key(1, "")).is_none());
         assert!(cache.peek(&key(2, "")).is_some());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_insert_overwrite_and_evict() {
+        let mut cache = ResultCache::new(2);
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.oldest_entry_ms(), None);
+        let small = Value::Str("x".into());
+        let big = Value::Str("x".repeat(100));
+        cache.put(key(1, ""), small.clone());
+        let one = cache.bytes();
+        assert!(one > 0);
+        cache.put(key(2, ""), small.clone());
+        assert_eq!(cache.bytes(), 2 * one);
+        // Overwriting replaces the old entry's bytes, not adds to them.
+        cache.put(key(2, ""), big.clone());
+        let with_big = cache.bytes();
+        assert!(with_big > 2 * one && with_big < one + 200);
+        // Eviction releases the evicted entry's bytes (1 is the LRU entry).
+        cache.put(key(3, ""), small);
+        assert_eq!(cache.bytes(), with_big, "swap small for small");
+        assert!(cache.peek(&key(1, "")).is_none());
+        assert!(cache.oldest_entry_ms().is_some());
+        // Estimates grow with payload size.
+        assert!(approx_bytes(&big) > approx_bytes(&Value::Str("x".into())));
+        assert!(
+            approx_bytes(&Value::Object(vec![("k".into(), Value::UInt(12345))]))
+                >= "{\"k\":12345}".len() - 2
+        );
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use inject::{FaultRule, InjectDecision, InjectSpec};
 pub use metrics::{OpMetrics, OpMetricsSnapshot, PhaseTimes, ServiceMetrics};
 pub use protocol::{ErrorCode, Op, Request, ServiceError};
 pub use server::{
-    handle_line, RunningServer, Server, ServerConfig, ServerState, StatsSnapshot,
+    handle_line, handle_line_frames, RunningServer, Server, ServerConfig, ServerState,
+    StatsSnapshot,
 };
 pub use probterm_telemetry::TraceSink;

@@ -187,6 +187,9 @@ pub fn render_prometheus(snapshots: &[OpMetricsSnapshot], stats: &StatsSnapshot)
     out.push_str("# HELP probterm_cache_entries Entries currently in the result cache.\n");
     out.push_str("# TYPE probterm_cache_entries gauge\n");
     let _ = writeln!(out, "probterm_cache_entries {}", stats.cache_entries);
+    out.push_str("# HELP probterm_cache_bytes Approximate bytes held by cached result payloads.\n");
+    out.push_str("# TYPE probterm_cache_bytes gauge\n");
+    let _ = writeln!(out, "probterm_cache_bytes {}", stats.cache_bytes);
     out.push_str("# HELP probterm_inflight_requests Engine requests currently being computed.\n");
     out.push_str("# TYPE probterm_inflight_requests gauge\n");
     let _ = writeln!(out, "probterm_inflight_requests {}", stats.inflight);
@@ -325,6 +328,8 @@ mod tests {
             inflight: 0,
             cache_entries: 5,
             cache_capacity: 1024,
+            cache_bytes: 2048,
+            oldest_entry_ms: Some(15),
             workers: 2,
             shed: 7,
             resumed: 2,
@@ -335,6 +340,7 @@ mod tests {
         };
         let text = render_prometheus(&m.snapshot(), &stats);
         assert!(text.contains("probterm_uptime_milliseconds 1234\n"));
+        assert!(text.contains("probterm_cache_bytes 2048\n"));
         assert!(text.contains("probterm_shed_total 7\n"));
         assert!(text.contains("probterm_resumed_total 2\n"));
         assert!(text.contains("probterm_checkpointed_frontiers_total 3\n"));
@@ -360,6 +366,72 @@ mod tests {
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "non-numeric sample value: {line}");
         }
+    }
+
+    #[test]
+    fn every_family_has_help_before_type_and_no_duplicates() {
+        let m = ServiceMetrics::new();
+        for &op in &Op::ALL {
+            m.record(op, &phases(500), true);
+        }
+        let stats = StatsSnapshot {
+            uptime_ms: 1,
+            served: 10,
+            hits: 1,
+            misses: 9,
+            inflight: 1,
+            cache_entries: 1,
+            cache_capacity: 8,
+            cache_bytes: 64,
+            oldest_entry_ms: None,
+            workers: 1,
+            shed: 0,
+            resumed: 0,
+            checkpointed_frontiers: 0,
+            injected_faults: 0,
+            drained_in_flight: 0,
+            idle_closed: 0,
+        };
+        let text = render_prometheus(&m.snapshot(), &stats);
+        let mut families: Vec<String> = Vec::new();
+        let mut pending_help: Option<String> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                assert!(
+                    pending_help.is_none(),
+                    "HELP for `{name}` follows an unconsumed HELP line"
+                );
+                pending_help = Some(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap().to_string();
+                let kind = parts.next().unwrap();
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "summary"),
+                    "unknown family type `{kind}` for `{name}`"
+                );
+                assert_eq!(
+                    pending_help.take().as_deref(),
+                    Some(name.as_str()),
+                    "TYPE for `{name}` is not directly preceded by its HELP line"
+                );
+                assert!(!families.contains(&name), "duplicate family `{name}`");
+                families.push(name);
+            }
+        }
+        assert!(pending_help.is_none(), "trailing HELP without a TYPE line");
+        // Every sample belongs to a declared family (summaries add _sum and
+        // _count samples).
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            let family = name.trim_end_matches("_sum").trim_end_matches("_count");
+            assert!(
+                families.iter().any(|f| f == name || f == family),
+                "sample `{name}` has no declared family"
+            );
+        }
+        assert!(families.iter().any(|f| f == "probterm_cache_bytes"));
     }
 
     #[test]

@@ -111,6 +111,10 @@ pub enum Op {
     Stats,
     /// Prometheus-style text exposition of the service metrics.
     Metrics,
+    /// The in-flight request table: one row per engine run currently
+    /// executing, with live progress from its [`ProgressCell`]
+    /// (`probterm_telemetry::ProgressCell`).
+    Inspect,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
 }
@@ -127,6 +131,7 @@ impl Op {
             Op::Catalog => "catalog",
             Op::Stats => "stats",
             Op::Metrics => "metrics",
+            Op::Inspect => "inspect",
             Op::Shutdown => "shutdown",
         }
     }
@@ -141,6 +146,7 @@ impl Op {
             "catalog" => Op::Catalog,
             "stats" => Op::Stats,
             "metrics" => Op::Metrics,
+            "inspect" => Op::Inspect,
             "shutdown" => Op::Shutdown,
             _ => return None,
         })
@@ -153,7 +159,7 @@ impl Op {
     }
 
     /// Every op, in wire order — the index into the per-op metrics table.
-    pub const ALL: [Op; 9] = [
+    pub const ALL: [Op; 10] = [
         Op::Simulate,
         Op::Lower,
         Op::Explain,
@@ -162,6 +168,7 @@ impl Op {
         Op::Catalog,
         Op::Stats,
         Op::Metrics,
+        Op::Inspect,
         Op::Shutdown,
     ];
 
@@ -196,6 +203,11 @@ pub struct Request {
     pub strategy: Strategy,
     /// Wall-clock budget for this request, in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// When `true` on a `lower` request, the server emits periodic
+    /// `{"progress": ...}` frames on the connection before the final reply.
+    /// Frames carry the same `id`, are monotone (the bound only tightens),
+    /// and are *not* trace records.
+    pub stream: bool,
 }
 
 fn field_usize(object: &Value, key: &str) -> Result<Option<usize>, ServiceError> {
@@ -215,6 +227,13 @@ fn field_u64(object: &Value, key: &str) -> Result<Option<u64>, ServiceError> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| bad_field(key, "a non-negative integer")),
+    }
+}
+
+fn field_bool(object: &Value, key: &str) -> Result<bool, ServiceError> {
+    match object.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(v) => v.as_bool().ok_or_else(|| bad_field(key, "a boolean")),
     }
 }
 
@@ -280,7 +299,8 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<Value>, ServiceError
     let steps = field_usize(&value, "steps").map_err(&fail)?;
     let seed = field_u64(&value, "seed").map_err(&fail)?;
     let deadline_ms = field_u64(&value, "deadline_ms").map_err(&fail)?;
-    Ok(Request { id, op, program, depth, top, runs, steps, seed, strategy, deadline_ms })
+    let stream = field_bool(&value, "stream").map_err(&fail)?;
+    Ok(Request { id, op, program, depth, top, runs, steps, seed, strategy, deadline_ms, stream })
 }
 
 /// Builds a success reply line (without the trailing newline).
@@ -320,6 +340,17 @@ pub fn error_reply(id: &Option<Value>, error: &ServiceError) -> String {
     ]))
 }
 
+/// Builds a streamed progress frame line (without the trailing newline):
+/// `{"id":...,"progress":{...}}`. Frames carry the request's `id` so clients
+/// multiplexing a connection can attribute them; they have no `ok` field, so
+/// reply-scanning clients skip them naturally.
+pub fn progress_frame(id: &Option<Value>, progress: Value) -> String {
+    render_line(Value::Object(vec![
+        ("id".to_string(), id.clone().unwrap_or(Value::Null)),
+        ("progress".to_string(), progress),
+    ]))
+}
+
 fn render_line(value: Value) -> String {
     struct Raw(Value);
     impl serde::Serialize for Raw {
@@ -354,11 +385,21 @@ mod tests {
 
     #[test]
     fn control_ops_need_no_program() {
-        for op in ["catalog", "stats", "metrics", "shutdown"] {
+        for op in ["catalog", "stats", "metrics", "inspect", "shutdown"] {
             let r = parse_request(&format!(r#"{{"op":"{op}"}}"#)).unwrap();
             assert!(!r.op.is_engine_op());
             assert_eq!(r.id, None);
         }
+    }
+
+    #[test]
+    fn stream_flag_parses_and_defaults_off() {
+        let r = parse_request(r#"{"op":"lower","program":"0","stream":true}"#).unwrap();
+        assert!(r.stream);
+        let r = parse_request(r#"{"op":"lower","program":"0"}"#).unwrap();
+        assert!(!r.stream);
+        let (_, e) = parse_request(r#"{"op":"lower","program":"0","stream":"yes"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
     }
 
     #[test]

@@ -47,9 +47,9 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::inject::{InjectDecision, InjectSpec};
 use crate::metrics::{ops_value, render_prometheus, PhaseTimes, ServiceMetrics};
 use crate::protocol::{
-    error_reply, ok_reply, parse_request, ErrorCode, Op, Request, ServiceError,
+    error_reply, ok_reply, parse_request, progress_frame, ErrorCode, Op, Request, ServiceError,
 };
-use probterm_telemetry::{SpanTimer, TraceSink};
+use probterm_telemetry::{ProgressCell, ProgressSnapshot, SpanTimer, TraceSink};
 use probterm_core::astver::{try_verify_ast, VerifyError};
 use probterm_core::intervalsem::{
     try_explain, try_lower_bound_resumable, ExplainConfig, LowerBoundCheckpoint,
@@ -136,6 +136,11 @@ pub struct StatsSnapshot {
     pub cache_entries: usize,
     /// Capacity of the result cache.
     pub cache_capacity: usize,
+    /// Approximate bytes held by cached result payloads.
+    pub cache_bytes: u64,
+    /// Milliseconds since the least-recently-served cache entry was last
+    /// inserted or hit; `None` when the cache is empty.
+    pub oldest_entry_ms: Option<u64>,
     /// Number of worker threads.
     pub workers: usize,
     /// Requests shed by admission control with an `overloaded` reply.
@@ -180,6 +185,40 @@ pub struct ServerState {
     request_seq: AtomicU64,
     trace: Option<TraceSink>,
     slow: Option<TraceSink>,
+    /// The in-flight request table behind the `inspect` op: one row per
+    /// engine run currently executing, carrying its live [`ProgressCell`].
+    inflight_table: Mutex<Vec<InflightRow>>,
+    /// Token generator for [`InflightRow`] registration.
+    inflight_seq: AtomicU64,
+}
+
+/// One row of the in-flight request table (the `inspect` op's unit).
+#[derive(Debug)]
+struct InflightRow {
+    token: u64,
+    id: Option<Value>,
+    op: Op,
+    started: Instant,
+    /// The request's current phase (`"parse"`, `"cache"`, `"engine"`),
+    /// updated in place as the run advances.
+    phase: &'static str,
+    progress: Arc<ProgressCell>,
+}
+
+/// Removes its row from the in-flight table on drop, so every exit path of
+/// an engine run — cache hit, validation error, panic unwound by
+/// `catch_unwind`'s caller — deregisters exactly once.
+struct InflightGuard<'a> {
+    state: &'a ServerState,
+    token: u64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut table) = self.state.inflight_table.lock() {
+            table.retain(|row| row.token != self.token);
+        }
+    }
 }
 
 impl ServerState {
@@ -208,6 +247,39 @@ impl ServerState {
             request_seq: AtomicU64::new(0),
             trace,
             slow,
+            inflight_table: Mutex::new(Vec::new()),
+            inflight_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers an engine run in the in-flight table; the returned guard
+    /// deregisters it on drop.
+    fn inflight_register(
+        &self,
+        id: Option<Value>,
+        op: Op,
+        progress: Arc<ProgressCell>,
+    ) -> InflightGuard<'_> {
+        let token = self.inflight_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Ok(mut table) = self.inflight_table.lock() {
+            table.push(InflightRow {
+                token,
+                id,
+                op,
+                started: Instant::now(),
+                phase: "parse",
+                progress,
+            });
+        }
+        InflightGuard { state: self, token }
+    }
+
+    /// Advances a registered run's phase label.
+    fn inflight_phase(&self, guard: &InflightGuard<'_>, phase: &'static str) {
+        if let Ok(mut table) = self.inflight_table.lock() {
+            if let Some(row) = table.iter_mut().find(|row| row.token == guard.token) {
+                row.phase = phase;
+            }
         }
     }
 
@@ -232,6 +304,8 @@ impl ServerState {
             inflight: self.inflight.load(Ordering::SeqCst),
             cache_entries: cache.len(),
             cache_capacity: cache.capacity(),
+            cache_bytes: cache.bytes(),
+            oldest_entry_ms: cache.oldest_entry_ms(),
             workers: self.config.workers,
             shed: self.shed.load(Ordering::SeqCst),
             resumed: self.resumed.load(Ordering::SeqCst),
@@ -405,14 +479,36 @@ struct LineOutcome {
     drop_reply: bool,
 }
 
+/// A sink for streamed progress frames: called with one frame line (no
+/// trailing newline) the moment it is produced, mid-engine-run. Interior
+/// mutability is the caller's business (the engine loop only has `&`).
+type FrameSink<'a> = &'a (dyn Fn(&str) + 'a);
+
 /// Handles one NDJSON request line; returns the reply line (without trailing
 /// newline), or `None` for blank input lines.
 ///
 /// This is the full service pipeline minus the transport, usable directly by
 /// tests and in-process embedders. A `shutdown` request sets the state's
-/// shutdown flag as a side effect.
+/// shutdown flag as a side effect. Streamed progress frames are dropped
+/// (there is no transport to carry them); use [`handle_line_frames`] to
+/// capture them.
 pub fn handle_line(state: &ServerState, line: &str) -> Option<String> {
-    let outcome = process_line(state, line, 0);
+    let outcome = process_line(state, line, 0, None);
+    if outcome.shutdown {
+        state.shutdown.store(true, Ordering::SeqCst);
+    }
+    outcome.reply
+}
+
+/// Like [`handle_line`], but delivers streamed `{"progress": ...}` frames to
+/// `frames` as they are produced — the transportless counterpart of what a
+/// TCP client of a `"stream": true` request sees on the wire.
+pub fn handle_line_frames(
+    state: &ServerState,
+    line: &str,
+    frames: &dyn Fn(&str),
+) -> Option<String> {
+    let outcome = process_line(state, line, 0, Some(frames));
     if outcome.shutdown {
         state.shutdown.store(true, Ordering::SeqCst);
     }
@@ -498,7 +594,12 @@ fn emit_slow(
     ]);
 }
 
-fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
+fn process_line(
+    state: &ServerState,
+    line: &str,
+    queue_us: u64,
+    frames: Option<FrameSink>,
+) -> LineOutcome {
     if line.trim().is_empty() {
         return LineOutcome { reply: None, shutdown: false, drop_reply: false };
     }
@@ -525,7 +626,8 @@ fn process_line(state: &ServerState, line: &str, queue_us: u64) -> LineOutcome {
     let shutdown = op == Op::Shutdown;
     let mut canonical_key = None;
     let mut drop_reply = false;
-    let dispatched = dispatch(state, &request, &mut phases, &mut canonical_key, &mut drop_reply);
+    let dispatched =
+        dispatch(state, &request, &mut phases, &mut canonical_key, &mut drop_reply, frames);
     let (ok, cache_tag, outcome) = match &dispatched {
         Ok((_, tag)) => (true, *tag, "ok"),
         Err(e) => (false, None, e.code.as_str()),
@@ -553,14 +655,16 @@ fn dispatch(
     phases: &mut PhaseTimes,
     canonical_key: &mut Option<u128>,
     drop_reply: &mut bool,
+    frames: Option<FrameSink>,
 ) -> DispatchResult {
     match request.op {
         Op::Catalog => Ok((catalog_payload(), None)),
         Op::Stats => Ok((stats_payload(state), None)),
         Op::Metrics => Ok((metrics_payload(state), None)),
+        Op::Inspect => Ok((inspect_payload(state), None)),
         Op::Shutdown => Ok((Value::Object(vec![]), None)),
         Op::Simulate | Op::Lower | Op::Explain | Op::Verify | Op::Analyze => {
-            engine_op(state, request, phases, canonical_key, drop_reply)
+            engine_op(state, request, phases, canonical_key, drop_reply, frames)
         }
     }
 }
@@ -571,8 +675,15 @@ fn engine_op(
     phases: &mut PhaseTimes,
     canonical_key: &mut Option<u128>,
     drop_reply: &mut bool,
+    frames: Option<FrameSink>,
 ) -> DispatchResult {
     let config = &state.config;
+    // Register in the in-flight table up front, with a fresh progress cell
+    // the lower-bound engine will publish into; the guard deregisters on
+    // every exit path.
+    let progress = Arc::new(ProgressCell::new());
+    let inflight_guard =
+        state.inflight_register(request.id.clone(), request.op, Arc::clone(&progress));
     let source = request.program.as_deref().expect("validated by parse_request");
     if source.len() > config.max_program_bytes {
         return Err(ServiceError::new(
@@ -644,6 +755,7 @@ fn engine_op(
             Serve,
             Decline,
         }
+        state.inflight_phase(&inflight_guard, "cache");
         let cache_timer = SpanTimer::start();
         let mut cache = state.cache.lock().expect("cache lock");
         let decision = match cache.peek(&cache_key) {
@@ -701,6 +813,10 @@ fn engine_op(
 
     let deadline = Deadline::new(request.deadline_ms);
     let budget = RunBudget { deadline, draining: &state.draining };
+    let stream = (request.stream && request.op == Op::Lower)
+        .then(|| frames.map(|emit| StreamHandle::new(emit, &request.id, &progress)))
+        .flatten();
+    state.inflight_phase(&inflight_guard, "engine");
     let engine_timer = SpanTimer::start();
     state.inflight.fetch_add(1, Ordering::SeqCst);
     let computed = catch_unwind(AssertUnwindSafe(|| {
@@ -714,7 +830,9 @@ fn engine_op(
             Op::Simulate => {
                 simulate_payload(&term, runs, steps, seed, request.strategy, &budget)
             }
-            Op::Lower => lower_payload(&term, depth, &budget, resume.as_ref()),
+            Op::Lower => {
+                lower_payload(&term, depth, &budget, resume.as_ref(), &progress, stream.as_ref())
+            }
             Op::Explain => explain_payload(&term, source, depth, request.top, &budget),
             Op::Verify => verify_payload(&term, &budget),
             Op::Analyze => analyze_payload(&term, depth, runs, steps, seed, &budget),
@@ -818,15 +936,111 @@ fn simulate_payload(
 /// `"complete": false`, together with a replayable `checkpoint` of the
 /// exploration frontier; a retry with a richer budget passes the cached
 /// checkpoint back in and resumes where the truncated run stopped.
+/// How often a `"stream": true` `lower` run emits a progress frame. Small
+/// enough that a deadline-bounded run still produces several frames; large
+/// enough that frames never dominate a fast run's wire traffic.
+const STREAM_FRAME_INTERVAL: Duration = Duration::from_millis(20);
+
+/// The mid-run progress emitter of a streamed `lower` request: polled from
+/// the engine's cooperative check, it renders a `{"progress": ...}` frame
+/// from the run's [`ProgressCell`] at most once per
+/// [`STREAM_FRAME_INTERVAL`]. The seqlock snapshot and the fixed-point bound
+/// ratchet make every emitted frame internally consistent and the frame
+/// sequence monotone.
+struct StreamHandle<'a> {
+    emit: FrameSink<'a>,
+    id: &'a Option<Value>,
+    progress: &'a ProgressCell,
+    started: Instant,
+    last: std::cell::Cell<Option<Instant>>,
+}
+
+impl<'a> StreamHandle<'a> {
+    fn new(emit: FrameSink<'a>, id: &'a Option<Value>, progress: &'a ProgressCell) -> Self {
+        StreamHandle { emit, id, progress, started: Instant::now(), last: None.into() }
+    }
+
+    fn maybe_emit(&self) {
+        let now = Instant::now();
+        if self
+            .last
+            .get()
+            .is_some_and(|last| now.duration_since(last) < STREAM_FRAME_INTERVAL)
+        {
+            return;
+        }
+        self.last.set(Some(now));
+        let frame = progress_frame(
+            self.id,
+            progress_value(&self.progress.snapshot(), self.started.elapsed().as_millis()),
+        );
+        (self.emit)(&frame);
+    }
+}
+
+/// Renders one progress snapshot as the shared frame/`inspect` payload.
+fn progress_value(snap: &ProgressSnapshot, elapsed_ms: u128) -> Value {
+    Value::Object(vec![
+        ("steps".into(), Value::UInt(u128::from(snap.steps))),
+        ("paths".into(), Value::UInt(u128::from(snap.paths_terminated))),
+        ("frontier".into(), Value::UInt(u128::from(snap.frontier))),
+        ("max_depth".into(), Value::UInt(u128::from(snap.max_depth))),
+        ("bound".into(), Value::Num(snap.bound())),
+        ("bound_scaled".into(), Value::UInt(u128::from(snap.bound_scaled))),
+        ("elapsed_ms".into(), Value::UInt(elapsed_ms)),
+    ])
+}
+
+/// The `inspect` op: the in-flight request table, one row per engine run
+/// currently executing, each with a live seqlock snapshot of its progress.
+/// Never cached, never shed (it is a control op) — the whole point is to see
+/// the server *right now*.
+fn inspect_payload(state: &ServerState) -> Value {
+    let rows = match state.inflight_table.lock() {
+        Ok(table) => table
+            .iter()
+            .map(|row| {
+                Value::Object(vec![
+                    ("id".into(), row.id.clone().unwrap_or(Value::Null)),
+                    ("op".into(), Value::Str(row.op.as_str().to_string())),
+                    ("age_ms".into(), Value::UInt(row.started.elapsed().as_millis())),
+                    ("phase".into(), Value::Str(row.phase.to_string())),
+                    (
+                        "progress".into(),
+                        progress_value(
+                            &row.progress.snapshot(),
+                            row.started.elapsed().as_millis(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    Value::Object(vec![
+        ("count".into(), Value::UInt(rows.len() as u128)),
+        ("inflight".into(), Value::Array(rows)),
+    ])
+}
+
 fn lower_payload(
     term: &Term,
     depth: usize,
     budget: &RunBudget,
     resume: Option<&(LowerBoundCheckpoint, u128)>,
+    progress: &Arc<ProgressCell>,
+    stream: Option<&StreamHandle>,
 ) -> Result<Value, ServiceError> {
     budget.check("before the lower-bound engine started")?;
-    let config = LowerBoundConfig::default().with_depth(depth);
-    let mut check = |_work: usize| budget.check("during symbolic exploration");
+    let config = LowerBoundConfig::default()
+        .with_depth(depth)
+        .with_progress(Arc::clone(progress));
+    let mut check = |_work: usize| {
+        if let Some(stream) = stream {
+            stream.maybe_emit();
+        }
+        budget.check("during symbolic exploration")
+    };
     let (result, checkpoint, _interruption) =
         try_lower_bound_resumable(term, &config, resume.map(|(c, _)| c), &mut check);
     Ok(lower_result_value(&result, depth, &checkpoint, resume))
@@ -1041,6 +1255,11 @@ fn stats_payload(state: &ServerState) -> Value {
         ("inflight".into(), Value::UInt(stats.inflight as u128)),
         ("cache_entries".into(), Value::UInt(stats.cache_entries as u128)),
         ("cache_capacity".into(), Value::UInt(stats.cache_capacity as u128)),
+        ("cache_bytes".into(), Value::UInt(u128::from(stats.cache_bytes))),
+        (
+            "oldest_entry_ms".into(),
+            stats.oldest_entry_ms.map_or(Value::Null, |ms| Value::UInt(u128::from(ms))),
+        ),
         ("workers".into(), Value::UInt(stats.workers as u128)),
         // Robustness counters: load shedding, resumable anytime engines,
         // fault injection, graceful drain and idle-connection reaping.
@@ -1233,7 +1452,19 @@ fn spawn_workers(
                     state.queued.fetch_sub(1, Ordering::SeqCst);
                     let queue_us =
                         u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
-                    let outcome = process_line(&state, &job.line, queue_us);
+                    // Streamed progress frames go straight to the
+                    // originating connection, each under its own lock
+                    // acquisition so replies to interleaved requests on the
+                    // same connection are never blocked for a whole run.
+                    let frame_out = Arc::clone(&job.out);
+                    let emit_frame = move |frame: &str| {
+                        if let Ok(mut out) = frame_out.lock() {
+                            let _ = out.write_all(frame.as_bytes());
+                            let _ = out.write_all(b"\n");
+                            let _ = out.flush();
+                        }
+                    };
+                    let outcome = process_line(&state, &job.line, queue_us, Some(&emit_frame));
                     if let Some(mut reply) = outcome.reply {
                         reply.push('\n');
                         if let Ok(mut out) = job.out.lock() {
@@ -2072,5 +2303,129 @@ mod tests {
         let v = serde_json::from_str(&reply).unwrap();
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
         assert!(s.state().shutdown_requested());
+    }
+
+    #[test]
+    fn stats_report_cache_bytes_and_entry_age() {
+        let s = server();
+        let before = result_of(&s.handle_line(r#"{"op":"stats"}"#).unwrap());
+        assert_eq!(before.get("cache_bytes").and_then(Value::as_u64), Some(0));
+        assert!(before.get("oldest_entry_ms").unwrap().is_null());
+        s.handle_line(r#"{"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":20}"#)
+            .unwrap();
+        let after = result_of(&s.handle_line(r#"{"op":"stats"}"#).unwrap());
+        assert!(after.get("cache_bytes").and_then(Value::as_u64).unwrap() > 0);
+        assert!(after.get("oldest_entry_ms").and_then(Value::as_u64).is_some());
+    }
+
+    #[test]
+    fn inspect_reports_inflight_engine_runs_with_live_bounds() {
+        // The first engine run sleeps 200 ms (injected slow fault) before a
+        // genuinely long exploration, so the poller below reliably observes
+        // it mid-flight: first in the engine phase, then with a nonzero
+        // monotone bound once paths start terminating.
+        let s = Server::new(ServerConfig {
+            workers: 1,
+            inject: Some(InjectSpec::parse("slow=@1:200").unwrap()),
+            ..Default::default()
+        });
+        let bg = {
+            let s = s.clone();
+            thread::spawn(move || {
+                s.handle_line(
+                    r#"{"id":"slow-1","op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":400}"#,
+                )
+            })
+        };
+        let give_up = Instant::now() + Duration::from_secs(60);
+        let mut saw_engine_phase = false;
+        let mut saw_bound = false;
+        let mut last_steps = 0u64;
+        while Instant::now() < give_up && !(saw_engine_phase && saw_bound) {
+            let result = result_of(&s.handle_line(r#"{"op":"inspect"}"#).unwrap());
+            for row in result.get("inflight").unwrap().as_array().unwrap() {
+                if row.get("op").and_then(Value::as_str) != Some("lower") {
+                    continue;
+                }
+                assert_eq!(row.get("id").and_then(Value::as_str), Some("slow-1"));
+                assert!(row.get("age_ms").and_then(Value::as_u64).is_some());
+                if row.get("phase").and_then(Value::as_str) != Some("engine") {
+                    continue;
+                }
+                saw_engine_phase = true;
+                let p = row.get("progress").unwrap();
+                let steps = p.get("steps").and_then(Value::as_u64).unwrap();
+                assert!(steps >= last_steps, "in-flight steps went backwards");
+                last_steps = steps;
+                if p.get("bound").and_then(Value::as_f64).unwrap() > 0.0 {
+                    assert!(steps > 0, "a nonzero bound implies exploration work");
+                    assert!(p.get("paths").and_then(Value::as_u64).unwrap() > 0);
+                    saw_bound = true;
+                }
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_engine_phase, "never observed the lower run in the engine phase");
+        assert!(saw_bound, "never observed a nonzero in-flight bound");
+        let reply = bg.join().unwrap().unwrap();
+        let _ = result_of(&reply);
+        // Once the run completes its row is gone.
+        let result = result_of(&s.handle_line(r#"{"op":"inspect"}"#).unwrap());
+        assert_eq!(result.get("count").and_then(Value::as_u64), Some(0));
+        assert_eq!(result.get("inflight").and_then(Value::as_array).map(<[Value]>::len), Some(0));
+    }
+
+    #[test]
+    fn streamed_lower_emits_monotone_progress_frames() {
+        let s = server();
+        let frames = std::cell::RefCell::new(Vec::<Value>::new());
+        let sink = |frame: &str| {
+            frames.borrow_mut().push(serde_json::from_str(frame).unwrap());
+        };
+        let reply = handle_line_frames(
+            s.state(),
+            r#"{"id":77,"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":400,"stream":true}"#,
+            &sink,
+        )
+        .unwrap();
+        let result = result_of(&reply);
+        assert_eq!(result.get("complete").and_then(Value::as_bool), Some(true));
+        let frames = frames.into_inner();
+        assert!(
+            frames.len() >= 2,
+            "a depth-400 run must emit several progress frames, got {}",
+            frames.len()
+        );
+        let mut prev_steps = 0u64;
+        let mut prev_bound = 0u64;
+        for f in &frames {
+            assert_eq!(f.get("id").and_then(Value::as_u64), Some(77), "frames carry the id");
+            assert!(f.get("ok").is_none(), "frames are not replies");
+            let p = f.get("progress").unwrap();
+            let steps = p.get("steps").and_then(Value::as_u64).unwrap();
+            let bound = p.get("bound_scaled").and_then(Value::as_u64).unwrap();
+            assert!(steps >= prev_steps, "streamed steps regressed");
+            assert!(bound >= prev_bound, "streamed bound regressed: frames must be monotone");
+            prev_steps = steps;
+            prev_bound = bound;
+        }
+        assert!(prev_steps > 0, "the final frame shows exploration work");
+        assert!(prev_bound > 0, "the final frame shows accumulated mass");
+        let first = frames.first().unwrap().get("progress").unwrap();
+        assert!(
+            prev_steps > first.get("steps").and_then(Value::as_u64).unwrap(),
+            "steps must strictly increase across the run"
+        );
+        // Without "stream": true the same request emits no frames.
+        let quiet = std::cell::RefCell::new(0usize);
+        let count_sink = |_: &str| *quiet.borrow_mut() += 1;
+        let reply = handle_line_frames(
+            s.state(),
+            r#"{"id":78,"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":400}"#,
+            &count_sink,
+        )
+        .unwrap();
+        let _ = result_of(&reply);
+        assert_eq!(*quiet.borrow(), 0, "non-streamed requests are frame-silent");
     }
 }

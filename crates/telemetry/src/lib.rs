@@ -15,16 +15,22 @@
 //!   NTP adjustment.
 //! - [`ProfileCell`] / [`EngineProfile`] — the per-run abstract-machine
 //!   profile shared across forked machines (see [`profile`]).
+//! - [`ProgressCell`] / [`Gauge`] — live introspection: a seqlock-style
+//!   snapshot the engine thread publishes into mid-run and other threads
+//!   (the service's `inspect` op, streamed progress frames) read without
+//!   locks (see [`progress`]).
 //! - [`TraceSink`] — a line-buffered, mutex-serialized JSONL event sink used
 //!   by `probterm serve --trace`.
 
 pub mod histogram;
 pub mod profile;
+pub mod progress;
 pub mod span;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKET_COUNT};
 pub use profile::{EngineProfile, EventKind, ProfileCell, SharedProfile, EVENT_KIND_COUNT};
+pub use progress::{Gauge, ProgressCell, ProgressSnapshot, BOUND_SCALE};
 pub use span::SpanTimer;
 pub use trace::TraceSink;
 

@@ -192,6 +192,8 @@ if [ -x target/release/probterm ]; then
     smoke_request '{"id":9,"op":"metrics"}' 'probterm_requests_total'
     # Provenance artifact through the cache-fronted explain op.
     smoke_request '{"id":10,"op":"explain","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":30,"top":3}' '"schema":"probterm-explain-v1"'
+    # Live introspection: an idle server reports an empty in-flight table.
+    smoke_request '{"id":11,"op":"inspect"}' '"inflight"'
     smoke_request '{"id":6,"op":"shutdown"}' '"ok":true'
     if wait "$server_pid"; then
         echo "smoke ok: graceful shutdown (exit 0)"
@@ -203,7 +205,7 @@ if [ -x target/release/probterm ]; then
     # trace record carrying the schema fields.
     trace_out=$(target/release/probterm trace-check "$trace_file")
     case "$trace_out" in
-        "ok: 11 trace records"*) echo "smoke ok: trace ($trace_out)" ;;
+        "ok: 12 trace records"*) echo "smoke ok: trace ($trace_out)" ;;
         *)
             echo "smoke FAILED: trace validation: $trace_out"
             smoke_status=1
@@ -360,6 +362,70 @@ if [ "$chaos_status" -ne 0 ]; then
     status=1
 else
     echo "chaos smoke test: OK"
+fi
+
+# ---------------------------------------------------------------------------
+# Observability smoke test: `probterm top --once` renders a dashboard from a
+# loopback server's `stats` + `inspect` replies, and the bench-history
+# regression sentinel runs over the committed BENCH_history.jsonl as a soft
+# gate (it warns on regressions; only --strict turns that into a failure).
+echo "== observability smoke test =="
+obs_status=0
+if [ -x target/release/probterm ]; then
+    obs_port=$((21000 + RANDOM % 20000))
+    target/release/probterm serve --addr "127.0.0.1:$obs_port" --workers 1 &
+    obs_pid=$!
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$obs_port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            break
+        fi
+        sleep 0.1
+    done
+    top_out=$(timeout 30 target/release/probterm top --addr "127.0.0.1:$obs_port" --once)
+    case "$top_out" in
+        *"probterm top"*"in-flight"*)
+            echo "obs ok: top --once renders a dashboard"
+            ;;
+        *)
+            echo "obs FAILED: top --once: $top_out"
+            obs_status=1
+            ;;
+    esac
+    if exec 3<>"/dev/tcp/127.0.0.1/$obs_port"; then
+        printf '%s\n' '{"id":1,"op":"shutdown"}' >&3
+        IFS= read -r -t 30 _ <&3 || true
+        exec 3>&- 3<&-
+    fi
+    if wait "$obs_pid"; then
+        echo "obs ok: graceful shutdown (exit 0)"
+    else
+        echo "obs FAILED: server exited non-zero"
+        obs_status=1
+    fi
+    if bench_out=$(timeout 30 target/release/probterm bench-report BENCH_history.jsonl); then
+        case "$bench_out" in
+            "bench-report:"*)
+                echo "obs ok: bench-report ($(printf '%s' "$bench_out" | head -1))"
+                ;;
+            *)
+                echo "obs FAILED: bench-report output: $bench_out"
+                obs_status=1
+                ;;
+        esac
+    else
+        echo "obs FAILED: bench-report exited non-zero (soft gate must pass without --strict)"
+        obs_status=1
+    fi
+else
+    echo "obs FAILED: target/release/probterm missing (release build failed?)"
+    obs_status=1
+fi
+if [ "$obs_status" -ne 0 ]; then
+    echo "observability smoke test: FAILED"
+    status=1
+else
+    echo "observability smoke test: OK"
 fi
 
 if [ "$status" -ne 0 ]; then

@@ -8,6 +8,8 @@
 //! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--seed N] [--cbv] [--profile]
 //! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N] [--trace PATH|-] [--slow-ms N]
 //!                    [--queue-depth N] [--idle-timeout-ms N] [--inject SPEC]
+//! probterm top       --addr HOST:PORT             [--once] [--interval-ms N]
+//! probterm bench-report [<history.jsonl>]         [--threshold PCT] [--format text|json] [--strict]
 //! probterm trace-check <file>
 //! probterm explain-check <file>
 //! probterm catalog
@@ -25,7 +27,7 @@ use probterm::core::intervalsem::{
 };
 use probterm::core::{analyze, analyze_ast, AnalysisConfig};
 use probterm::numerics::Rational;
-use probterm::service::{InjectSpec, Server, ServerConfig, TraceSink};
+use probterm::service::{InjectSpec, Op, Server, ServerConfig, TraceSink};
 use probterm::spcf::{
     catalog, estimate_termination, estimate_termination_profiled, parse_term, MonteCarloConfig,
     Strategy, Term,
@@ -56,6 +58,10 @@ struct Options {
     idle_timeout_ms: Option<u64>,
     inject: Option<String>,
     ast: bool,
+    once: bool,
+    interval_ms: u64,
+    threshold: f64,
+    strict: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -81,6 +87,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         idle_timeout_ms: None,
         inject: None,
         ast: false,
+        once: false,
+        interval_ms: 1000,
+        threshold: 20.0,
+        strict: false,
     };
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -120,6 +130,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--cbv" => options.cbv = true,
             "--profile" => options.profile = true,
             "--ast" => options.ast = true,
+            "--once" => options.once = true,
+            "--strict" => options.strict = true,
+            "--interval-ms" => {
+                options.interval_ms = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or_else(|| "--interval-ms requires a positive number".to_string())?;
+            }
+            "--threshold" => {
+                options.threshold = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t.is_finite() && t >= 0.0)
+                    .ok_or_else(|| "--threshold requires a percentage".to_string())?;
+            }
             "--format" => {
                 options.format = iter
                     .next()
@@ -216,7 +242,7 @@ fn load_program(options: &Options) -> Result<(String, Term), String> {
 }
 
 fn usage() -> &'static str {
-    "usage: probterm <analyze|lower|explain|verify|simulate|serve|trace-check|explain-check|catalog> [<file> | -e '<program>'] [options]\n\
+    "usage: probterm <analyze|lower|explain|verify|simulate|serve|top|bench-report|trace-check|explain-check|catalog> [<file> | -e '<program>'] [options]\n\
      options: --depth N   exploration depth for the lower-bound engine (default 120)\n\
               --deadline-ms N  wall-clock budget for `lower`/`explain`; an expired\n\
                           budget reports the sound partial result computed so far\n\
@@ -246,9 +272,23 @@ fn usage() -> &'static str {
               --inject S  deterministic fault injection for chaos testing,\n\
                           e.g. 'seed=7;panic=@4;slow=0.1:50;drop=@9'\n\
                           (RULE is a probability or @N = every Nth engine run)\n\
+     top:     --addr H:P  poll `stats` + `inspect` on a running server and\n\
+                          redraw a terminal dashboard (served/cache/shed plus\n\
+                          the in-flight request table with live bounds)\n\
+              --once      print one snapshot and exit (for scripts and CI)\n\
+              --interval-ms N  redraw period (default 1000)\n\
+     bench-report [<file>]  read a BENCH_history.jsonl (default ./), compare\n\
+                          the latest record of every bench against the median\n\
+                          of its earlier records, and flag regressions\n\
+                          (throughput down or latency up beyond the threshold)\n\
+              --threshold PCT  relative change that counts as a regression\n\
+                          (default 20)\n\
+              --format F  text (default) or json\n\
+              --strict    exit nonzero on regressions (default: warn only)\n\
      trace-check <file>:  validate a --trace output file (each line parses as\n\
-                          JSON, carries the trace schema fields, every `seq` is\n\
-                          unique and phase times sum to at most `total_us`)\n\
+                          JSON, carries the trace schema fields with a known\n\
+                          `op` name, every `seq` is unique and phase times\n\
+                          sum to at most `total_us`)\n\
      explain-check <file>: validate an `explain --format json` artifact (schema\n\
                           fields, exact volume accounting, witness replays)"
 }
@@ -267,10 +307,11 @@ fn print_profile(label: &str, profile: Option<&EngineProfile>) {
 /// thread, or one of several workers finishing early, legitimately outruns
 /// an earlier-numbered request still in flight — so uniqueness, not file
 /// order, is the invariant: one record per request, none dropped or
-/// duplicated), and the four phase timings must sum to at most `total_us`
-/// (phases nest inside the end-to-end timer window, and flooring to whole
-/// microseconds only shrinks sums). Errors name the first offending line.
-/// Prints a one-line summary.
+/// duplicated), every `op` must name a real service op (or `invalid`, the
+/// marker for unparseable requests), and the four phase timings must sum to
+/// at most `total_us` (phases nest inside the end-to-end timer window, and
+/// flooring to whole microseconds only shrinks sums). Errors name the first
+/// offending line. Prints a one-line summary.
 fn trace_check(path: &str) -> Result<usize, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -278,6 +319,7 @@ fn trace_check(path: &str) -> Result<usize, String> {
         "seq", "op", "queue_us", "cache_us", "engine_us", "serialize_us", "total_us", "outcome",
     ];
     const PHASES: [&str; 4] = ["queue_us", "cache_us", "engine_us", "serialize_us"];
+    let known = known_ops();
     let mut records = 0usize;
     let mut seen_seqs = std::collections::HashSet::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -291,6 +333,15 @@ fn trace_check(path: &str) -> Result<usize, String> {
             if value.get(field).is_none() {
                 return Err(format!("{path}:{lineno}: trace record is missing `{field}`"));
             }
+        }
+        let op = value
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}:{lineno}: `op` is not a string"))?;
+        if !known.contains(&op) {
+            return Err(format!(
+                "{path}:{lineno}: unknown op `{op}` — not in the service op table"
+            ));
         }
         let number = |field: &str| -> Result<u64, String> {
             value
@@ -409,6 +460,395 @@ fn explain_check(path: &str) -> Result<String, String> {
     ))
 }
 
+/// Every `op` name a trace record may carry: the service op table plus
+/// `invalid`, the marker the tracer writes for unparseable requests. Derived
+/// from [`Op::ALL`] so a new service op cannot silently desynchronise the
+/// checker.
+fn known_ops() -> Vec<&'static str> {
+    Op::ALL.iter().map(|op| op.as_str()).chain(std::iter::once("invalid")).collect()
+}
+
+// ------------------------------------------------------------------- `top`
+
+/// One round-trip to a running `probterm serve --addr`: sends each request
+/// line over a fresh TCP connection and returns the `result` payload of each
+/// reply, in order. A reconnect per poll keeps the dashboard robust against
+/// server idle timeouts and restarts.
+fn service_results(addr: &str, requests: &[&str]) -> Result<Vec<Value>, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| format!("cannot configure the connection to {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone the connection to {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut results = Vec::with_capacity(requests.len());
+    // Strictly request/reply: pipelining both requests would let the worker
+    // pool finish them in either order, scrambling which payload is which.
+    for request in requests {
+        writeln!(writer, "{request}").map_err(|e| format!("cannot send to {addr}: {e}"))?;
+        writer.flush().map_err(|e| format!("cannot send to {addr}: {e}"))?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("no reply from {addr}: {e}"))?;
+        let reply: Value = serde_json::from_str(line.trim())
+            .map_err(|e| format!("bad reply from {addr}: {e}"))?;
+        if reply.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("service error replying to `{request}`: {}", line.trim()));
+        }
+        results.push(reply.get("result").cloned().unwrap_or(Value::Null));
+    }
+    Ok(results)
+}
+
+/// Renders one `top` screen from a `stats` and an `inspect` payload.
+fn render_top(addr: &str, stats: &Value, inspect: &Value) -> String {
+    use std::fmt::Write as _;
+    let u = |v: &Value, field: &str| v.get(field).and_then(Value::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "probterm top — {addr}   uptime {:.1}s   workers {}   inflight {}",
+        u(stats, "uptime_ms") as f64 / 1000.0,
+        u(stats, "workers"),
+        u(stats, "inflight"),
+    );
+    let oldest = match stats.get("oldest_entry_ms").and_then(Value::as_u64) {
+        Some(ms) => format!("{ms} ms"),
+        None => "-".to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "served {}   cache {}/{} entries {} B oldest {oldest}   hits {}   misses {}   shed {}",
+        u(stats, "served"),
+        u(stats, "cache_entries"),
+        u(stats, "cache_capacity"),
+        u(stats, "cache_bytes"),
+        u(stats, "hits"),
+        u(stats, "misses"),
+        stats.get("robustness").map_or(0, |r| u(r, "shed")),
+    );
+    if let Some(Value::Object(ops)) = stats.get("ops") {
+        if !ops.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>6} {:>9} {:>9} {:>9}",
+                "op", "reqs", "errs", "p50_us", "p95_us", "p99_us"
+            );
+            for (name, op) in ops {
+                let total = op.get("total_us").cloned().unwrap_or(Value::Null);
+                let _ = writeln!(
+                    out,
+                    "{name:<10} {:>8} {:>6} {:>9} {:>9} {:>9}",
+                    u(op, "requests"),
+                    u(op, "errors"),
+                    u(&total, "p50"),
+                    u(&total, "p95"),
+                    u(&total, "p99"),
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "in-flight ({}):", u(inspect, "count"));
+    match inspect.get("inflight").and_then(Value::as_array) {
+        Some(rows) if !rows.is_empty() => {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:<9} {:>8} {:<7} {:>12} {:>7} {:>9} {:>10}",
+                "id", "op", "age_ms", "phase", "steps", "paths", "frontier", "bound"
+            );
+            for row in rows {
+                let id = row.get("id").map_or_else(
+                    || "-".to_string(),
+                    |v| match v {
+                        Value::Str(s) => s.clone(),
+                        Value::Null => "-".to_string(),
+                        other => serde_json::to_string(other)
+                            .unwrap_or_else(|_| "?".to_string()),
+                    },
+                );
+                let empty = Value::Null;
+                let p = row.get("progress").unwrap_or(&empty);
+                let _ = writeln!(
+                    out,
+                    "  {id:<14} {:<9} {:>8} {:<7} {:>12} {:>7} {:>9} {:>10.6}",
+                    row.get("op").and_then(Value::as_str).unwrap_or("?"),
+                    u(row, "age_ms"),
+                    row.get("phase").and_then(Value::as_str).unwrap_or("?"),
+                    u(p, "steps"),
+                    u(p, "paths"),
+                    u(p, "frontier"),
+                    p.get("bound").and_then(Value::as_f64).unwrap_or(0.0),
+                );
+            }
+        }
+        _ => {
+            let _ = writeln!(out, "  (idle)");
+        }
+    }
+    out
+}
+
+/// `probterm top`: polls `stats` + `inspect` and redraws a dashboard.
+/// `--once` prints a single snapshot without clearing the screen, so CI logs
+/// stay readable.
+fn top_command(options: &Options) -> Result<(), String> {
+    let addr = options
+        .addr
+        .as_deref()
+        .ok_or_else(|| "top requires --addr HOST:PORT of a running `probterm serve`".to_string())?;
+    let requests =
+        [r#"{"id":"top","op":"stats"}"#, r#"{"id":"top","op":"inspect"}"#];
+    loop {
+        let results = service_results(addr, &requests)?;
+        let screen = render_top(addr, &results[0], &results[1]);
+        if options.once {
+            print!("{screen}");
+            return Ok(());
+        }
+        // Clear and repaint with plain ANSI; no terminal library needed.
+        print!("\x1b[2J\x1b[H{screen}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
+    }
+}
+
+// ---------------------------------------------------------- `bench-report`
+
+/// One flagged metric: the latest record moved beyond the threshold in the
+/// bad direction relative to the baseline (median of earlier records).
+#[derive(Debug, Clone, PartialEq)]
+struct Regression {
+    bench: String,
+    metric: String,
+    baseline: f64,
+    latest: f64,
+    delta_pct: f64,
+}
+
+/// Outcome of a `bench-report` run over one history file.
+#[derive(Debug)]
+struct BenchReport {
+    records: usize,
+    benches: usize,
+    compared: usize,
+    regressions: Vec<Regression>,
+}
+
+/// Whether a larger value of `metric` is better (`Some(true)`), worse
+/// (`Some(false)`), or not comparable (`None`). Throughputs want to go up;
+/// timings want to go down; anything else (counters, sizes, request totals)
+/// has no inherent direction and is skipped rather than guessed.
+fn metric_direction(metric: &str) -> Option<bool> {
+    let name = metric.rsplit('/').next().unwrap_or(metric);
+    if name.contains("per_sec") || name.contains("throughput") || name.contains("speedup") {
+        Some(true)
+    } else if name.ends_with("_us") || name.ends_with("_ms") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Flattens one history record's `metrics` value into `(name, value)` pairs.
+/// Arrays of scenario objects (the `service_load` shape) prefix each field
+/// with the element's `scenario` name (or its index when unnamed); nested
+/// objects flatten with `/`-joined paths; non-numeric leaves are dropped.
+fn flatten_metrics(metrics: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match metrics {
+        Value::Object(fields) => {
+            for (key, value) in fields {
+                if key == "scenario" {
+                    continue;
+                }
+                let name = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}/{key}")
+                };
+                match value.as_f64() {
+                    Some(x) => out.push((name, x)),
+                    None => flatten_metrics(value, &name, out),
+                }
+            }
+        }
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let label = item
+                    .get("scenario")
+                    .and_then(Value::as_str)
+                    .map_or_else(|| i.to_string(), str::to_string);
+                let nested = if prefix.is_empty() {
+                    label
+                } else {
+                    format!("{prefix}/{label}")
+                };
+                flatten_metrics(item, &nested, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Median of a non-empty sample (mean of the middle pair for even sizes).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Compares the latest record of every bench against the median of that
+/// bench's earlier records, metric by metric. Metrics without a direction,
+/// without history, or with a non-positive baseline (relative change is
+/// undefined) are skipped; `compared` counts only actual comparisons.
+fn analyze_history(
+    records: &[(String, Vec<(String, f64)>)],
+    threshold_pct: f64,
+) -> BenchReport {
+    let mut latest_index = std::collections::HashMap::new();
+    for (i, (bench, _)) in records.iter().enumerate() {
+        latest_index.insert(bench.as_str(), i);
+    }
+    let mut benches: Vec<&str> = latest_index.keys().copied().collect();
+    benches.sort_unstable();
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    for bench in &benches {
+        let last = latest_index[bench];
+        let mut history: std::collections::HashMap<&str, Vec<f64>> =
+            std::collections::HashMap::new();
+        for (b, flat) in &records[..last] {
+            if b.as_str() != *bench {
+                continue;
+            }
+            for (metric, value) in flat {
+                history.entry(metric.as_str()).or_default().push(*value);
+            }
+        }
+        for (metric, latest) in &records[last].1 {
+            let Some(higher_is_better) = metric_direction(metric) else { continue };
+            let Some(samples) = history.get_mut(metric.as_str()) else { continue };
+            let baseline = median(samples);
+            if baseline <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let delta_pct = (latest - baseline) / baseline * 100.0;
+            let regressed = if higher_is_better {
+                delta_pct < -threshold_pct
+            } else {
+                delta_pct > threshold_pct
+            };
+            if regressed {
+                regressions.push(Regression {
+                    bench: (*bench).to_string(),
+                    metric: metric.clone(),
+                    baseline,
+                    latest: *latest,
+                    delta_pct,
+                });
+            }
+        }
+    }
+    BenchReport { records: records.len(), benches: benches.len(), compared, regressions }
+}
+
+/// `probterm bench-report <file>`: parses a `BENCH_history.jsonl` (the
+/// append-only log the bench harness writes) and runs the regression
+/// sentinel over it. Errors name the first offending line.
+fn bench_report(path: &str, threshold_pct: f64) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut parsed = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{lineno}: not valid JSON: {e}"))?;
+        let bench = value
+            .get("bench")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}:{lineno}: history record is missing `bench`"))?
+            .to_string();
+        let metrics = value
+            .get("metrics")
+            .ok_or_else(|| format!("{path}:{lineno}: history record is missing `metrics`"))?;
+        let mut flat = Vec::new();
+        flatten_metrics(metrics, "", &mut flat);
+        parsed.push((bench, flat));
+    }
+    Ok(analyze_history(&parsed, threshold_pct))
+}
+
+/// Renders a [`BenchReport`] as text or JSON.
+fn render_bench_report(
+    report: &BenchReport,
+    threshold_pct: f64,
+    format: &str,
+) -> Result<String, String> {
+    match format {
+        "text" => {
+            use std::fmt::Write as _;
+            let mut out = format!(
+                "bench-report: {} records, {} benches, {} metrics compared, {} regressions (threshold {threshold_pct}%)\n",
+                report.records,
+                report.benches,
+                report.compared,
+                report.regressions.len(),
+            );
+            for r in &report.regressions {
+                let _ = writeln!(
+                    out,
+                    "  regression {}/{}: baseline {:.3} -> latest {:.3} ({:+.1}%)",
+                    r.bench, r.metric, r.baseline, r.latest, r.delta_pct
+                );
+            }
+            Ok(out)
+        }
+        "json" => {
+            let value = Value::Object(vec![
+                ("records".into(), Value::UInt(report.records as u128)),
+                ("benches".into(), Value::UInt(report.benches as u128)),
+                ("compared".into(), Value::UInt(report.compared as u128)),
+                ("threshold_pct".into(), Value::Num(threshold_pct)),
+                (
+                    "regressions".into(),
+                    Value::Array(
+                        report
+                            .regressions
+                            .iter()
+                            .map(|r| {
+                                Value::Object(vec![
+                                    ("bench".into(), Value::Str(r.bench.clone())),
+                                    ("metric".into(), Value::Str(r.metric.clone())),
+                                    ("baseline".into(), Value::Num(r.baseline)),
+                                    ("latest".into(), Value::Num(r.latest)),
+                                    ("delta_pct".into(), Value::Num(r.delta_pct)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]);
+            serde_json::to_string(&value)
+                .map(|s| s + "\n")
+                .map_err(|e| format!("cannot render JSON: {e}"))
+        }
+        other => Err(format!("unknown format `{other}` (use text or json)")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
@@ -434,6 +874,49 @@ fn main() -> ExitCode {
                 println!("  {:<18} {}", b.name, b.description);
             }
             ExitCode::SUCCESS
+        }
+        "top" => match top_command(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "bench-report" => {
+            let path =
+                options.positional.first().map_or("BENCH_history.jsonl", String::as_str);
+            let rendered = bench_report(path, options.threshold).and_then(|report| {
+                render_bench_report(&report, options.threshold, &options.format)
+                    .map(|text| (report, text))
+            });
+            match rendered {
+                Ok((report, text)) => {
+                    print!("{text}");
+                    if report.regressions.is_empty() {
+                        ExitCode::SUCCESS
+                    } else if options.strict {
+                        eprintln!(
+                            "error: {} regression(s) beyond {}% in {path}",
+                            report.regressions.len(),
+                            options.threshold
+                        );
+                        ExitCode::FAILURE
+                    } else {
+                        // Soft gate: noisy benches should not block merges
+                        // unless the caller opts into --strict.
+                        eprintln!(
+                            "warning: {} regression(s) beyond {}% in {path} (pass --strict to fail)",
+                            report.regressions.len(),
+                            options.threshold
+                        );
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         "trace-check" => match options.positional.first() {
             None => {
@@ -717,5 +1200,163 @@ fn main() -> ExitCode {
             eprintln!("unknown command `{other}`\n{}", usage());
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("probterm_cli_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn trace_check_rejects_unknown_ops_with_line_numbers() {
+        let path = temp_path("trace_ops");
+        let good = r#"{"seq":1,"id":1,"op":"lower","queue_us":1,"cache_us":1,"engine_us":1,"serialize_us":1,"total_us":10,"outcome":"ok"}"#;
+        let bad = r#"{"seq":2,"id":2,"op":"mystery","queue_us":1,"cache_us":1,"engine_us":1,"serialize_us":1,"total_us":10,"outcome":"ok"}"#;
+        std::fs::write(&path, format!("{good}\n{bad}\n")).unwrap();
+        let err = trace_check(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains(":2:"), "error names the offending line: {err}");
+        assert!(err.contains("unknown op `mystery`"), "{err}");
+        // Every op the service can emit — including `invalid` for parse
+        // failures and the `inspect` control op — passes.
+        let ops = known_ops();
+        assert!(ops.contains(&"inspect"));
+        assert!(ops.contains(&"invalid"));
+        let mut lines = String::new();
+        for (i, op) in ops.iter().enumerate() {
+            lines.push_str(&format!(
+                r#"{{"seq":{i},"op":"{op}","queue_us":0,"cache_us":0,"engine_us":0,"serialize_us":0,"total_us":1,"outcome":"ok"}}"#
+            ));
+            lines.push('\n');
+        }
+        std::fs::write(&path, lines).unwrap();
+        assert_eq!(trace_check(path.to_str().unwrap()).unwrap(), ops.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metric_directions_follow_the_name() {
+        assert_eq!(metric_direction("hot/requests_per_sec"), Some(true));
+        assert_eq!(metric_direction("overload/resume_speedup"), Some(true));
+        assert_eq!(metric_direction("overload/latency_p99_us"), Some(false));
+        assert_eq!(metric_direction("elapsed_ms"), Some(false));
+        assert_eq!(metric_direction("hot/cache_hits"), None);
+        assert_eq!(metric_direction("shed"), None);
+    }
+
+    #[test]
+    fn bench_report_flags_an_injected_regression() {
+        let path = temp_path("bench_reg");
+        let mut lines = String::new();
+        // Three healthy rounds, then a round with p95 latency tripled and
+        // throughput halved — both must be flagged at the default threshold.
+        for p95 in [100, 110, 90] {
+            lines.push_str(&format!(
+                r#"{{"ts":1,"git_rev":"aaa","bench":"svc","metrics":[{{"scenario":"hot","latency_p95_us":{p95},"requests_per_sec":1000.0,"cache_hits":5}}]}}"#
+            ));
+            lines.push('\n');
+        }
+        lines.push_str(
+            r#"{"ts":2,"git_rev":"bbb","bench":"svc","metrics":[{"scenario":"hot","latency_p95_us":300,"requests_per_sec":450.0,"cache_hits":9}]}"#,
+        );
+        lines.push('\n');
+        std::fs::write(&path, &lines).unwrap();
+        let report = bench_report(path.to_str().unwrap(), 20.0).unwrap();
+        assert_eq!(report.records, 4);
+        assert_eq!(report.benches, 1);
+        assert_eq!(report.compared, 2, "cache_hits has no direction and is skipped");
+        assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
+        let latency = report
+            .regressions
+            .iter()
+            .find(|r| r.metric == "hot/latency_p95_us")
+            .expect("latency regression flagged");
+        assert_eq!(latency.baseline, 100.0, "median of 100/110/90");
+        assert_eq!(latency.latest, 300.0);
+        assert!(latency.delta_pct > 100.0);
+        let throughput = report
+            .regressions
+            .iter()
+            .find(|r| r.metric == "hot/requests_per_sec")
+            .expect("throughput regression flagged");
+        assert!(throughput.delta_pct < -20.0);
+        // A loose enough threshold flags nothing.
+        let quiet = bench_report(path.to_str().unwrap(), 250.0).unwrap();
+        assert!(quiet.regressions.is_empty(), "{:?}", quiet.regressions);
+        // Rendering: the text report names the regression; the JSON report
+        // parses and carries it.
+        let text = render_bench_report(&report, 20.0, "text").unwrap();
+        assert!(text.contains("regression svc/hot/latency_p95_us"), "{text}");
+        let json: Value =
+            serde_json::from_str(&render_bench_report(&report, 20.0, "json").unwrap()).unwrap();
+        assert_eq!(json.get("records").and_then(Value::as_u64), Some(4));
+        assert_eq!(
+            json.get("regressions").and_then(Value::as_array).map(<[Value]>::len),
+            Some(2)
+        );
+        assert!(render_bench_report(&report, 20.0, "dot").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bench_report_passes_on_the_committed_history() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_history.jsonl");
+        let report = bench_report(path, 20.0).unwrap();
+        assert!(report.records >= 1);
+        // With a single record per bench there is no baseline yet; with
+        // more, the committed history must be regression-free.
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn render_top_reads_stats_and_inspect_payloads() {
+        let reply: Value = serde_json::from_str(
+            r#"{"id":"x","ok":true,"op":"stats","elapsed_ms":0,"result":{"uptime_ms":508,"served":1,"hits":0,"misses":0,"inflight":0,"cache_entries":3,"cache_capacity":1024,"cache_bytes":2048,"oldest_entry_ms":null,"workers":2,"robustness":{"shed":4},"ops":{"lower":{"requests":7,"errors":0,"total_us":{"p50":10,"p95":20,"p99":30}}}}}"#,
+        )
+        .unwrap();
+        let stats = reply.get("result").cloned().unwrap();
+        let inspect: Value = serde_json::from_str(
+            r#"{"count":1,"inflight":[{"id":"slow-1","op":"lower","age_ms":210,"phase":"engine","progress":{"steps":1234,"paths":17,"frontier":41,"max_depth":9,"bound":0.912345,"bound_scaled":912345000,"elapsed_ms":210}}]}"#,
+        )
+        .unwrap();
+        let screen = render_top("127.0.0.1:1", &stats, &inspect);
+        assert!(screen.contains("uptime 0.5s"), "{screen}");
+        assert!(screen.contains("workers 2"), "{screen}");
+        assert!(screen.contains("cache 3/1024 entries 2048 B"), "{screen}");
+        assert!(screen.contains("shed 4"), "{screen}");
+        assert!(screen.contains("lower"), "{screen}");
+        assert!(screen.contains("in-flight (1):"), "{screen}");
+        assert!(screen.contains("slow-1"), "{screen}");
+        assert!(screen.contains("engine"), "{screen}");
+        assert!(screen.contains("0.912345"), "{screen}");
+    }
+
+    #[test]
+    fn median_is_robust_to_order_and_even_sizes() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn flatten_handles_scenario_arrays_and_plain_objects() {
+        let nested: Value = serde_json::from_str(
+            r#"{"rows":[{"scenario":"hot","latency_p50_us":5},{"latency_p50_us":7}],"total_ms":12}"#,
+        )
+        .unwrap();
+        let mut flat = Vec::new();
+        flatten_metrics(&nested, "", &mut flat);
+        flat.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            flat,
+            vec![
+                ("rows/1/latency_p50_us".to_string(), 7.0),
+                ("rows/hot/latency_p50_us".to_string(), 5.0),
+                ("total_ms".to_string(), 12.0),
+            ]
+        );
     }
 }
