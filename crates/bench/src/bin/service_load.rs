@@ -17,6 +17,13 @@
 //!   latency of the *admitted* requests (the overload-protection contract:
 //!   shedding keeps admitted latency flat), and the wall-time speedup of
 //!   resuming a checkpointed exploration over recomputing it from scratch.
+//! * **coalesce** — 16 concurrent clients all submitting the *same* cold
+//!   `lower` term: single-flight coalescing must collapse the burst into one
+//!   engine run, and the row records the throughput ratio against the same
+//!   burst uncoalesced (16 equal-cost distinct terms over the same workers).
+//! * **warm-restart** — a server persisted its cache via `--cache-path`,
+//!   drained, and reboots: time from accepting the first connection to the
+//!   first cache-hit reply for a previously-computed request.
 
 use probterm_service::{handle_line, Server, ServerConfig};
 use probterm_telemetry::{Histogram, HistogramSnapshot, SpanTimer};
@@ -54,6 +61,20 @@ struct ScenarioRow {
     /// resumed completion from a half-budget checkpoint of the same
     /// exploration (overload scenario only; 0 elsewhere).
     resume_speedup: f64,
+    /// Engine runs actually executed (server-side cache misses). The
+    /// coalesce scenario's contract is that this stays at 1 for the whole
+    /// identical burst; 0 in rows that predate the field.
+    engine_runs: u64,
+    /// Largest single-flight fan-out observed (waiters served by one run).
+    coalesce_fanout: u64,
+    /// Wall-time ratio of the uncoalesced burst (equal-cost distinct terms)
+    /// over the coalesced identical burst (coalesce scenario only; 0
+    /// elsewhere).
+    throughput_vs_uncoalesced: f64,
+    /// Milliseconds from accepting the reborn server's first connection to
+    /// its first snapshot-served cache-hit reply (warm-restart scenario
+    /// only; 0 elsewhere).
+    time_to_first_hit_ms: u128,
 }
 
 struct Client {
@@ -181,6 +202,10 @@ fn run_scenario(
         shed: 0,
         admitted_p99_us: latency.p99(),
         resume_speedup: 0.0,
+        engine_runs: stats.misses,
+        coalesce_fanout: stats.coalesce_fanout_max,
+        throughput_vs_uncoalesced: 0.0,
+        time_to_first_hit_ms: 0,
     }
 }
 
@@ -227,6 +252,7 @@ fn run_overload() -> ScenarioRow {
                         continue; // shed — counted from the server's stats
                     }
                     admitted.record(us);
+                    eprintln!("OV adm o{client_index}-{index} {us}us");
                     if !reply.contains("\"ok\":true") {
                         errors += 1;
                     }
@@ -268,6 +294,151 @@ fn run_overload() -> ScenarioRow {
         shed: stats.shed,
         admitted_p99_us: admitted.p99(),
         resume_speedup: measure_resume_speedup(),
+        engine_runs: stats.misses,
+        coalesce_fanout: stats.coalesce_fanout_max,
+        throughput_vs_uncoalesced: 0.0,
+        time_to_first_hit_ms: 0,
+    }
+}
+
+/// One deterministic engine workload for the coalesce comparison: an
+/// unbounded-depth geometric chain at a distinct offset `k`, so every `k` is
+/// a fresh cache key with identical exploration cost (~tens of ms at depth
+/// 400 in release).
+fn coalesce_lower_request(id: usize, k: usize) -> String {
+    format!(
+        r#"{{"id":"x{id}","op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + {k})) 0","depth":400}}"#
+    )
+}
+
+/// Fires `clients` concurrent lock-step clients, each sending the one line
+/// `request(i)` cold, against a fresh 2-worker server; returns the wall
+/// time, the merged latency histogram and the final stats snapshot.
+fn burst(
+    clients: usize,
+    request: impl Fn(usize) -> String + Send + Sync + Copy + 'static,
+) -> (std::time::Duration, HistogramSnapshot, probterm_service::StatsSnapshot) {
+    let server = Server::new(ServerConfig { workers: 2, ..Default::default() });
+    let running = server.spawn_tcp("127.0.0.1:0").expect("bind loopback");
+    let addr = running.addr;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                assert!(client.request(&request(i)), "burst request {i} failed");
+                client.latency.snapshot()
+            })
+        })
+        .collect();
+    let mut latency = HistogramSnapshot::empty();
+    for handle in handles {
+        latency.merge(&handle.join().expect("client"));
+    }
+    let elapsed = started.elapsed();
+    let stats = running.state().stats();
+    Client::connect(addr).request(r#"{"op":"shutdown"}"#);
+    running.join().expect("clean shutdown");
+    (elapsed, latency, stats)
+}
+
+/// 16 concurrent clients, one cold term: single-flight coalescing collapses
+/// the burst into exactly one engine run. The throughput ratio compares the
+/// same burst against 16 equal-cost *distinct* terms (no coalescing
+/// possible) on identical workers.
+fn run_coalesce() -> ScenarioRow {
+    let clients = 16;
+    let (uncoalesced, _, uncoalesced_stats) =
+        burst(clients, |i| coalesce_lower_request(i, 1 + i));
+    assert_eq!(
+        uncoalesced_stats.misses, clients as u64,
+        "distinct terms never coalesce"
+    );
+    let (coalesced, latency, stats) = burst(clients, |i| coalesce_lower_request(i, 1));
+
+    ScenarioRow {
+        scenario: "coalesce".to_string(),
+        clients,
+        workers: 2,
+        requests: clients as u64,
+        errors: 0,
+        elapsed_ms: coalesced.as_millis(),
+        requests_per_sec: clients as f64 / coalesced.as_secs_f64(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        latency_p50_us: latency.p50(),
+        latency_p95_us: latency.p95(),
+        latency_p99_us: latency.p99(),
+        latency_max_us: latency.max(),
+        shed: 0,
+        admitted_p99_us: latency.p99(),
+        resume_speedup: 0.0,
+        engine_runs: stats.misses,
+        coalesce_fanout: stats.coalesce_fanout_max,
+        throughput_vs_uncoalesced: uncoalesced.as_secs_f64()
+            / coalesced.as_secs_f64().max(1e-9),
+        time_to_first_hit_ms: 0,
+    }
+}
+
+/// Computes one cold `lower` under `--cache-path`, drains (persisting the
+/// snapshot), reboots from the snapshot and times the reborn server from
+/// first connection to first cache-hit reply.
+fn run_warm_restart() -> ScenarioRow {
+    let path = std::env::temp_dir()
+        .join(format!("probterm-bench-warm-restart-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cache_path = path.to_str().expect("utf-8 temp path").to_string();
+    let line = coalesce_lower_request(0, 1);
+
+    let first = Server::new(ServerConfig {
+        workers: 2,
+        cache_path: Some(cache_path.clone()),
+        ..Default::default()
+    });
+    let running = first.spawn_tcp("127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(running.addr);
+    assert!(client.request(&line), "cold fill failed");
+    Client::connect(running.addr).request(r#"{"op":"shutdown"}"#);
+    running.join().expect("drain persists the snapshot");
+
+    let reborn = Server::new(ServerConfig {
+        workers: 2,
+        cache_path: Some(cache_path),
+        ..Default::default()
+    });
+    let running = reborn.spawn_tcp("127.0.0.1:0").expect("bind loopback");
+    let started = Instant::now();
+    let mut client = Client::connect(running.addr);
+    assert!(client.request(&line), "warm request failed");
+    let elapsed = started.elapsed();
+    let stats = running.state().stats();
+    assert_eq!(stats.misses, 0, "the snapshot answers without an engine run");
+    Client::connect(running.addr).request(r#"{"op":"shutdown"}"#);
+    running.join().expect("clean shutdown");
+    let _ = std::fs::remove_file(&path);
+
+    ScenarioRow {
+        scenario: "warm-restart".to_string(),
+        clients: 1,
+        workers: 2,
+        requests: 1,
+        errors: 0,
+        elapsed_ms: elapsed.as_millis(),
+        requests_per_sec: 1.0 / elapsed.as_secs_f64(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        latency_p50_us: client.latency.snapshot().p50(),
+        latency_p95_us: client.latency.snapshot().p95(),
+        latency_p99_us: client.latency.snapshot().p99(),
+        latency_max_us: client.latency.snapshot().max(),
+        shed: 0,
+        admitted_p99_us: client.latency.snapshot().p99(),
+        resume_speedup: 0.0,
+        engine_runs: stats.misses,
+        coalesce_fanout: 0,
+        throughput_vs_uncoalesced: 0.0,
+        time_to_first_hit_ms: elapsed.as_millis(),
     }
 }
 
@@ -330,16 +501,19 @@ fn main() {
             }
         }),
         run_overload(),
+        run_coalesce(),
+        run_warm_restart(),
     ];
 
     println!(
-        "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>12} {:>8}",
+        "{:<12} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>12} {:>8} {:>6} {:>8} {:>10} {:>10}",
         "scenario", "clients", "reqs", "errors", "t (ms)", "req/s", "hits", "misses", "p50 (us)",
-        "p95 (us)", "p99 (us)", "shed", "adm p99 (us)", "resume"
+        "p95 (us)", "p99 (us)", "shed", "adm p99 (us)", "resume", "runs", "fanout", "coalesce",
+        "ttfh (ms)"
     );
     for r in &rows {
         println!(
-            "{:<8} {:>8} {:>8} {:>8} {:>10} {:>12.1} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>12} {:>7.2}x",
+            "{:<12} {:>8} {:>8} {:>8} {:>10} {:>12.1} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>12} {:>7.2}x {:>6} {:>8} {:>9.2}x {:>10}",
             r.scenario,
             r.clients,
             r.requests,
@@ -353,7 +527,11 @@ fn main() {
             r.latency_p99_us,
             r.shed,
             r.admitted_p99_us,
-            r.resume_speedup
+            r.resume_speedup,
+            r.engine_runs,
+            r.coalesce_fanout,
+            r.throughput_vs_uncoalesced,
+            r.time_to_first_hit_ms
         );
     }
 

@@ -192,6 +192,17 @@ impl ResultCache {
             .min()
             .map(|t| t.elapsed().as_millis() as u64)
     }
+
+    /// Iterates over every cached `(key, payload)` pair in recency order
+    /// (least recently used first), without touching counters or recency —
+    /// the traversal behind the on-disk snapshot written at graceful drain.
+    /// Recency order means a later truncated reload keeps the hottest
+    /// entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&CacheKey, &Value)> {
+        let mut rows: Vec<(&CacheKey, &Entry)> = self.map.iter().collect();
+        rows.sort_by_key(|(_, e)| e.tick);
+        rows.into_iter().map(|(k, e)| (k, &e.value))
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +303,24 @@ mod tests {
             approx_bytes(&Value::Object(vec![("k".into(), Value::UInt(12345))]))
                 >= "{\"k\":12345}".len() - 2
         );
+    }
+
+    #[test]
+    fn entries_iterate_in_recency_order_without_side_effects() {
+        let mut cache = ResultCache::new(4);
+        cache.put(key(1, ""), payload(1));
+        cache.put(key(2, ""), payload(2));
+        cache.put(key(3, ""), payload(3));
+        // Touch 1 so it becomes the most recent entry.
+        assert!(cache.get(&key(1, "")).is_some());
+        let (hits, misses) = (cache.hits(), cache.misses());
+        let order: Vec<u128> = cache.entries().map(|(k, _)| k.term).collect();
+        assert_eq!(order, vec![2, 3, 1], "LRU first, most recent last");
+        assert_eq!((cache.hits(), cache.misses()), (hits, misses));
+        // Iteration must not refresh recency: 2 is still the LRU entry.
+        cache.put(key(4, ""), payload(4));
+        cache.put(key(5, ""), payload(5));
+        assert!(cache.peek(&key(2, "")).is_none());
     }
 
     #[test]

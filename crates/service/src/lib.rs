@@ -8,8 +8,17 @@
 //!
 //! * **wire protocol** ([`protocol`]): newline-delimited JSON over stdio or
 //!   `std::net` TCP, with structured machine-readable error replies,
-//! * **worker pool** ([`server`]): a fixed number of worker threads popping a
-//!   shared queue, so one slow verification cannot monopolise the transport,
+//! * **event-driven transport** ([`server`]): one nonblocking
+//!   readiness-polled loop owns every connection's reads and writes (no
+//!   thread per connection), framing lines into **sharded worker queues**
+//!   routed by the program's canonical hash, with work stealing so one slow
+//!   verification cannot monopolise a shard,
+//! * **single-flight coalescing** ([`server`]): identical in-flight engine
+//!   requests attach as waiters to the first run instead of enqueueing;
+//!   the finishing worker fans the reply (and streamed progress frames) out
+//!   to every waiter, and divergent deadlines are reconciled soundly —
+//!   richer joiners upgrade the run's budget, poorer ones receive the
+//!   anytime partial checkpoint,
 //! * **deadlines** — per-request `deadline_ms` budgets enforced between
 //!   Monte-Carlo chunks and at engine boundaries; exceeding one yields a
 //!   `budget_exceeded` error and the worker lives on,
@@ -17,7 +26,9 @@
 //!   α-invariant canonical hash of the submitted program
 //!   ([`probterm_core::spcf::Term::canonical_key`]) plus the analysis and its
 //!   configuration, so α-equivalent resubmissions are cache hits (observable
-//!   via the `stats` op),
+//!   via the `stats` op); with `--cache-path` the cache additionally
+//!   survives restarts via a version-stamped, atomically-rewritten JSONL
+//!   snapshot loaded at boot and persisted on graceful drain,
 //! * **telemetry** ([`metrics`]): every request is timed in phases (queue
 //!   wait, cache lookup, engine run, serialization) on monotonic clocks into
 //!   log-bucketed latency histograms; the `stats` op reports per-op
@@ -61,6 +72,6 @@ pub use metrics::{OpMetrics, OpMetricsSnapshot, PhaseTimes, ServiceMetrics};
 pub use protocol::{ErrorCode, Op, Request, ServiceError};
 pub use server::{
     handle_line, handle_line_frames, RunningServer, Server, ServerConfig, ServerState,
-    StatsSnapshot,
+    StatsSnapshot, CACHE_SNAPSHOT_VERSION,
 };
 pub use probterm_telemetry::TraceSink;

@@ -214,6 +214,26 @@ pub fn render_prometheus(snapshots: &[OpMetricsSnapshot], stats: &StatsSnapshot)
     out.push_str("# HELP probterm_idle_closed_total Connections closed by the idle read timeout.\n");
     out.push_str("# TYPE probterm_idle_closed_total counter\n");
     let _ = writeln!(out, "probterm_idle_closed_total {}", stats.idle_closed);
+    out.push_str("# HELP probterm_coalesced_waiters_total Requests coalesced onto an identical in-flight engine run.\n");
+    out.push_str("# TYPE probterm_coalesced_waiters_total counter\n");
+    let _ = writeln!(out, "probterm_coalesced_waiters_total {}", stats.coalesced_waiters);
+    out.push_str("# HELP probterm_coalesce_fanout_max Largest waiter fan-out any single coalesced run has served.\n");
+    out.push_str("# TYPE probterm_coalesce_fanout_max gauge\n");
+    let _ = writeln!(out, "probterm_coalesce_fanout_max {}", stats.coalesce_fanout_max);
+    out.push_str("# HELP probterm_shard_queue_depth Jobs queued per worker shard.\n");
+    out.push_str("# TYPE probterm_shard_queue_depth gauge\n");
+    for (shard, depth) in stats.shard_depths.iter().enumerate() {
+        let _ = writeln!(out, "probterm_shard_queue_depth{{shard=\"{shard}\"}} {depth}");
+    }
+    out.push_str("# HELP probterm_cache_persist_loaded_total Cache entries loaded from the snapshot file at boot.\n");
+    out.push_str("# TYPE probterm_cache_persist_loaded_total counter\n");
+    let _ = writeln!(out, "probterm_cache_persist_loaded_total {}", stats.cache_persist_loaded);
+    out.push_str("# HELP probterm_cache_persist_saved_total Cache entries written to the snapshot file at drain.\n");
+    out.push_str("# TYPE probterm_cache_persist_saved_total counter\n");
+    let _ = writeln!(out, "probterm_cache_persist_saved_total {}", stats.cache_persist_saved);
+    out.push_str("# HELP probterm_cache_persist_rejected_total Snapshot lines ignored as version-mismatched or corrupt.\n");
+    out.push_str("# TYPE probterm_cache_persist_rejected_total counter\n");
+    let _ = writeln!(out, "probterm_cache_persist_rejected_total {}", stats.cache_persist_rejected);
 
     out.push_str("# HELP probterm_requests_total Requests handled, by op.\n");
     out.push_str("# TYPE probterm_requests_total counter\n");
@@ -337,9 +357,22 @@ mod tests {
             injected_faults: 1,
             drained_in_flight: 4,
             idle_closed: 6,
+            coalesced_waiters: 15,
+            coalesce_fanout_max: 8,
+            shard_depths: vec![2, 0, 5],
+            cache_persist_loaded: 11,
+            cache_persist_saved: 12,
+            cache_persist_rejected: 13,
         };
         let text = render_prometheus(&m.snapshot(), &stats);
         assert!(text.contains("probterm_uptime_milliseconds 1234\n"));
+        assert!(text.contains("probterm_coalesced_waiters_total 15\n"));
+        assert!(text.contains("probterm_coalesce_fanout_max 8\n"));
+        assert!(text.contains("probterm_shard_queue_depth{shard=\"0\"} 2\n"));
+        assert!(text.contains("probterm_shard_queue_depth{shard=\"2\"} 5\n"));
+        assert!(text.contains("probterm_cache_persist_loaded_total 11\n"));
+        assert!(text.contains("probterm_cache_persist_saved_total 12\n"));
+        assert!(text.contains("probterm_cache_persist_rejected_total 13\n"));
         assert!(text.contains("probterm_cache_bytes 2048\n"));
         assert!(text.contains("probterm_shed_total 7\n"));
         assert!(text.contains("probterm_resumed_total 2\n"));
@@ -391,6 +424,12 @@ mod tests {
             injected_faults: 0,
             drained_in_flight: 0,
             idle_closed: 0,
+            coalesced_waiters: 0,
+            coalesce_fanout_max: 0,
+            shard_depths: vec![1, 1],
+            cache_persist_loaded: 0,
+            cache_persist_saved: 0,
+            cache_persist_rejected: 0,
         };
         let text = render_prometheus(&m.snapshot(), &stats);
         let mut families: Vec<String> = Vec::new();

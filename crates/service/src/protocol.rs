@@ -136,7 +136,11 @@ impl Op {
         }
     }
 
-    fn from_str(s: &str) -> Option<Op> {
+    /// Parses the wire spelling back into an [`Op`] — the inverse of
+    /// [`Op::as_str`]. Also used by the cache-snapshot loader to map the
+    /// persisted analysis tag back onto the `&'static str` the cache keys
+    /// intern.
+    pub(crate) fn from_str(s: &str) -> Option<Op> {
         Some(match s {
             "simulate" => Op::Simulate,
             "lower" => Op::Lower,
@@ -351,7 +355,7 @@ pub fn progress_frame(id: &Option<Value>, progress: Value) -> String {
     ]))
 }
 
-fn render_line(value: Value) -> String {
+pub(crate) fn render_line(value: Value) -> String {
     struct Raw(Value);
     impl serde::Serialize for Raw {
         fn serialize(&self) -> Value {

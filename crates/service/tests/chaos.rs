@@ -190,9 +190,11 @@ fn saturated_admission_queue_sheds_with_retry_after() {
 
     // Same connection, two quick engine requests back to back: the first is
     // admitted (queued = 1 = depth), the second must be shed by the reader.
+    // The two differ in `runs` — an *identical* second request would be
+    // coalesced onto the first's in-flight run instead of shed.
     let mut burst = Client::connect(running.addr);
     burst.send(r#"{"id":2,"op":"simulate","program":"sample","runs":10}"#);
-    burst.send(r#"{"id":3,"op":"simulate","program":"sample","runs":10}"#);
+    burst.send(r#"{"id":3,"op":"simulate","program":"sample","runs":11}"#);
     // The shed reply is written by the reader thread immediately, so it
     // arrives first; the admitted request replies once the worker frees up.
     let shed = burst.read_reply();
@@ -224,6 +226,54 @@ fn saturated_admission_queue_sheds_with_retry_after() {
     pinner.send(r#"{"id":5,"op":"shutdown"}"#);
     let _ = pinner.read_reply();
     running.join().expect("clean shutdown");
+}
+
+/// A panic injected into a coalesced engine run errors the leader AND every
+/// attached waiter — nobody hangs waiting on a run that died — and the
+/// server stays healthy for control ops afterwards.
+#[test]
+fn a_panicked_coalesced_run_errors_every_waiter_without_hanging() {
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        // The single engine run sleeps 300 ms (time for the waiters to
+        // attach), then panics.
+        inject: Some(InjectSpec::parse("seed=1;slow=@1:300;panic=@1").unwrap()),
+        ..Default::default()
+    });
+    let running = server.spawn_tcp("127.0.0.1:0").expect("bind loopback");
+
+    let lower = format!(r#"{{"id":1,"op":"lower","program":"{GEO}","depth":30}}"#);
+    let mut leader = Client::connect(running.addr);
+    leader.send(&lower);
+    std::thread::sleep(Duration::from_millis(100)); // leader is mid-sleep
+
+    let mut waiters: Vec<Client> =
+        (0..2).map(|_| Client::connect(running.addr)).collect();
+    for waiter in &mut waiters {
+        waiter.send(&lower);
+    }
+
+    // Every party gets a structured internal error; none of the reads hang.
+    let leader_reply = leader.read_reply();
+    assert_eq!(error_code_of(&leader_reply), "internal");
+    for waiter in &mut waiters {
+        let reply = waiter.read_reply();
+        assert_eq!(error_code_of(&reply), "internal", "{reply:?}");
+    }
+
+    // The flight was cleaned up and the server still serves: control ops
+    // never draw injection decisions.
+    let stats = leader.request(r#"{"id":9,"op":"stats"}"#);
+    assert!(is_ok(&stats));
+    let coalesced = stats
+        .get("result")
+        .and_then(|r| r.get("coalesced_waiters"))
+        .and_then(Value::as_u64);
+    assert_eq!(coalesced, Some(2));
+
+    leader.send(r#"{"id":10,"op":"shutdown"}"#);
+    let _ = leader.read_reply();
+    running.join().expect("clean shutdown after a coalesced panic");
 }
 
 /// An idle connection is closed after the configured timeout with one

@@ -186,6 +186,13 @@ impl Gauge {
         });
     }
 
+    /// Raises the gauge to `value` if it is higher — a monotone high-water
+    /// mark (largest fan-out seen, deepest queue observed, …). Returns the
+    /// value in force after the ratchet.
+    pub fn ratchet(&self, value: u64) -> u64 {
+        self.0.fetch_max(value, Ordering::Relaxed).max(value)
+    }
+
     /// The current value.
     #[must_use]
     pub fn get(&self) -> u64 {
@@ -277,5 +284,14 @@ mod tests {
         assert_eq!(g.get(), 12);
         g.sub(100);
         assert_eq!(g.get(), 0, "sub saturates at zero");
+    }
+
+    #[test]
+    fn gauge_ratchet_is_a_monotone_high_water_mark() {
+        let g = Gauge::new();
+        assert_eq!(g.ratchet(7), 7);
+        assert_eq!(g.ratchet(3), 7, "lower values never regress the mark");
+        assert_eq!(g.ratchet(9), 9);
+        assert_eq!(g.get(), 9);
     }
 }

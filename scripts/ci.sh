@@ -281,13 +281,15 @@ if [ -x target/release/probterm ]; then
     # Queue saturation: pin the single worker with a deadline-bounded run,
     # then send two quick engine requests back to back on one connection —
     # the first fills the depth-1 queue, the second must be shed immediately
-    # by the reader with `overloaded` + `retry_after_ms`.
+    # by the reader with `overloaded` + `retry_after_ms`. The two must be
+    # *distinct* (different `runs`): an identical second request would
+    # coalesce onto the first's flight instead of being shed.
     if exec 4<>"/dev/tcp/127.0.0.1/$chaos_port" &&
         exec 5<>"/dev/tcp/127.0.0.1/$chaos_port"; then
         printf '%s\n' '{"id":20,"op":"simulate","program":"(fix phi x. phi x) 0","runs":400000,"steps":2500,"deadline_ms":600}' >&4
         sleep 0.3
         printf '%s\n' '{"id":21,"op":"simulate","program":"sample","runs":10}' >&5
-        printf '%s\n' '{"id":22,"op":"simulate","program":"sample","runs":10}' >&5
+        printf '%s\n' '{"id":22,"op":"simulate","program":"sample","runs":11}' >&5
         IFS= read -r -t 30 shed_reply <&5 || shed_reply=""
         case "$shed_reply" in
             *'"overloaded"'*'"retry_after_ms"'*) echo "chaos ok: shed with retry_after_ms" ;;
@@ -426,6 +428,180 @@ if [ "$obs_status" -ne 0 ]; then
     status=1
 else
     echo "observability smoke test: OK"
+fi
+
+# ---------------------------------------------------------------------------
+# Coalescing smoke test: a leader's engine run is slowed by injection to
+# 1000 ms, three identical requests sent mid-flight must attach to it instead
+# of enqueueing — exactly one engine run (`"misses":1`), three accounted
+# waiters — and every reply must carry the leader's result.
+echo "== coalescing smoke test =="
+coalesce_status=0
+if [ -x target/release/probterm ]; then
+    co_port=$((21000 + RANDOM % 20000))
+    target/release/probterm serve --addr "127.0.0.1:$co_port" --workers 1 \
+        --inject 'seed=3;slow=@1:1000' &
+    co_pid=$!
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$co_port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            break
+        fi
+        sleep 0.1
+    done
+    co_lower='{"id":1,"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":40}'
+    if exec 4<>"/dev/tcp/127.0.0.1/$co_port" &&
+        exec 5<>"/dev/tcp/127.0.0.1/$co_port" &&
+        exec 6<>"/dev/tcp/127.0.0.1/$co_port" &&
+        exec 7<>"/dev/tcp/127.0.0.1/$co_port"; then
+        printf '%s\n' "$co_lower" >&4   # leader: engine run sleeps 1000 ms
+        sleep 0.3
+        for fd in 5 6 7; do             # joiners arrive mid-flight
+            printf '%s\n' "$co_lower" >&$fd
+        done
+        IFS= read -r -t 30 leader_reply <&4 || leader_reply=""
+        case "$leader_reply" in
+            *'"cache":"miss"'*) echo "coalesce ok: leader ran the engine" ;;
+            *)
+                echo "coalesce FAILED: leader reply: $leader_reply"
+                coalesce_status=1
+                ;;
+        esac
+        for fd in 5 6 7; do
+            IFS= read -r -t 30 joiner_reply <&$fd || joiner_reply=""
+            case "$joiner_reply" in
+                *'"cache":"coalesced"'*) echo "coalesce ok: joiner fd$fd coalesced" ;;
+                *)
+                    echo "coalesce FAILED: joiner fd$fd reply: $joiner_reply"
+                    coalesce_status=1
+                    ;;
+            esac
+        done
+        exec 4>&- 4<&- 5>&- 5<&- 6>&- 6<&- 7>&- 7<&-
+    else
+        echo "coalesce FAILED: cannot open connections"
+        coalesce_status=1
+    fi
+    if exec 3<>"/dev/tcp/127.0.0.1/$co_port"; then
+        printf '%s\n' '{"id":9,"op":"stats"}' >&3
+        IFS= read -r -t 30 co_stats <&3 || co_stats=""
+        exec 3>&- 3<&-
+        for want in '"misses":1' '"coalesced_waiters":3'; do
+            case "$co_stats" in
+                *"$want"*) echo "coalesce ok: stats $want" ;;
+                *)
+                    echo "coalesce FAILED: stats missing $want: $co_stats"
+                    coalesce_status=1
+                    ;;
+            esac
+        done
+    else
+        echo "coalesce FAILED: cannot connect for stats"
+        coalesce_status=1
+    fi
+    if exec 3<>"/dev/tcp/127.0.0.1/$co_port"; then
+        printf '%s\n' '{"id":10,"op":"shutdown"}' >&3
+        IFS= read -r -t 30 _ <&3 || true
+        exec 3>&- 3<&-
+    fi
+    if wait "$co_pid"; then
+        echo "coalesce ok: graceful shutdown (exit 0)"
+    else
+        echo "coalesce FAILED: server exited non-zero"
+        coalesce_status=1
+    fi
+else
+    echo "coalesce FAILED: target/release/probterm missing (release build failed?)"
+    coalesce_status=1
+fi
+if [ "$coalesce_status" -ne 0 ]; then
+    echo "coalescing smoke test: FAILED"
+    status=1
+else
+    echo "coalescing smoke test: OK"
+fi
+
+# ---------------------------------------------------------------------------
+# Persistence smoke test: a `--cache-path` server computes a result, writes
+# its snapshot on graceful shutdown, and a freshly-booted server on the same
+# path must answer the identical request as a cache hit without an engine run.
+echo "== persistence smoke test =="
+persist_status=0
+if [ -x target/release/probterm ]; then
+    cache_file=$(mktemp -u /tmp/probterm-cache.XXXXXX.jsonl)
+    persist_request='{"id":1,"op":"lower","program":"(fix phi x. if sample <= 1/2 then x else phi (x + 1)) 0","depth":35}'
+    persist_round() { # persist_round <port> <required-substring> <label>
+        local reply
+        if ! exec 3<>"/dev/tcp/127.0.0.1/$1"; then
+            echo "persist FAILED: cannot connect ($3)"
+            persist_status=1
+            return
+        fi
+        printf '%s\n' "$persist_request" >&3
+        IFS= read -r -t 30 reply <&3 || reply=""
+        case "$reply" in
+            *"$2"*) echo "persist ok: $3" ;;
+            *)
+                echo "persist FAILED: $3 reply: $reply"
+                persist_status=1
+                ;;
+        esac
+        printf '%s\n' '{"id":2,"op":"shutdown"}' >&3
+        IFS= read -r -t 30 _ <&3 || true
+        exec 3>&- 3<&-
+    }
+    p_port=$((21000 + RANDOM % 20000))
+    target/release/probterm serve --addr "127.0.0.1:$p_port" --workers 1 \
+        --cache-path "$cache_file" &
+    p_pid=$!
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$p_port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            break
+        fi
+        sleep 0.1
+    done
+    persist_round "$p_port" '"cache":"miss"' "cold run computes"
+    if wait "$p_pid"; then
+        echo "persist ok: first server drained gracefully"
+    else
+        echo "persist FAILED: first server exited non-zero"
+        persist_status=1
+    fi
+    if [ -s "$cache_file" ]; then
+        echo "persist ok: snapshot written on drain"
+    else
+        echo "persist FAILED: no snapshot at $cache_file"
+        persist_status=1
+    fi
+    p_port=$((21000 + RANDOM % 20000))
+    target/release/probterm serve --addr "127.0.0.1:$p_port" --workers 1 \
+        --cache-path "$cache_file" &
+    p_pid=$!
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$p_port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            break
+        fi
+        sleep 0.1
+    done
+    persist_round "$p_port" '"cache":"hit"' "reborn server serves the snapshot"
+    if wait "$p_pid"; then
+        echo "persist ok: reborn server drained gracefully"
+    else
+        echo "persist FAILED: reborn server exited non-zero"
+        persist_status=1
+    fi
+    rm -f "$cache_file"
+else
+    echo "persist FAILED: target/release/probterm missing (release build failed?)"
+    persist_status=1
+fi
+if [ "$persist_status" -ne 0 ]; then
+    echo "persistence smoke test: FAILED"
+    status=1
+else
+    echo "persistence smoke test: OK"
 fi
 
 if [ "$status" -ne 0 ]; then

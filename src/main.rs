@@ -8,6 +8,7 @@
 //! probterm simulate  (<file> | -e <program>)   [--runs N] [--steps N] [--seed N] [--cbv] [--profile]
 //! probterm serve     [--addr HOST:PORT] [--workers N] [--cache N] [--trace PATH|-] [--slow-ms N]
 //!                    [--queue-depth N] [--idle-timeout-ms N] [--inject SPEC]
+//!                    [--shards N] [--cache-path PATH] [--max-conns N]
 //! probterm top       --addr HOST:PORT             [--once] [--interval-ms N]
 //! probterm bench-report [<history.jsonl>]         [--threshold PCT] [--format text|json] [--strict]
 //! probterm trace-check <file>
@@ -57,6 +58,9 @@ struct Options {
     queue_depth: usize,
     idle_timeout_ms: Option<u64>,
     inject: Option<String>,
+    shards: usize,
+    cache_path: Option<String>,
+    max_conns: usize,
     ast: bool,
     once: bool,
     interval_ms: u64,
@@ -86,6 +90,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         queue_depth: 256,
         idle_timeout_ms: None,
         inject: None,
+        shards: 0,
+        cache_path: None,
+        max_conns: 1024,
         ast: false,
         once: false,
         interval_ms: 1000,
@@ -223,6 +230,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .clone(),
                 );
             }
+            "--shards" => {
+                options.shards = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--shards requires a number".to_string())?;
+            }
+            "--cache-path" => {
+                options.cache_path = Some(
+                    iter.next()
+                        .ok_or_else(|| "--cache-path requires a file path".to_string())?
+                        .clone(),
+                );
+            }
+            "--max-conns" => {
+                options.max_conns = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| "--max-conns requires a positive number".to_string())?;
+            }
             other => options.positional.push(other.to_string()),
         }
     }
@@ -272,6 +299,13 @@ fn usage() -> &'static str {
               --inject S  deterministic fault injection for chaos testing,\n\
                           e.g. 'seed=7;panic=@4;slow=0.1:50;drop=@9'\n\
                           (RULE is a probability or @N = every Nth engine run)\n\
+              --shards N  worker-queue shards; identical requests hash to one\n\
+                          shard (default: one shard per worker)\n\
+              --cache-path P  persist the result cache to P at graceful drain\n\
+                          and preload it at boot (version-stamped snapshot)\n\
+              --max-conns N  refuse TCP connections beyond N concurrently\n\
+                          open, with a structured `overloaded` reply\n\
+                          (default 1024)\n\
      top:     --addr H:P  poll `stats` + `inspect` on a running server and\n\
                           redraw a terminal dashboard (served/cache/shed plus\n\
                           the in-flight request table with live bounds)\n\
@@ -354,6 +388,16 @@ fn trace_check(path: &str) -> Result<usize, String> {
             return Err(format!(
                 "{path}:{lineno}: duplicate `seq` {seq} — every request must trace exactly once"
             ));
+        }
+        // Optional marker on replies fanned out to coalesced waiters: when
+        // present it must be the boolean `true` (leaders and ordinary
+        // requests simply omit it).
+        if let Some(coalesced) = value.get("coalesced") {
+            if coalesced.as_bool() != Some(true) {
+                return Err(format!(
+                    "{path}:{lineno}: `coalesced` must be the boolean true when present"
+                ));
+            }
         }
         let total = number("total_us")?;
         let mut phase_sum = 0u64;
@@ -978,6 +1022,9 @@ fn main() -> ExitCode {
                     queue_depth: options.queue_depth,
                     idle_timeout_ms: options.idle_timeout_ms,
                     inject,
+                    shards: options.shards,
+                    cache_path: options.cache_path.clone(),
+                    max_conns: options.max_conns,
                     ..Default::default()
                 },
                 trace,
@@ -1234,6 +1281,24 @@ mod tests {
         }
         std::fs::write(&path, lines).unwrap();
         assert_eq!(trace_check(path.to_str().unwrap()).unwrap(), ops.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_check_validates_the_optional_coalesced_marker() {
+        let path = temp_path("trace_coalesced");
+        // Fanned-out waiter replies carry `coalesced: true`; plain records
+        // omit the field entirely.
+        let fanned = r#"{"seq":1,"id":1,"op":"lower","queue_us":0,"cache_us":0,"engine_us":0,"serialize_us":0,"total_us":10,"outcome":"ok","cache":"coalesced","coalesced":true}"#;
+        let plain = r#"{"seq":2,"id":2,"op":"lower","queue_us":1,"cache_us":1,"engine_us":1,"serialize_us":1,"total_us":10,"outcome":"ok"}"#;
+        std::fs::write(&path, format!("{fanned}\n{plain}\n")).unwrap();
+        assert_eq!(trace_check(path.to_str().unwrap()).unwrap(), 2);
+        // Anything but the boolean true is a schema violation.
+        let bogus = r#"{"seq":3,"op":"lower","queue_us":0,"cache_us":0,"engine_us":0,"serialize_us":0,"total_us":1,"outcome":"ok","coalesced":"yes"}"#;
+        std::fs::write(&path, format!("{fanned}\n{bogus}\n")).unwrap();
+        let err = trace_check(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains(":2:"), "{err}");
+        assert!(err.contains("coalesced"), "{err}");
         let _ = std::fs::remove_file(&path);
     }
 
